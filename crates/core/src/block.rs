@@ -1,0 +1,285 @@
+//! Block floating point (BFP) support.
+//!
+//! §3.3 of the paper notes that "block floating point formats, where multiple
+//! values share one exponent, can be supported by replicating the exponent
+//! register". [`BlockFp`] is the host-side representation (one shared
+//! exponent + one signed mantissa per element) and [`BlockFpAccumulator`]
+//! is the corresponding switch aggregation state: a single exponent register
+//! entry guarding a run of mantissa register entries, exactly the MSFP-style
+//! layout used by ML accelerators.
+
+use crate::format::{pow2, FpFormat};
+use crate::stats::AddStats;
+use serde::{Deserialize, Serialize};
+
+/// A block of values sharing one exponent.
+///
+/// Each element is stored as a signed mantissa with `man_bits` bits of
+/// magnitude; the represented value of element `i` is
+/// `mantissa[i] × 2^(shared_exp − bias − man_bits)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockFp {
+    /// Number of mantissa bits per element (excluding sign).
+    pub man_bits: u32,
+    /// Exponent bias (shared with the scalar format the block was built from).
+    pub bias: i32,
+    /// Shared biased exponent.
+    pub shared_exp: i32,
+    /// Signed mantissas.
+    pub mantissas: Vec<i32>,
+}
+
+impl BlockFp {
+    /// Quantize a slice of `f32` values into a block with a shared exponent,
+    /// chosen as the maximum exponent of the block (the standard BFP/MSFP
+    /// construction; smaller values lose low-order bits).
+    pub fn from_f32(values: &[f32], man_bits: u32) -> Self {
+        assert!(man_bits >= 2 && man_bits <= 30);
+        let bias = FpFormat::FP32.bias();
+        // Find the maximum exponent among the finite, non-zero values.
+        let mut max_exp = i32::MIN;
+        for &v in values {
+            if v != 0.0 && v.is_finite() {
+                let e = ((v.to_bits() >> 23) & 0xFF) as i32;
+                let e = if e == 0 { 1 } else { e };
+                max_exp = max_exp.max(e);
+            }
+        }
+        if max_exp == i32::MIN {
+            return BlockFp { man_bits, bias, shared_exp: 0, mantissas: vec![0; values.len()] };
+        }
+        // Shared exponent is one above the largest element exponent so the
+        // largest element's mantissa fits in `man_bits` magnitude bits.
+        let shared_exp = max_exp + 1;
+        let scale = pow2(shared_exp - bias - man_bits as i32);
+        let limit = (1i64 << man_bits) - 1;
+        let mantissas = values
+            .iter()
+            .map(|&v| {
+                let q = (v as f64 / scale).round() as i64;
+                q.clamp(-limit, limit) as i32
+            })
+            .collect();
+        BlockFp { man_bits, bias, shared_exp, mantissas }
+    }
+
+    /// Decode the block back into `f32` values.
+    pub fn to_f32(&self) -> Vec<f32> {
+        let scale = pow2(self.shared_exp - self.bias - self.man_bits as i32);
+        self.mantissas.iter().map(|&m| (m as f64 * scale) as f32).collect()
+    }
+
+    /// Number of elements in the block.
+    pub fn len(&self) -> usize {
+        self.mantissas.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mantissas.is_empty()
+    }
+
+    /// Worst-case absolute quantization error of this block: half an ulp of
+    /// the shared scale.
+    pub fn quantization_ulp(&self) -> f64 {
+        pow2(self.shared_exp - self.bias - self.man_bits as i32)
+    }
+}
+
+/// Switch-side aggregation state for block floating point: one shared
+/// exponent register plus one signed mantissa register per element.
+///
+/// Alignment works exactly like scalar FPISA-A: if an incoming block has a
+/// larger shared exponent than the accumulator, the accumulator would need
+/// its mantissas shifted — which the Tofino cannot do — so either the
+/// incoming mantissas are left-shifted into the headroom, or (past the
+/// headroom) the whole block is overwritten.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockFpAccumulator {
+    /// Mantissa bits of the incoming blocks.
+    man_bits: u32,
+    /// Width of each mantissa register.
+    register_bits: u32,
+    /// Exponent bias.
+    bias: i32,
+    shared_exp: i32,
+    mantissas: Vec<i64>,
+    initialized: bool,
+    stats: AddStats,
+}
+
+impl BlockFpAccumulator {
+    /// Create an accumulator for blocks of `len` elements.
+    pub fn new(len: usize, man_bits: u32, register_bits: u32) -> Self {
+        assert!(register_bits > man_bits + 2 && register_bits <= 63);
+        BlockFpAccumulator {
+            man_bits,
+            register_bits,
+            bias: FpFormat::FP32.bias(),
+            shared_exp: 0,
+            mantissas: vec![0; len],
+            initialized: false,
+            stats: AddStats::default(),
+        }
+    }
+
+    /// Headroom bits available per mantissa register.
+    pub fn headroom_bits(&self) -> u32 {
+        self.register_bits - 1 - (self.man_bits + 1)
+    }
+
+    /// Add a block (element-wise) using FPISA-A alignment rules.
+    pub fn add(&mut self, block: &BlockFp) {
+        assert_eq!(block.len(), self.mantissas.len(), "block length mismatch");
+        assert_eq!(block.man_bits, self.man_bits, "block mantissa width mismatch");
+        if !self.initialized {
+            self.shared_exp = block.shared_exp;
+            for (dst, &src) in self.mantissas.iter_mut().zip(&block.mantissas) {
+                *dst = src as i64;
+            }
+            self.initialized = true;
+            self.stats.record(crate::stats::AddEvent::Exact);
+            return;
+        }
+        let delta = block.shared_exp - self.shared_exp;
+        if delta <= 0 {
+            // Incoming block is smaller-scaled: right-shift its mantissas.
+            let shift = (-delta).min(self.register_bits as i32) as u32;
+            let mut lost_any = false;
+            for (dst, &src) in self.mantissas.iter_mut().zip(&block.mantissas) {
+                let (shifted, lost) = shr_lossy(src as i64, shift);
+                lost_any |= lost != 0;
+                *dst = clamp_register(*dst + shifted, self.register_bits);
+            }
+            self.stats.record(if lost_any {
+                crate::stats::AddEvent::Rounded { lost: 0.0 }
+            } else {
+                crate::stats::AddEvent::Exact
+            });
+        } else if (delta as u32) <= self.headroom_bits() {
+            // Left-shift the incoming mantissas into the headroom.
+            for (dst, &src) in self.mantissas.iter_mut().zip(&block.mantissas) {
+                *dst = clamp_register(*dst + ((src as i64) << delta), self.register_bits);
+            }
+            self.stats.record(crate::stats::AddEvent::LeftShifted { by: delta as u32 });
+        } else {
+            // Overwrite the whole block.
+            let lost: f64 = self
+                .mantissas
+                .iter()
+                .map(|&m| (m as f64 * pow2(self.shared_exp - self.bias - self.man_bits as i32)).abs())
+                .sum();
+            self.shared_exp = block.shared_exp;
+            for (dst, &src) in self.mantissas.iter_mut().zip(&block.mantissas) {
+                *dst = src as i64;
+            }
+            self.stats.record(crate::stats::AddEvent::Overwrote { lost });
+        }
+    }
+
+    /// Read the accumulated block back as `f32` values.
+    pub fn read_f32(&self) -> Vec<f32> {
+        let scale = pow2(self.shared_exp - self.bias - self.man_bits as i32);
+        self.mantissas.iter().map(|&m| (m as f64 * scale) as f32).collect()
+    }
+
+    /// Aggregation statistics.
+    pub fn stats(&self) -> &AddStats {
+        &self.stats
+    }
+}
+
+fn shr_lossy(value: i64, shift: u32) -> (i64, u64) {
+    if shift == 0 {
+        return (value, 0);
+    }
+    if shift >= 63 {
+        return (if value < 0 { -1 } else { 0 }, value.unsigned_abs());
+    }
+    let shifted = value >> shift;
+    (shifted, (value - (shifted << shift)).unsigned_abs())
+}
+
+fn clamp_register(value: i64, bits: u32) -> i64 {
+    let max = (1i64 << (bits - 1)) - 1;
+    let min = -(1i64 << (bits - 1));
+    value.clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_quantization_roundtrip_within_ulp() {
+        let vals = [0.5f32, -0.25, 0.125, 0.75, -0.9, 0.01];
+        let b = BlockFp::from_f32(&vals, 8);
+        let back = b.to_f32();
+        for (orig, dec) in vals.iter().zip(&back) {
+            assert!((orig - dec).abs() as f64 <= b.quantization_ulp(), "{orig} vs {dec}");
+        }
+    }
+
+    #[test]
+    fn all_zero_block() {
+        let b = BlockFp::from_f32(&[0.0, 0.0, 0.0], 8);
+        assert_eq!(b.to_f32(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(b.shared_exp, 0);
+    }
+
+    #[test]
+    fn shared_exponent_is_one_above_the_max() {
+        let b = BlockFp::from_f32(&[0.5, 8.0, 0.001], 10);
+        // 8.0 has exponent field 130; the shared exponent is one above it so
+        // 8.0's mantissa fits in the magnitude bits.
+        assert_eq!(b.shared_exp, 131);
+        assert!(b.mantissas.iter().all(|&m| (m.unsigned_abs() as u64) < (1 << 10)));
+    }
+
+    #[test]
+    fn accumulator_sums_blocks_exactly_for_equal_exponents() {
+        let a = BlockFp::from_f32(&[1.0, 2.0, -1.0], 10);
+        let b = BlockFp::from_f32(&[1.0, 1.0, 1.0], 10);
+        // Force equal shared exponents by construction (both blocks max=2.0-ish).
+        let mut acc = BlockFpAccumulator::new(3, 10, 32);
+        acc.add(&a);
+        acc.add(&b);
+        let out = acc.read_f32();
+        assert!((out[0] - 2.0).abs() < 0.01);
+        assert!((out[1] - 3.0).abs() < 0.01);
+        assert!((out[2] - 0.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn accumulator_left_shifts_larger_blocks() {
+        let small = BlockFp::from_f32(&[0.5, 0.5], 8);
+        let large = BlockFp::from_f32(&[16.0, 8.0], 8);
+        let mut acc = BlockFpAccumulator::new(2, 8, 32);
+        acc.add(&small);
+        acc.add(&large);
+        assert!(acc.stats().left_shifts > 0);
+        let out = acc.read_f32();
+        assert!((out[0] - 16.5).abs() < 0.2);
+        assert!((out[1] - 8.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn accumulator_overwrites_past_headroom() {
+        let small = BlockFp::from_f32(&[1e-4, 1e-4], 8);
+        let large = BlockFp::from_f32(&[1e6, 1e6], 8);
+        let mut acc = BlockFpAccumulator::new(2, 8, 16);
+        acc.add(&small);
+        acc.add(&large);
+        assert_eq!(acc.stats().overwrites, 1);
+        let out = acc.read_f32();
+        assert!((out[0] as f64 - 1e6).abs() / 1e6 < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_block_length_panics() {
+        let a = BlockFp::from_f32(&[1.0], 8);
+        let mut acc = BlockFpAccumulator::new(2, 8, 32);
+        acc.add(&a);
+    }
+}

@@ -1,0 +1,233 @@
+//! Floating-point comparison with integer operations only.
+//!
+//! The second FP operation the paper needs (for the Cheetah/NetAccel query
+//! use case, §6) is comparison. A PISA switch can compare two packed IEEE
+//! values with a single integer comparison after mapping them to a *sortable
+//! key*: flip the sign bit of non-negative values and flip every bit of
+//! negative values. The resulting unsigned integers order exactly like the
+//! floating-point values they encode (with `-0 < +0`, which is fine for the
+//! pruning use cases). This module provides that mapping for any
+//! [`FpFormat`], plus a stateful [`SwitchComparator`] register that mirrors
+//! the "cache the best value seen so far" pattern used by Top-N and
+//! group-by max/min pruning.
+
+use crate::format::FpFormat;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Map packed floating-point bits to an unsigned key that orders identically
+/// to the numerical value (total order; `-0` sorts just below `+0`, NaNs sort
+/// above +inf for positive-sign NaNs and below -inf for negative-sign NaNs).
+///
+/// This is precisely the transform an end host or switch applies before an
+/// integer `min`/`max`/`<` — one XOR and one mask, both single-ALU actions.
+#[inline]
+pub fn sortable_key(format: FpFormat, bits: u64) -> u64 {
+    let bits = bits & format.value_mask();
+    let sign_bit = 1u64 << (format.total_bits() - 1);
+    if bits & sign_bit != 0 {
+        // Negative: flip all bits so larger magnitudes become smaller keys.
+        !bits & format.value_mask()
+    } else {
+        // Non-negative: set the sign bit so positives sort above negatives.
+        bits | sign_bit
+    }
+}
+
+/// Inverse of [`sortable_key`].
+#[inline]
+pub fn from_sortable_key(format: FpFormat, key: u64) -> u64 {
+    let sign_bit = 1u64 << (format.total_bits() - 1);
+    if key & sign_bit != 0 {
+        key & !sign_bit | (key & sign_bit ^ sign_bit)
+    } else {
+        !key & format.value_mask()
+    }
+}
+
+/// Compare two packed values of the same format using only integer
+/// operations, returning the ordering of the numerical values.
+#[inline]
+pub fn compare_bits(format: FpFormat, a: u64, b: u64) -> Ordering {
+    sortable_key(format, a).cmp(&sortable_key(format, b))
+}
+
+/// Compare two `f32` values the way the switch would (total order on the
+/// bit patterns). Agrees with `partial_cmp` for all finite values.
+#[inline]
+pub fn compare_f32_switch(a: f32, b: f32) -> Ordering {
+    compare_bits(FpFormat::FP32, a.to_bits() as u64, b.to_bits() as u64)
+}
+
+/// Which extreme a [`SwitchComparator`] register keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeepExtreme {
+    /// Keep the maximum value seen so far (e.g. group-by-having max, Top-N).
+    Max,
+    /// Keep the minimum value seen so far.
+    Min,
+}
+
+/// A stateful comparison register: the switch keeps the best (max or min)
+/// value seen so far for a key and tells the data plane whether the current
+/// packet's value improves on it (forward) or not (prune).
+///
+/// This is the in-switch primitive behind Cheetah-style pruning for Top-N
+/// and group-by max/min queries on floating-point columns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwitchComparator {
+    format: FpFormat,
+    extreme: KeepExtreme,
+    /// Current best value as a sortable key; `None` until the first update.
+    best: Option<u64>,
+    /// Number of values offered.
+    offered: u64,
+    /// Number of values that improved the register (i.e. were not prunable).
+    improved: u64,
+}
+
+impl SwitchComparator {
+    /// Create an empty comparator register.
+    pub fn new(format: FpFormat, extreme: KeepExtreme) -> Self {
+        SwitchComparator { format, extreme, best: None, offered: 0, improved: 0 }
+    }
+
+    /// Offer a packed value. Returns `true` if the value improved on (or
+    /// ties) the stored extreme — i.e. the packet should be forwarded — and
+    /// `false` if it is dominated and can be pruned.
+    pub fn offer_bits(&mut self, bits: u64) -> bool {
+        self.offered += 1;
+        let key = sortable_key(self.format, bits);
+        let better = match self.best {
+            None => true,
+            Some(best) => match self.extreme {
+                KeepExtreme::Max => key >= best,
+                KeepExtreme::Min => key <= best,
+            },
+        };
+        if better {
+            self.best = Some(key);
+            self.improved += 1;
+        }
+        better
+    }
+
+    /// Offer an `f32` (the format must be FP32).
+    pub fn offer_f32(&mut self, x: f32) -> bool {
+        debug_assert_eq!(self.format, FpFormat::FP32);
+        self.offer_bits(x.to_bits() as u64)
+    }
+
+    /// The current extreme as packed bits, if any value has been offered.
+    pub fn best_bits(&self) -> Option<u64> {
+        self.best.map(|k| from_sortable_key(self.format, k))
+    }
+
+    /// The current extreme as an `f32` (FP32 comparators only).
+    pub fn best_f32(&self) -> Option<f32> {
+        self.best_bits().map(|b| f32::from_bits(b as u32))
+    }
+
+    /// How many values were offered to this register.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// How many offers improved the register (were forwarded).
+    pub fn improved(&self) -> u64 {
+        self.improved
+    }
+
+    /// Fraction of offered values that could be pruned.
+    pub fn prune_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            1.0 - self.improved as f64 / self.offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sortable_key_orders_like_floats() {
+        let vals = [
+            -1e30f32, -3.5, -1.0, -0.1, -1e-30, -0.0, 0.0, 1e-30, 0.1, 1.0, 3.5, 1e30,
+        ];
+        for w in vals.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let ka = sortable_key(FpFormat::FP32, a.to_bits() as u64);
+            let kb = sortable_key(FpFormat::FP32, b.to_bits() as u64);
+            assert!(ka <= kb, "key({a}) > key({b})");
+            if a < b {
+                assert!(ka < kb, "key({a}) !< key({b})");
+            }
+        }
+    }
+
+    #[test]
+    fn compare_matches_partial_cmp_for_finite() {
+        let vals = [-7.25f32, -0.5, 0.0, 0.5, 7.25, 1e-10, -1e-10, 123456.0];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    compare_f32_switch(a, b),
+                    a.partial_cmp(&b).unwrap(),
+                    "compare({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sortable_key_roundtrips() {
+        for &x in &[0.0f32, -0.0, 1.5, -2.25, 1e20, -1e-20] {
+            let bits = x.to_bits() as u64;
+            let k = sortable_key(FpFormat::FP32, bits);
+            assert_eq!(from_sortable_key(FpFormat::FP32, k), bits);
+        }
+    }
+
+    #[test]
+    fn fp16_comparison_works_too() {
+        let f = FpFormat::FP16;
+        let a = f.encode(1.5);
+        let b = f.encode(-2.0);
+        let c = f.encode(100.0);
+        assert_eq!(compare_bits(f, a, b), Ordering::Greater);
+        assert_eq!(compare_bits(f, b, c), Ordering::Less);
+        assert_eq!(compare_bits(f, c, c), Ordering::Equal);
+    }
+
+    #[test]
+    fn comparator_keeps_max_and_prunes() {
+        let mut c = SwitchComparator::new(FpFormat::FP32, KeepExtreme::Max);
+        assert!(c.offer_f32(1.0)); // first always forwarded
+        assert!(!c.offer_f32(0.5)); // dominated -> prune
+        assert!(c.offer_f32(2.0)); // improves
+        assert!(!c.offer_f32(-3.0));
+        assert_eq!(c.best_f32(), Some(2.0));
+        assert_eq!(c.offered(), 4);
+        assert_eq!(c.improved(), 2);
+        assert!((c.prune_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparator_keeps_min() {
+        let mut c = SwitchComparator::new(FpFormat::FP32, KeepExtreme::Min);
+        assert!(c.offer_f32(1.0));
+        assert!(c.offer_f32(-5.0));
+        assert!(!c.offer_f32(0.0));
+        assert_eq!(c.best_f32(), Some(-5.0));
+    }
+
+    #[test]
+    fn negative_zero_sorts_below_positive_zero() {
+        let kn = sortable_key(FpFormat::FP32, (-0.0f32).to_bits() as u64);
+        let kp = sortable_key(FpFormat::FP32, 0.0f32.to_bits() as u64);
+        assert!(kn < kp);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the FPISA core library.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of non-finite value encountered when extracting a packed float.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NonFiniteKind {
+    /// Positive infinity.
+    PosInfinity,
+    /// Negative infinity.
+    NegInfinity,
+    /// Not-a-number.
+    Nan,
+}
+
+/// Errors produced by FPISA operations.
+///
+/// The switch data path itself never "returns" an error — a real pipeline
+/// always emits *some* bit pattern — but the host-side library surfaces the
+/// conditions that the paper says must be "detected and signaled to the
+/// user" (§3.3): register overflow and non-finite inputs the decomposed
+/// representation cannot hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FpisaError {
+    /// The input was an infinity or NaN, which the decomposed exponent +
+    /// mantissa representation cannot express.
+    NonFinite(NonFiniteKind),
+    /// The signed mantissa register overflowed and the configured
+    /// [`crate::OverflowPolicy`] was `Error`.
+    RegisterOverflow {
+        /// Biased exponent stored in the accumulator when overflow happened.
+        exponent: u32,
+    },
+    /// A value of the wrong floating-point format was handed to an
+    /// accumulator (e.g. an FP16 bit pattern to an FP32 accumulator).
+    FormatMismatch {
+        /// Format the accumulator was configured with.
+        expected: crate::FpFormat,
+        /// Format of the offending value.
+        got: crate::FpFormat,
+    },
+}
+
+impl fmt::Display for FpisaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpisaError::NonFinite(k) => write!(f, "non-finite input ({k:?}) cannot be decomposed"),
+            FpisaError::RegisterOverflow { exponent } => {
+                write!(f, "signed mantissa register overflow (exponent field {exponent})")
+            }
+            FpisaError::FormatMismatch { expected, got } => {
+                write!(f, "format mismatch: accumulator uses {expected:?}, value is {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FpisaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FpisaError::NonFinite(NonFiniteKind::Nan);
+        assert!(e.to_string().contains("non-finite"));
+        let e = FpisaError::RegisterOverflow { exponent: 130 };
+        assert!(e.to_string().contains("overflow"));
+        let e = FpisaError::FormatMismatch {
+            expected: crate::FpFormat::FP32,
+            got: crate::FpFormat::FP16,
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_clonable() {
+        let e = FpisaError::RegisterOverflow { exponent: 1 };
+        assert_eq!(e, e);
+        assert_eq!(e, e.clone());
+        fn assert_serialize<T: serde::Serialize>(_t: &T) {}
+        assert_serialize(&e);
+    }
+}

@@ -1,0 +1,443 @@
+//! Floating-point format descriptions and pack/unpack helpers.
+//!
+//! FPISA is format-agnostic: the paper evaluates IEEE 754 FP32 and FP16 and
+//! notes that bfloat16 and block floating point are supported "trivially" by
+//! changing field widths (§3.3). [`FpFormat`] captures a format as
+//! `(exponent bits, mantissa bits)`; all packing, unpacking and rounding is
+//! implemented generically over it using only integer operations.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of an unpacked floating point value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FpClass {
+    /// Positive or negative zero.
+    Zero,
+    /// A subnormal (denormal) value: stored exponent field is zero but the
+    /// fraction is non-zero; there is no implied leading one.
+    Subnormal,
+    /// An ordinary normalized value with an implied leading one.
+    Normal,
+    /// Positive or negative infinity.
+    Infinity,
+    /// Not-a-number.
+    Nan,
+}
+
+/// A binary floating-point format: 1 sign bit, `exp_bits` exponent bits and
+/// `man_bits` explicitly stored mantissa (fraction) bits.
+///
+/// The constants [`FpFormat::FP64`], [`FpFormat::FP32`], [`FpFormat::FP16`]
+/// and [`FpFormat::BF16`] cover the formats discussed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FpFormat {
+    /// Number of exponent bits (`n` in the paper).
+    pub exp_bits: u32,
+    /// Number of explicitly stored mantissa bits (`m` in the paper).
+    pub man_bits: u32,
+}
+
+/// An unpacked floating-point value: the three fields of the packed
+/// representation plus its classification. The mantissa here is the *stored
+/// fraction*, i.e. it does **not** include the implied leading one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Unpacked {
+    /// Sign bit: `true` means negative.
+    pub sign: bool,
+    /// Raw (biased) exponent field.
+    pub exponent: u32,
+    /// Raw fraction field (without the implied one).
+    pub fraction: u64,
+    /// Classification of the value.
+    pub class: FpClass,
+}
+
+impl FpFormat {
+    /// IEEE 754 binary64 (double precision).
+    pub const FP64: FpFormat = FpFormat { exp_bits: 11, man_bits: 52 };
+    /// IEEE 754 binary32 (single precision) — the running example of the paper.
+    pub const FP32: FpFormat = FpFormat { exp_bits: 8, man_bits: 23 };
+    /// IEEE 754 binary16 (half precision), evaluated for ML training in §5.
+    pub const FP16: FpFormat = FpFormat { exp_bits: 5, man_bits: 10 };
+    /// bfloat16: same exponent range as FP32 with a 7-bit mantissa.
+    pub const BF16: FpFormat = FpFormat { exp_bits: 8, man_bits: 7 };
+
+    /// Create an arbitrary format. Panics if the format does not fit in 64
+    /// bits or has a degenerate exponent/mantissa width.
+    pub fn new(exp_bits: u32, man_bits: u32) -> Self {
+        assert!(exp_bits >= 2 && exp_bits <= 15, "exponent width out of range");
+        assert!(man_bits >= 1 && man_bits <= 62, "mantissa width out of range");
+        assert!(1 + exp_bits + man_bits <= 64, "format wider than 64 bits");
+        FpFormat { exp_bits, man_bits }
+    }
+
+    /// Total number of bits in the packed representation.
+    #[inline]
+    pub fn total_bits(&self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Exponent bias (e.g. 127 for FP32, 15 for FP16).
+    #[inline]
+    pub fn bias(&self) -> i32 {
+        (1i32 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Maximum value of the raw exponent field (all ones = Inf/NaN).
+    #[inline]
+    pub fn max_exp_field(&self) -> u32 {
+        (1u32 << self.exp_bits) - 1
+    }
+
+    /// Mask covering the fraction field.
+    #[inline]
+    pub fn fraction_mask(&self) -> u64 {
+        (1u64 << self.man_bits) - 1
+    }
+
+    /// The implied-one bit position / value, i.e. `2^man_bits`.
+    #[inline]
+    pub fn implied_one(&self) -> u64 {
+        1u64 << self.man_bits
+    }
+
+    /// Number of bits of the significand including the implied one.
+    #[inline]
+    pub fn sig_bits(&self) -> u32 {
+        self.man_bits + 1
+    }
+
+    /// Mask covering the whole packed value.
+    #[inline]
+    pub fn value_mask(&self) -> u64 {
+        if self.total_bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.total_bits()) - 1
+        }
+    }
+
+    /// Bit pattern of positive infinity in this format.
+    #[inline]
+    pub fn infinity_bits(&self, sign: bool) -> u64 {
+        let body = (self.max_exp_field() as u64) << self.man_bits;
+        if sign {
+            body | (1u64 << (self.total_bits() - 1))
+        } else {
+            body
+        }
+    }
+
+    /// Bit pattern of the canonical quiet NaN in this format.
+    #[inline]
+    pub fn nan_bits(&self) -> u64 {
+        self.infinity_bits(false) | (1u64 << (self.man_bits - 1))
+    }
+
+    /// Largest finite value representable in this format.
+    pub fn max_finite(&self) -> f64 {
+        let bits = ((self.max_exp_field() as u64 - 1) << self.man_bits) | self.fraction_mask();
+        self.decode(bits)
+    }
+
+    /// Smallest positive normal value representable in this format.
+    pub fn min_positive_normal(&self) -> f64 {
+        self.decode(1u64 << self.man_bits)
+    }
+
+    // ------------------------------------------------------------------
+    // Unpack / pack
+    // ------------------------------------------------------------------
+
+    /// Split packed bits into sign, exponent and fraction fields and classify
+    /// the value. Bits above [`FpFormat::total_bits`] are ignored.
+    pub fn unpack(&self, bits: u64) -> Unpacked {
+        let bits = bits & self.value_mask();
+        let sign = (bits >> (self.total_bits() - 1)) & 1 == 1;
+        let exponent = ((bits >> self.man_bits) as u32) & self.max_exp_field();
+        let fraction = bits & self.fraction_mask();
+        let class = if exponent == 0 {
+            if fraction == 0 {
+                FpClass::Zero
+            } else {
+                FpClass::Subnormal
+            }
+        } else if exponent == self.max_exp_field() {
+            if fraction == 0 {
+                FpClass::Infinity
+            } else {
+                FpClass::Nan
+            }
+        } else {
+            FpClass::Normal
+        };
+        Unpacked { sign, exponent, fraction, class }
+    }
+
+    /// Pack sign, exponent and fraction fields into bits. The fields are
+    /// masked to their widths; no rounding or normalization is performed.
+    pub fn pack(&self, sign: bool, exponent: u32, fraction: u64) -> u64 {
+        let s = if sign { 1u64 << (self.total_bits() - 1) } else { 0 };
+        s | (((exponent & self.max_exp_field()) as u64) << self.man_bits)
+            | (fraction & self.fraction_mask())
+    }
+
+    // ------------------------------------------------------------------
+    // Conversion to/from f64 (used by hosts; the switch never does this)
+    // ------------------------------------------------------------------
+
+    /// Decode packed bits of this format into an `f64`. Exact for every
+    /// format no wider than FP64.
+    pub fn decode(&self, bits: u64) -> f64 {
+        let u = self.unpack(bits);
+        let sign = if u.sign { -1.0 } else { 1.0 };
+        match u.class {
+            FpClass::Zero => 0.0 * sign,
+            FpClass::Infinity => f64::INFINITY * sign,
+            FpClass::Nan => f64::NAN,
+            FpClass::Subnormal => {
+                let mag =
+                    (u.fraction as f64) * pow2(1 - self.bias() - self.man_bits as i32);
+                sign * mag
+            }
+            FpClass::Normal => {
+                let sig = (self.implied_one() | u.fraction) as f64;
+                sign * sig * pow2(u.exponent as i32 - self.bias() - self.man_bits as i32)
+            }
+        }
+    }
+
+    /// Decode packed bits of this format into an `f32`. Lossless for formats
+    /// no wider than FP32; wider formats are rounded by the `as` cast.
+    pub fn decode_f32(&self, bits: u64) -> f32 {
+        self.decode(bits) as f32
+    }
+
+    /// Encode an `f64` into this format using round-to-nearest-even, the
+    /// same conversion an end host performs before handing values to the
+    /// switch. Overflow saturates to infinity; NaN maps to the canonical NaN.
+    pub fn encode(&self, x: f64) -> u64 {
+        if x.is_nan() {
+            return self.nan_bits();
+        }
+        let sign = x.is_sign_negative();
+        let ax = x.abs();
+        if ax == 0.0 {
+            return self.pack(sign, 0, 0);
+        }
+        if ax.is_infinite() {
+            return self.infinity_bits(sign);
+        }
+        // Work from the exact binary64 representation.
+        let b = ax.to_bits();
+        let e64 = ((b >> 52) & 0x7ff) as i32;
+        let f64frac = b & ((1u64 << 52) - 1);
+        // Unbiased exponent and 53-bit significand (with implied one when normal).
+        let (unbiased, sig): (i32, u64) = if e64 == 0 {
+            // subnormal double: value = frac * 2^-1074
+            let lz = f64frac.leading_zeros() as i32 - 11; // bits above position 52
+            (-1022 - lz, f64frac << lz)
+        } else {
+            (e64 - 1023, (1u64 << 52) | f64frac)
+        };
+        // sig currently has its leading one at bit 52; value = sig * 2^(unbiased-52).
+        // Target: significand with leading one at bit man_bits.
+        let target_exp_field = unbiased + self.bias();
+        let (drop_bits, exp_field): (i32, i32) = if target_exp_field >= 1 {
+            (52 - self.man_bits as i32, target_exp_field)
+        } else {
+            // Subnormal in the target format: shift extra to the right.
+            (52 - self.man_bits as i32 + (1 - target_exp_field), 0)
+        };
+        if drop_bits >= 64 {
+            // Underflows to zero even before rounding.
+            return self.pack(sign, 0, 0);
+        }
+        let mut out_sig = if drop_bits <= 0 {
+            sig << (-drop_bits)
+        } else {
+            // Round to nearest, ties to even.
+            let kept = sig >> drop_bits;
+            let rem = sig & ((1u64 << drop_bits) - 1);
+            let half = 1u64 << (drop_bits - 1);
+            if rem > half || (rem == half && kept & 1 == 1) {
+                kept + 1
+            } else {
+                kept
+            }
+        };
+        let mut exp_field = exp_field;
+        // Rounding may have carried out of the significand.
+        if exp_field >= 1 {
+            if out_sig >= (1u64 << (self.man_bits + 1)) {
+                out_sig >>= 1;
+                exp_field += 1;
+            }
+        } else if out_sig >= (1u64 << self.man_bits) {
+            // Subnormal rounded up into the normal range.
+            exp_field = 1;
+        }
+        if exp_field >= self.max_exp_field() as i32 {
+            return self.infinity_bits(sign);
+        }
+        let frac = out_sig & self.fraction_mask();
+        self.pack(sign, exp_field.max(0) as u32, frac)
+    }
+
+    /// Encode an `f32` into this format (round-to-nearest-even).
+    pub fn encode_f32(&self, x: f32) -> u64 {
+        self.encode(x as f64)
+    }
+
+    /// Round an `f32` to the nearest value representable in this format and
+    /// return it as an `f32` again. This is how the host-side "cast to FP16 /
+    /// bfloat16" used in mixed-precision training is modelled.
+    pub fn quantize_f32(&self, x: f32) -> f32 {
+        self.decode_f32(self.encode_f32(x))
+    }
+
+    /// Machine epsilon of the format (distance from 1.0 to the next value).
+    pub fn epsilon(&self) -> f64 {
+        pow2(-(self.man_bits as i32))
+    }
+}
+
+/// `2^e` as an `f64`, valid for the full double-precision exponent range.
+#[inline]
+pub fn pow2(e: i32) -> f64 {
+    // Avoid powi inaccuracies: construct the bit pattern directly when the
+    // exponent is in the normal range, fall back to repeated scaling outside.
+    if (-1022..=1023).contains(&e) {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else if e > 1023 {
+        f64::INFINITY
+    } else {
+        // Subnormal range: 2^-1074 .. 2^-1023.
+        let shift = -1022 - e;
+        if shift > 52 {
+            0.0
+        } else {
+            f64::from_bits(1u64 << (52 - shift))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp32_roundtrip_matches_native() {
+        let samples = [
+            0.0f32, -0.0, 1.0, -1.0, 3.0, 0.1, 1e-30, 1e30, 123456.789, -0.000123,
+            f32::MAX, f32::MIN_POSITIVE, core::f32::consts::PI, -core::f32::consts::E,
+        ];
+        for &x in &samples {
+            let bits = FpFormat::FP32.encode_f32(x);
+            assert_eq!(bits as u32, x.to_bits(), "encode mismatch for {x}");
+            let back = FpFormat::FP32.decode_f32(x.to_bits() as u64);
+            assert_eq!(back.to_bits(), x.to_bits(), "decode mismatch for {x}");
+        }
+    }
+
+    #[test]
+    fn fp64_roundtrip_matches_native() {
+        let samples = [0.0f64, 1.0, -2.5, 1e-300, 1e300, core::f64::consts::PI];
+        for &x in &samples {
+            assert_eq!(FpFormat::FP64.encode(x), x.to_bits());
+            assert_eq!(FpFormat::FP64.decode(x.to_bits()).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn fp32_subnormals_roundtrip() {
+        let tiny = f32::from_bits(3); // a subnormal
+        assert_eq!(FpFormat::FP32.encode_f32(tiny) as u32, tiny.to_bits());
+        assert_eq!(FpFormat::FP32.decode_f32(tiny.to_bits() as u64), tiny);
+    }
+
+    #[test]
+    fn fp16_constants() {
+        let f = FpFormat::FP16;
+        assert_eq!(f.bias(), 15);
+        assert_eq!(f.total_bits(), 16);
+        assert_eq!(f.max_exp_field(), 31);
+        // 1.0 in FP16 is 0x3C00.
+        assert_eq!(f.encode(1.0), 0x3C00);
+        assert_eq!(f.decode(0x3C00), 1.0);
+        // 65504 is the max finite FP16 value.
+        assert_eq!(f.max_finite(), 65504.0);
+        // Values beyond the range saturate to infinity.
+        assert_eq!(f.encode(1e6), f.infinity_bits(false));
+        assert_eq!(f.encode(-1e6), f.infinity_bits(true));
+    }
+
+    #[test]
+    fn bf16_truncates_like_fp32_high_bits() {
+        let f = FpFormat::BF16;
+        // bfloat16 of 1.0 = 0x3F80
+        assert_eq!(f.encode(1.0), 0x3F80);
+        // quantize keeps sign and approximate magnitude
+        let q = f.quantize_f32(3.1415927);
+        assert!((q - 3.1415927).abs() < 0.02);
+    }
+
+    #[test]
+    fn fp16_rounding_nearest_even() {
+        let f = FpFormat::FP16;
+        // 2049 is exactly between 2048 and 2050 in FP16 (which has 11-bit
+        // significands); round-to-nearest-even picks 2048.
+        assert_eq!(f.decode(f.encode(2049.0)), 2048.0);
+        // 2051 is between 2050 and 2052; ties go to even (2052)? 2051 is not a
+        // tie (2050 and 2052 representable, 2051 exactly between -> even = 2052).
+        assert_eq!(f.decode(f.encode(2051.0)), 2052.0);
+    }
+
+    #[test]
+    fn classification() {
+        let f = FpFormat::FP32;
+        assert_eq!(f.unpack(0).class, FpClass::Zero);
+        assert_eq!(f.unpack(0x8000_0000).class, FpClass::Zero);
+        assert_eq!(f.unpack(1).class, FpClass::Subnormal);
+        assert_eq!(f.unpack(0x3F80_0000).class, FpClass::Normal);
+        assert_eq!(f.unpack(0x7F80_0000).class, FpClass::Infinity);
+        assert_eq!(f.unpack(0x7FC0_0000).class, FpClass::Nan);
+    }
+
+    #[test]
+    fn nan_and_inf_encode() {
+        let f = FpFormat::FP16;
+        assert_eq!(f.encode(f64::NAN), f.nan_bits());
+        assert_eq!(f.encode(f64::INFINITY), f.infinity_bits(false));
+        assert_eq!(f.encode(f64::NEG_INFINITY), f.infinity_bits(true));
+    }
+
+    #[test]
+    fn pow2_spans_range() {
+        assert_eq!(pow2(0), 1.0);
+        assert_eq!(pow2(10), 1024.0);
+        assert_eq!(pow2(-10), 1.0 / 1024.0);
+        assert_eq!(pow2(1024), f64::INFINITY);
+        assert_eq!(pow2(-1074), f64::from_bits(1));
+        assert!(pow2(-1075) == 0.0);
+    }
+
+    #[test]
+    fn subnormal_encode_to_fp16() {
+        let f = FpFormat::FP16;
+        // Smallest positive FP16 subnormal is 2^-24.
+        let tiny = pow2(-24);
+        assert_eq!(f.encode(tiny), 1);
+        // Half of it rounds to zero (ties-to-even with even=0).
+        assert_eq!(f.encode(tiny / 2.0), 0);
+        // 0.75 of it rounds up to the subnormal.
+        assert_eq!(f.encode(tiny * 0.75), 1);
+    }
+
+    #[test]
+    fn quantize_f32_idempotent() {
+        let f = FpFormat::FP16;
+        let q = f.quantize_f32(0.3333);
+        assert_eq!(f.quantize_f32(q), q);
+    }
+}

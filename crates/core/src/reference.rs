@@ -1,0 +1,224 @@
+//! Reference accumulators used to quantify FPISA's error.
+//!
+//! The paper's error analysis (§5.2.1) compares FPISA-A aggregation against
+//! "standard floating point addition". Three host-side references are
+//! provided:
+//!
+//! * [`SequentialAccumulator`] — plain sequential `f32`/format-native
+//!   addition, i.e. what a CPU-based parameter server computes. This is the
+//!   "default addition" baseline of Figs. 8 and 9.
+//! * [`KahanAccumulator`] — compensated summation, useful when a
+//!   higher-accuracy but still format-faithful baseline is wanted.
+//! * [`ExactAccumulator`] — exact accumulation in double precision (exact for
+//!   any realistic number of FP32 addends), the ground truth against which
+//!   absolute errors are measured.
+
+use crate::format::FpFormat;
+use serde::{Deserialize, Serialize};
+
+/// Sequential addition in the target format: every partial sum is rounded
+/// back to the format, exactly like a naive CPU loop over `f32` (or FP16)
+/// values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequentialAccumulator {
+    format: FpFormat,
+    /// Current partial sum, always exactly representable in `format`.
+    sum: f64,
+    count: u64,
+}
+
+impl SequentialAccumulator {
+    /// New empty accumulator for the given format.
+    pub fn new(format: FpFormat) -> Self {
+        SequentialAccumulator { format, sum: 0.0, count: 0 }
+    }
+
+    /// Add a value (rounded to the format first, then the partial sum is
+    /// rounded to the format again — double rounding, as a real host would).
+    pub fn add(&mut self, x: f64) {
+        let xq = self.format.decode(self.format.encode(x));
+        self.sum = self.format.decode(self.format.encode(self.sum + xq));
+        self.count += 1;
+    }
+
+    /// Add an `f32` (no input rounding needed when the format is FP32).
+    pub fn add_f32(&mut self, x: f32) {
+        self.add(x as f64);
+    }
+
+    /// Current sum.
+    pub fn value(&self) -> f64 {
+        self.sum
+    }
+
+    /// Current sum as `f32`.
+    pub fn value_f32(&self) -> f32 {
+        self.sum as f32
+    }
+
+    /// Number of addends so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Kahan (compensated) summation in `f64`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KahanAccumulator {
+    sum: f64,
+    compensation: f64,
+    count: u64,
+}
+
+impl KahanAccumulator {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a value.
+    pub fn add(&mut self, x: f64) {
+        let y = x - self.compensation;
+        let t = self.sum + y;
+        self.compensation = (t - self.sum) - y;
+        self.sum = t;
+        self.count += 1;
+    }
+
+    /// Current compensated sum.
+    pub fn value(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of addends so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Exact accumulation of FP32 values in `f64`.
+///
+/// A sum of up to 2^28 FP32 values is exactly representable in binary64
+/// as long as intermediate sums stay in range, which covers every workload
+/// in this repository (eight workers, gradient vectors summed element-wise).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExactAccumulator {
+    sum: f64,
+    count: u64,
+}
+
+impl ExactAccumulator {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an `f32` value exactly.
+    pub fn add_f32(&mut self, x: f32) {
+        self.sum += x as f64;
+        self.count += 1;
+    }
+
+    /// Add an `f64` value (exact as long as no rounding occurs; used for
+    /// FP16/BF16 inputs, which are all exactly representable in f64).
+    pub fn add(&mut self, x: f64) {
+        self.sum += x;
+        self.count += 1;
+    }
+
+    /// The exact sum.
+    pub fn value(&self) -> f64 {
+        self.sum
+    }
+
+    /// The exact sum rounded once to `f32` (round-to-nearest-even).
+    pub fn value_f32(&self) -> f32 {
+        self.sum as f32
+    }
+
+    /// Number of addends so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Aggregate a slice three ways — exact, sequential-in-format and Kahan —
+/// returning `(exact, sequential, kahan)`. Convenience for error studies.
+pub fn reference_sums(format: FpFormat, values: &[f64]) -> (f64, f64, f64) {
+    let mut e = ExactAccumulator::new();
+    let mut s = SequentialAccumulator::new(format);
+    let mut k = KahanAccumulator::new();
+    for &v in values {
+        e.add(v);
+        s.add(v);
+        k.add(v);
+    }
+    (e.value(), s.value(), k.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fp32_matches_native_loop() {
+        let vals = [0.1f32, 0.2, 0.3, 0.4, 1e-8, 7.5, -3.25];
+        let mut native = 0.0f32;
+        let mut acc = SequentialAccumulator::new(FpFormat::FP32);
+        for &v in &vals {
+            native += v;
+            acc.add_f32(v);
+        }
+        assert_eq!(acc.value_f32(), native);
+        assert_eq!(acc.count(), vals.len() as u64);
+    }
+
+    #[test]
+    fn sequential_fp16_rounds_every_step() {
+        let mut acc = SequentialAccumulator::new(FpFormat::FP16);
+        // 2048 + 1 in FP16 rounds back to 2048 at every step.
+        acc.add(2048.0);
+        for _ in 0..10 {
+            acc.add(1.0);
+        }
+        assert_eq!(acc.value(), 2048.0);
+    }
+
+    #[test]
+    fn kahan_beats_sequential_on_cancellation_heavy_sums() {
+        // Summing 1.0 followed by 1e8 tiny values: sequential f32 loses them,
+        // Kahan (in f64) keeps them.
+        let mut seq = SequentialAccumulator::new(FpFormat::FP32);
+        let mut kah = KahanAccumulator::new();
+        seq.add(1.0);
+        kah.add(1.0);
+        for _ in 0..1000 {
+            seq.add(1e-9);
+            kah.add(1e-9);
+        }
+        let exact = 1.0 + 1000.0 * 1e-9;
+        assert!((kah.value() - exact).abs() < 1e-12);
+        assert!((seq.value() - exact).abs() > (kah.value() - exact).abs());
+    }
+
+    #[test]
+    fn exact_accumulator_is_exact_for_fp32_sums() {
+        let vals = [1.0f32, 2f32.powi(-20), -0.5, 3.75, 2f32.powi(20)];
+        let mut e = ExactAccumulator::new();
+        for &v in &vals {
+            e.add_f32(v);
+        }
+        let expected: f64 = vals.iter().map(|&v| v as f64).sum();
+        assert_eq!(e.value(), expected);
+        assert_eq!(e.count(), 5);
+    }
+
+    #[test]
+    fn reference_sums_agree_on_easy_inputs() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let (e, s, k) = reference_sums(FpFormat::FP32, &vals);
+        assert_eq!(e, 10.0);
+        assert_eq!(s, 10.0);
+        assert_eq!(k, 10.0);
+    }
+}

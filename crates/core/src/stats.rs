@@ -1,0 +1,212 @@
+//! Accounting for the numerical events an FPISA accumulator experiences.
+//!
+//! §5.2.1 of the paper breaks the FPISA-A error down into three sources:
+//! ordinary **rounding** (dominant), **overwrite** events (the incoming value
+//! exceeds the stored value by more than the register headroom, < 0.9% of
+//! additions) and **left-shift** saturation events (< 0.1%). [`AddStats`]
+//! records exactly those categories so the error-analysis experiments
+//! (Fig. 8) can attribute every discrepancy to its mechanism.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened during a single accumulator addition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AddEvent {
+    /// The addition was exact: no bits were lost.
+    Exact,
+    /// Low-order bits of the shifted (smaller) operand were dropped.
+    Rounded {
+        /// Absolute value of the dropped contribution.
+        lost: f64,
+    },
+    /// FPISA-A overwrite: the stored value was replaced because the incoming
+    /// exponent exceeded the stored exponent by more than the headroom.
+    Overwrote {
+        /// Absolute value of the accumulated sum that was discarded.
+        lost: f64,
+    },
+    /// The incoming mantissa was left-shifted (FPISA-A) — not itself lossy,
+    /// but tracked because it consumes headroom.
+    LeftShifted {
+        /// Shift distance in bits.
+        by: u32,
+    },
+    /// The signed mantissa register overflowed; the configured
+    /// [`crate::OverflowPolicy`] decided what value was kept.
+    Overflowed,
+    /// The input was exactly zero (no state change).
+    Zero,
+}
+
+/// Cumulative statistics over the lifetime of an accumulator (or a whole
+/// aggregation job when merged with [`AddStats::merge`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AddStats {
+    /// Total number of `add` calls.
+    pub additions: u64,
+    /// Number of additions that completed without losing any bits.
+    pub exact: u64,
+    /// Number of additions that dropped low-order bits (rounding).
+    pub rounded: u64,
+    /// Number of FPISA-A overwrite events.
+    pub overwrites: u64,
+    /// Number of additions whose metadata mantissa was left-shifted.
+    pub left_shifts: u64,
+    /// Number of register overflow events.
+    pub overflows: u64,
+    /// Number of zero inputs.
+    pub zeros: u64,
+    /// Sum of the absolute values lost to rounding.
+    pub rounding_loss: f64,
+    /// Sum of the absolute values lost to overwrites.
+    pub overwrite_loss: f64,
+}
+
+impl AddStats {
+    /// Record one event.
+    pub fn record(&mut self, ev: AddEvent) {
+        self.additions += 1;
+        match ev {
+            AddEvent::Exact => self.exact += 1,
+            AddEvent::Rounded { lost } => {
+                self.rounded += 1;
+                self.rounding_loss += lost;
+            }
+            AddEvent::Overwrote { lost } => {
+                self.overwrites += 1;
+                self.overwrite_loss += lost;
+            }
+            AddEvent::LeftShifted { .. } => self.left_shifts += 1,
+            AddEvent::Overflowed => self.overflows += 1,
+            AddEvent::Zero => self.zeros += 1,
+        }
+    }
+
+    /// Record a composite addition that produced several events (e.g. a
+    /// left shift *and* rounding).
+    pub fn record_all(&mut self, events: &[AddEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        // Count the addition once, then apply the per-category counters.
+        self.additions += 1;
+        for &ev in events {
+            match ev {
+                AddEvent::Exact => self.exact += 1,
+                AddEvent::Rounded { lost } => {
+                    self.rounded += 1;
+                    self.rounding_loss += lost;
+                }
+                AddEvent::Overwrote { lost } => {
+                    self.overwrites += 1;
+                    self.overwrite_loss += lost;
+                }
+                AddEvent::LeftShifted { .. } => self.left_shifts += 1,
+                AddEvent::Overflowed => self.overflows += 1,
+                AddEvent::Zero => self.zeros += 1,
+            }
+        }
+    }
+
+    /// Merge another statistics block into this one (e.g. across all
+    /// elements of a gradient vector).
+    pub fn merge(&mut self, other: &AddStats) {
+        self.additions += other.additions;
+        self.exact += other.exact;
+        self.rounded += other.rounded;
+        self.overwrites += other.overwrites;
+        self.left_shifts += other.left_shifts;
+        self.overflows += other.overflows;
+        self.zeros += other.zeros;
+        self.rounding_loss += other.rounding_loss;
+        self.overwrite_loss += other.overwrite_loss;
+    }
+
+    /// Fraction of additions that triggered an overwrite (the paper reports
+    /// < 0.9% for gradient aggregation).
+    pub fn overwrite_rate(&self) -> f64 {
+        if self.additions == 0 {
+            0.0
+        } else {
+            self.overwrites as f64 / self.additions as f64
+        }
+    }
+
+    /// Fraction of additions whose metadata mantissa was left-shifted.
+    pub fn left_shift_rate(&self) -> f64 {
+        if self.additions == 0 {
+            0.0
+        } else {
+            self.left_shifts as f64 / self.additions as f64
+        }
+    }
+
+    /// Fraction of additions that lost bits to rounding.
+    pub fn rounding_rate(&self) -> f64 {
+        if self.additions == 0 {
+            0.0
+        } else {
+            self.rounded as f64 / self.additions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut s = AddStats::default();
+        s.record(AddEvent::Exact);
+        s.record(AddEvent::Rounded { lost: 1e-9 });
+        s.record(AddEvent::Overwrote { lost: 2e-8 });
+        s.record(AddEvent::LeftShifted { by: 3 });
+        s.record(AddEvent::Zero);
+        assert_eq!(s.additions, 5);
+        assert_eq!(s.exact, 1);
+        assert_eq!(s.rounded, 1);
+        assert_eq!(s.overwrites, 1);
+        assert_eq!(s.left_shifts, 1);
+        assert_eq!(s.zeros, 1);
+        assert!((s.overwrite_rate() - 0.2).abs() < 1e-12);
+        assert!((s.left_shift_rate() - 0.2).abs() < 1e-12);
+        assert!((s.rounding_rate() - 0.2).abs() < 1e-12);
+        assert!((s.rounding_loss - 1e-9).abs() < 1e-20);
+        assert!((s.overwrite_loss - 2e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn record_all_counts_addition_once() {
+        let mut s = AddStats::default();
+        s.record_all(&[AddEvent::LeftShifted { by: 2 }, AddEvent::Rounded { lost: 1e-10 }]);
+        assert_eq!(s.additions, 1);
+        assert_eq!(s.left_shifts, 1);
+        assert_eq!(s.rounded, 1);
+        s.record_all(&[]);
+        assert_eq!(s.additions, 1);
+    }
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = AddStats::default();
+        a.record(AddEvent::Exact);
+        let mut b = AddStats::default();
+        b.record(AddEvent::Overwrote { lost: 1.0 });
+        b.record(AddEvent::Overflowed);
+        a.merge(&b);
+        assert_eq!(a.additions, 3);
+        assert_eq!(a.exact, 1);
+        assert_eq!(a.overwrites, 1);
+        assert_eq!(a.overflows, 1);
+        assert_eq!(a.overwrite_loss, 1.0);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = AddStats::default();
+        assert_eq!(s.overwrite_rate(), 0.0);
+        assert_eq!(s.left_shift_rate(), 0.0);
+        assert_eq!(s.rounding_rate(), 0.0);
+    }
+}

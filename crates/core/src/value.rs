@@ -1,0 +1,415 @@
+//! The decomposed *switch representation* of a floating-point value.
+//!
+//! FPISA stores a value as two separate register entries (Fig. 3 of the
+//! paper): the raw (biased) **exponent** in a narrow register array and the
+//! **signed two's-complement mantissa** — with the implied one made
+//! explicit — in a wider register array. [`SwitchValue`] is the host-side
+//! mirror of that pair, together with the interpretation rules needed to
+//! convert to and from packed IEEE bits.
+//!
+//! A `SwitchValue` may be *denormalized*: the magnitude of the mantissa is
+//! allowed to stray outside `[2^man_bits, 2^(man_bits+1))` because FPISA
+//! delays renormalization until read-out. The value it represents is always
+//!
+//! ```text
+//!   mantissa × 2^(exponent − bias − man_bits − guard_bits)
+//! ```
+
+use crate::format::{pow2, FpClass, FpFormat};
+use crate::error::{FpisaError, NonFiniteKind};
+use serde::{Deserialize, Serialize};
+
+/// A floating-point value in the decomposed form FPISA stores in switch
+/// registers: a raw biased exponent plus a signed (two's complement)
+/// mantissa held in a register of `register_bits` bits, of which the lowest
+/// `guard_bits` are guard (rounding) bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchValue {
+    /// The floating-point format this value was extracted from.
+    pub format: FpFormat,
+    /// Width in bits of the mantissa register (8, 16 or 32 on real switches;
+    /// up to 64 supported here).
+    pub register_bits: u32,
+    /// Number of guard bits kept to the right of the mantissa.
+    pub guard_bits: u32,
+    /// Raw biased exponent as stored in the exponent register.
+    pub exponent: u32,
+    /// Signed mantissa (implied one made explicit, shifted left by
+    /// `guard_bits`), stored sign-extended in an `i64` but always
+    /// representable in `register_bits` bits.
+    pub mantissa: i64,
+}
+
+impl SwitchValue {
+    /// Number of headroom bits to the left of the (normalized) mantissa,
+    /// i.e. how many doublings the denormalized representation can absorb
+    /// before overflowing the register. For FP32 in a 32-bit register with no
+    /// guard bits this is 7, matching §3.3 of the paper.
+    pub fn headroom_bits(format: FpFormat, register_bits: u32, guard_bits: u32) -> u32 {
+        register_bits
+            .saturating_sub(1) // sign bit
+            .saturating_sub(format.sig_bits())
+            .saturating_sub(guard_bits)
+    }
+
+    /// Extract a packed value (in `format`) into the switch representation.
+    ///
+    /// This mirrors MAU0/MAU1 of the FPISA pipeline: split the fields, make
+    /// the implied one explicit and apply the sign as two's complement.
+    ///
+    /// Infinities and NaNs cannot be represented in the decomposed form; the
+    /// switch has no notion of them, so they are rejected with an error
+    /// (matching the paper's assumption that inputs are finite).
+    pub fn extract(
+        format: FpFormat,
+        register_bits: u32,
+        guard_bits: u32,
+        bits: u64,
+    ) -> Result<Self, FpisaError> {
+        assert!(register_bits <= 64 && register_bits >= format.sig_bits() + 1 + guard_bits,
+            "register too narrow for format");
+        let u = format.unpack(bits);
+        let (exp, sig): (u32, u64) = match u.class {
+            FpClass::Zero => (0, 0),
+            FpClass::Subnormal => (1, u.fraction),
+            FpClass::Normal => (u.exponent, format.implied_one() | u.fraction),
+            FpClass::Infinity => {
+                return Err(FpisaError::NonFinite(if u.sign {
+                    NonFiniteKind::NegInfinity
+                } else {
+                    NonFiniteKind::PosInfinity
+                }))
+            }
+            FpClass::Nan => return Err(FpisaError::NonFinite(NonFiniteKind::Nan)),
+        };
+        let mut man = (sig as i64) << guard_bits;
+        if u.sign {
+            man = -man;
+        }
+        Ok(SwitchValue { format, register_bits, guard_bits, exponent: exp, mantissa: man })
+    }
+
+    /// Extract an `f32` (convenience wrapper around [`SwitchValue::extract`]
+    /// for the FP32 format).
+    pub fn from_f32(x: f32, register_bits: u32, guard_bits: u32) -> Result<Self, FpisaError> {
+        Self::extract(FpFormat::FP32, register_bits, guard_bits, x.to_bits() as u64)
+    }
+
+    /// A zero value in the given configuration.
+    pub fn zero(format: FpFormat, register_bits: u32, guard_bits: u32) -> Self {
+        SwitchValue { format, register_bits, guard_bits, exponent: 0, mantissa: 0 }
+    }
+
+    /// Whether the mantissa register currently holds zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.mantissa == 0
+    }
+
+    /// The exact real value this register pair represents, as an `f64`.
+    /// (Exact for every configuration with `register_bits ≤ 53`; used by
+    /// tests and error analysis, never by the data path.)
+    pub fn to_f64(&self) -> f64 {
+        let scale = self.exponent as i32
+            - self.format.bias()
+            - self.format.man_bits as i32
+            - self.guard_bits as i32;
+        self.mantissa as f64 * pow2(scale)
+    }
+
+    /// Whether the mantissa is in normalized position, i.e. its magnitude has
+    /// its leading one exactly at bit `man_bits + guard_bits`.
+    pub fn is_normalized(&self) -> bool {
+        if self.mantissa == 0 {
+            return self.exponent == 0;
+        }
+        let mag = self.mantissa.unsigned_abs();
+        let top = 63 - mag.leading_zeros();
+        top == self.format.man_bits + self.guard_bits
+    }
+
+    /// Renormalize and assemble back into packed IEEE bits of the original
+    /// format, using the given rounding for dropped low-order bits.
+    ///
+    /// This mirrors MAU5–MAU8 of the pipeline: two's-complement → sign +
+    /// magnitude, count leading zeros (the LPM trick of Fig. 5), shift the
+    /// leading one into its canonical position, adjust the exponent, strip
+    /// the implied one and merge the fields. Overflow saturates to infinity;
+    /// underflow produces subnormals or zero.
+    pub fn assemble(&self, rounding: crate::accumulator::ReadRounding) -> u64 {
+        let f = self.format;
+        if self.mantissa == 0 {
+            return f.pack(false, 0, 0);
+        }
+        let sign = self.mantissa < 0;
+        let mag: u64 = self.mantissa.unsigned_abs();
+        // Position of the leading one.
+        let top = 63 - mag.leading_zeros();
+        // We want the leading one at bit `man_bits` of the output significand.
+        // Currently the value is mag * 2^(exponent - bias - man_bits - guard).
+        // After shifting by `shift` (positive = right) the significand is
+        // mag >> shift and the exponent field becomes:
+        let shift = top as i64 - (f.man_bits + self.guard_bits) as i64;
+        // Value = mag * 2^(exp - bias - man_bits - guard); after dropping the
+        // guard bits and `shift` more bits the significand sits at bit
+        // `man_bits`, so the packed exponent field is `exp + shift`.
+        let mut exp_field = self.exponent as i64 + shift;
+        // `shift + guard_bits` total right-shift applied to `mag` to get the
+        // output fraction when exp_field >= 1.
+        let (mut sig, inexact) = if exp_field >= 1 {
+            shift_right_round(mag, shift + self.guard_bits as i64, rounding, sign)
+        } else {
+            // Subnormal output: the output exponent field is 0, representing
+            // scale 1 - bias; shift so the value lines up with that scale.
+            let extra = 1 - exp_field;
+            exp_field = 0;
+            shift_right_round(mag, shift + self.guard_bits as i64 + extra, rounding, sign)
+        };
+        let _ = inexact;
+        // Rounding may have carried into the next binade.
+        if exp_field >= 1 {
+            if sig >= (1u64 << (f.man_bits + 1)) {
+                sig >>= 1;
+                exp_field += 1;
+            }
+        } else if sig >= (1u64 << f.man_bits) {
+            exp_field = 1;
+        }
+        if exp_field >= f.max_exp_field() as i64 {
+            return f.infinity_bits(sign);
+        }
+        f.pack(sign, exp_field.max(0) as u32, sig & f.fraction_mask())
+    }
+
+    /// Convenience: assemble into an `f32` (the format must be FP32).
+    pub fn assemble_f32(&self, rounding: crate::accumulator::ReadRounding) -> f32 {
+        debug_assert_eq!(self.format, FpFormat::FP32);
+        f32::from_bits(self.assemble(rounding) as u32)
+    }
+}
+
+/// Right-shift a magnitude by `shift` bits (negative = left shift) applying
+/// the requested rounding to the dropped bits. Returns the shifted value and
+/// whether any information was lost. `sign` is the sign of the full value and
+/// is needed for directed rounding modes.
+pub(crate) fn shift_right_round(
+    mag: u64,
+    shift: i64,
+    rounding: crate::accumulator::ReadRounding,
+    negative: bool,
+) -> (u64, bool) {
+    use crate::accumulator::ReadRounding;
+    if shift <= 0 {
+        let l = (-shift) as u32;
+        if l >= 64 || (mag.leading_zeros() as i64) < l as i64 {
+            // Left shift overflowing 64 bits cannot happen for sane register
+            // configurations; saturate defensively.
+            return (u64::MAX, true);
+        }
+        return (mag << l, false);
+    }
+    if shift >= 64 {
+        let lost = mag != 0;
+        let rounded = match rounding {
+            ReadRounding::TowardZero => 0,
+            ReadRounding::NearestEven => 0,
+            ReadRounding::TowardNegInf => {
+                if negative && lost {
+                    1
+                } else {
+                    0
+                }
+            }
+        };
+        return (rounded, lost);
+    }
+    let s = shift as u32;
+    let kept = mag >> s;
+    let rem = mag & ((1u64 << s) - 1);
+    if rem == 0 {
+        return (kept, false);
+    }
+    let out = match rounding {
+        ReadRounding::TowardZero => kept,
+        ReadRounding::TowardNegInf => {
+            // Round the *signed* value toward -inf: magnitudes of negative
+            // values round up, positive values truncate.
+            if negative {
+                kept + 1
+            } else {
+                kept
+            }
+        }
+        ReadRounding::NearestEven => {
+            let half = 1u64 << (s - 1);
+            if rem > half || (rem == half && kept & 1 == 1) {
+                kept + 1
+            } else {
+                kept
+            }
+        }
+    };
+    (out, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accumulator::ReadRounding;
+
+    #[test]
+    fn extract_matches_fig4() {
+        // 3.0 = 0b1.1 x 2^1 -> exponent field 128, mantissa 0b11 << 22.
+        let v = SwitchValue::from_f32(3.0, 32, 0).unwrap();
+        assert_eq!(v.exponent, 128);
+        assert_eq!(v.mantissa, 0b11 << 22);
+        assert!(v.is_normalized());
+        assert_eq!(v.to_f64(), 3.0);
+        // 1.0 -> exponent field 127, mantissa 1 << 23.
+        let v = SwitchValue::from_f32(1.0, 32, 0).unwrap();
+        assert_eq!(v.exponent, 127);
+        assert_eq!(v.mantissa, 1 << 23);
+        assert_eq!(v.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn negative_values_are_twos_complement() {
+        let v = SwitchValue::from_f32(-1.5, 32, 0).unwrap();
+        assert!(v.mantissa < 0);
+        assert_eq!(v.to_f64(), -1.5);
+        assert_eq!(v.assemble_f32(ReadRounding::TowardZero), -1.5);
+    }
+
+    #[test]
+    fn headroom_matches_paper() {
+        // "With a signed register size of 32 bits and a mantissa size of 24
+        // bits, there are 7 bits to the left of the mantissa" (§3.3).
+        assert_eq!(SwitchValue::headroom_bits(FpFormat::FP32, 32, 0), 7);
+        assert_eq!(SwitchValue::headroom_bits(FpFormat::FP16, 16, 0), 4);
+        assert_eq!(SwitchValue::headroom_bits(FpFormat::FP16, 32, 0), 20);
+        assert_eq!(SwitchValue::headroom_bits(FpFormat::BF16, 16, 0), 7);
+    }
+
+    #[test]
+    fn assemble_roundtrips_normal_values() {
+        for &x in &[1.0f32, -1.0, 3.0, 0.5, 123.456, -0.0078125, 1e-20, 1e20, 0.0] {
+            let v = SwitchValue::from_f32(x, 32, 0).unwrap();
+            assert_eq!(v.assemble_f32(ReadRounding::TowardZero), x, "roundtrip {x}");
+        }
+    }
+
+    #[test]
+    fn assemble_denormalized_register() {
+        // Manually build the Fig. 4 step (4) state: 0b10.0 x 2^1 == 4.0.
+        let v = SwitchValue {
+            format: FpFormat::FP32,
+            register_bits: 32,
+            guard_bits: 0,
+            exponent: 128,
+            mantissa: 0b100 << 22,
+        };
+        assert!(!v.is_normalized());
+        assert_eq!(v.to_f64(), 4.0);
+        assert_eq!(v.assemble_f32(ReadRounding::TowardZero), 4.0);
+    }
+
+    #[test]
+    fn assemble_small_mantissa_left_shifts() {
+        // Mantissa far below the normalized position (e.g. after cancellation).
+        let v = SwitchValue {
+            format: FpFormat::FP32,
+            register_bits: 32,
+            guard_bits: 0,
+            exponent: 127,
+            mantissa: 3, // 3 * 2^-23
+        };
+        let expected = 3.0 * 2f64.powi(-23);
+        assert_eq!(v.to_f64(), expected);
+        assert_eq!(v.assemble_f32(ReadRounding::TowardZero) as f64, expected);
+    }
+
+    #[test]
+    fn infinities_and_nans_are_rejected() {
+        assert!(SwitchValue::from_f32(f32::INFINITY, 32, 0).is_err());
+        assert!(SwitchValue::from_f32(f32::NEG_INFINITY, 32, 0).is_err());
+        assert!(SwitchValue::from_f32(f32::NAN, 32, 0).is_err());
+    }
+
+    #[test]
+    fn subnormal_inputs_extract_without_implied_one() {
+        let tiny = f32::from_bits(5);
+        let v = SwitchValue::from_f32(tiny, 32, 0).unwrap();
+        assert_eq!(v.exponent, 1);
+        assert_eq!(v.mantissa, 5);
+        assert_eq!(v.to_f64(), tiny as f64);
+        assert_eq!(v.assemble_f32(ReadRounding::TowardZero), tiny);
+    }
+
+    #[test]
+    fn guard_bits_shift_mantissa_left() {
+        let v = SwitchValue::from_f32(1.0, 32, 3).unwrap();
+        assert_eq!(v.mantissa, 1 << 26);
+        assert_eq!(v.to_f64(), 1.0);
+        assert_eq!(v.assemble_f32(ReadRounding::TowardZero), 1.0);
+    }
+
+    #[test]
+    fn assemble_overflow_saturates_to_infinity() {
+        // Max exponent with an over-wide mantissa must give +inf, not wrap.
+        let v = SwitchValue {
+            format: FpFormat::FP32,
+            register_bits: 32,
+            guard_bits: 0,
+            exponent: 254,
+            mantissa: (0xFF_FFFF_i64) << 4, // way above the normalized position
+        };
+        let out = f32::from_bits(v.assemble(ReadRounding::TowardZero) as u32);
+        assert!(out.is_infinite() && out.is_sign_positive());
+    }
+
+    #[test]
+    fn assemble_underflow_produces_subnormal_or_zero() {
+        let v = SwitchValue {
+            format: FpFormat::FP32,
+            register_bits: 32,
+            guard_bits: 0,
+            exponent: 1,
+            mantissa: 1, // 2^-149: the smallest subnormal
+        };
+        let out = f32::from_bits(v.assemble(ReadRounding::TowardZero) as u32);
+        assert_eq!(out, f32::from_bits(1));
+        let v2 = SwitchValue { exponent: 0, ..v };
+        let out2 = f32::from_bits(v2.assemble(ReadRounding::TowardZero) as u32);
+        assert_eq!(out2, 0.0);
+    }
+
+    #[test]
+    fn rounding_modes_differ_on_dropped_bits() {
+        // A value whose low bit must be dropped when renormalizing: mantissa
+        // occupying 25 bits.
+        let v = SwitchValue {
+            format: FpFormat::FP32,
+            register_bits: 32,
+            guard_bits: 0,
+            exponent: 127,
+            mantissa: (1 << 24) + 1,
+        };
+        // (2^24 + 1) * 2^-23 = 2 + 2^-23; the dropped bit is exactly half an
+        // ulp and the kept significand is even, so both modes give 2.0.
+        assert_eq!(v.assemble_f32(ReadRounding::TowardZero), 2.0);
+        assert_eq!(v.assemble_f32(ReadRounding::NearestEven), 2.0);
+
+        // (2^24 + 3) * 2^-23 = 2 + 3*2^-23: toward-zero keeps 2 + 2^-22,
+        // nearest-even rounds the half-ulp tie up to 2 + 2^-21.
+        let v2 = SwitchValue { mantissa: (1 << 24) + 3, ..v };
+        let ulp = 2.0 * f32::EPSILON; // ulp of 2.0 is 2^-22
+        assert_eq!(v2.assemble_f32(ReadRounding::TowardZero), 2.0 + ulp);
+        assert_eq!(v2.assemble_f32(ReadRounding::NearestEven), 2.0 + 2.0 * ulp);
+
+        // A negative value with dropped bits: toward -inf increases the
+        // magnitude, toward zero truncates it.
+        let v3 = SwitchValue { mantissa: -((1 << 24) + 3), ..v };
+        assert_eq!(v3.assemble_f32(ReadRounding::TowardZero), -(2.0 + ulp));
+        assert_eq!(v3.assemble_f32(ReadRounding::TowardNegInf), -(2.0 + 2.0 * ulp));
+    }
+}

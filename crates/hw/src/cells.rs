@@ -1,0 +1,144 @@
+//! Standard-cell library model.
+//!
+//! The numbers are calibrated to the published characteristics of the
+//! FreePDK15 FinFET open cell library (the library the paper uses): a NAND2
+//! occupies roughly 0.19 µm², a D flip-flop roughly 1.0 µm², typical gate
+//! delays are a few picoseconds and leakage is in the low nanowatts per
+//! gate. Absolute values are approximations — the point of the model is
+//! that every unit is priced with the *same* library, so the ratios between
+//! units (which is what Table 1 argues from) are meaningful.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The standard-cell types the component generators use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// AND-OR-INVERT (2-1) complex gate, used in carry logic.
+    Aoi21,
+    /// Full adder cell (3:2 compressor).
+    FullAdder,
+    /// Half adder cell.
+    HalfAdder,
+    /// Positive-edge D flip-flop.
+    Dff,
+}
+
+/// Physical parameters of one cell type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellParams {
+    /// Placed area in µm².
+    pub area_um2: f64,
+    /// Leakage power in nW at nominal voltage/temperature.
+    pub leakage_nw: f64,
+    /// Energy per output toggle in fJ (internal + average load).
+    pub switch_energy_fj: f64,
+    /// Propagation delay in ps under a typical fan-out load.
+    pub delay_ps: f64,
+}
+
+/// A priced standard-cell library.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellLibrary {
+    /// Library name (for reports).
+    pub name: String,
+    cells: BTreeMap<CellKind, CellParams>,
+}
+
+impl CellLibrary {
+    /// The FreePDK15-calibrated library used throughout the crate.
+    pub fn freepdk15() -> Self {
+        use CellKind::*;
+        let mut cells = BTreeMap::new();
+        let mut put = |k: CellKind, area, leak, energy, delay| {
+            cells.insert(
+                k,
+                CellParams { area_um2: area, leakage_nw: leak, switch_energy_fj: energy, delay_ps: delay },
+            );
+        };
+        //            kind        area    leak   energy  delay
+        put(Inv, 0.098, 1.5, 0.25, 4.0);
+        put(Nand2, 0.147, 2.2, 0.40, 6.0);
+        put(Nor2, 0.147, 2.2, 0.42, 6.5);
+        put(And2, 0.196, 2.8, 0.50, 8.0);
+        put(Or2, 0.196, 2.8, 0.52, 8.5);
+        put(Xor2, 0.294, 4.1, 0.85, 11.0);
+        put(Xnor2, 0.294, 4.1, 0.85, 11.0);
+        put(Mux2, 0.245, 3.4, 0.65, 9.0);
+        put(Aoi21, 0.196, 2.9, 0.52, 7.5);
+        put(FullAdder, 0.882, 11.0, 2.30, 16.0);
+        put(HalfAdder, 0.490, 6.5, 1.30, 12.0);
+        put(Dff, 0.980, 14.0, 2.80, 22.0);
+        CellLibrary { name: "FreePDK15-calibrated".to_string(), cells }
+    }
+
+    /// Parameters of a cell type.
+    pub fn params(&self, kind: CellKind) -> CellParams {
+        self.cells[&kind]
+    }
+
+    /// All cell kinds known to the library.
+    pub fn kinds(&self) -> impl Iterator<Item = CellKind> + '_ {
+        self.cells.keys().copied()
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::freepdk15()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_has_all_kinds() {
+        let lib = CellLibrary::freepdk15();
+        let kinds = [
+            CellKind::Inv,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Aoi21,
+            CellKind::FullAdder,
+            CellKind::HalfAdder,
+            CellKind::Dff,
+        ];
+        for k in kinds {
+            let p = lib.params(k);
+            assert!(p.area_um2 > 0.0 && p.delay_ps > 0.0 && p.leakage_nw > 0.0);
+        }
+        assert_eq!(lib.kinds().count(), kinds.len());
+    }
+
+    #[test]
+    fn relative_cell_sizes_are_sane() {
+        let lib = CellLibrary::freepdk15();
+        // A flip-flop is bigger than a NAND; an XOR is bigger than an inverter.
+        assert!(lib.params(CellKind::Dff).area_um2 > lib.params(CellKind::Nand2).area_um2);
+        assert!(lib.params(CellKind::Xor2).area_um2 > lib.params(CellKind::Inv).area_um2);
+        assert!(lib.params(CellKind::FullAdder).area_um2 > lib.params(CellKind::HalfAdder).area_um2);
+    }
+}

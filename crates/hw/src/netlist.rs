@@ -1,0 +1,153 @@
+//! Netlists: bags of standard cells plus a critical-path estimate.
+//!
+//! A [`Netlist`] is deliberately simple — a multiset of cells and a longest
+//! combinational path in picoseconds — because that is all the Table 1
+//! metrics need: area and leakage are sums over cells, dynamic power is the
+//! switched energy of the cells at a given activity factor and clock, and
+//! the minimum delay is the critical path.
+
+use crate::cells::{CellKind, CellLibrary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named bag of standard cells with a critical-path estimate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    /// Human-readable component name.
+    pub name: String,
+    counts: BTreeMap<CellKind, u64>,
+    /// Longest combinational path through this component, in picoseconds.
+    critical_path_ps: f64,
+}
+
+impl Netlist {
+    /// An empty netlist with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), counts: BTreeMap::new(), critical_path_ps: 0.0 }
+    }
+
+    /// Add `n` cells of a kind.
+    pub fn add(&mut self, kind: CellKind, n: u64) -> &mut Self {
+        *self.counts.entry(kind).or_insert(0) += n;
+        self
+    }
+
+    /// Extend the critical path by `ps` picoseconds (sequential composition
+    /// along the worst path).
+    pub fn add_path(&mut self, ps: f64) -> &mut Self {
+        self.critical_path_ps += ps;
+        self
+    }
+
+    /// Absorb another netlist that sits *in series* on the critical path:
+    /// cells are added and the paths are summed.
+    pub fn compose_serial(&mut self, other: &Netlist) -> &mut Self {
+        for (&k, &n) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += n;
+        }
+        self.critical_path_ps += other.critical_path_ps;
+        self
+    }
+
+    /// Absorb another netlist that sits *in parallel* with the existing
+    /// logic: cells are added, the path becomes the max of the two.
+    pub fn compose_parallel(&mut self, other: &Netlist) -> &mut Self {
+        for (&k, &n) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += n;
+        }
+        self.critical_path_ps = self.critical_path_ps.max(other.critical_path_ps);
+        self
+    }
+
+    /// Number of cells of a given kind.
+    pub fn count(&self, kind: CellKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total number of cells.
+    pub fn total_cells(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Critical path in picoseconds.
+    pub fn critical_path_ps(&self) -> f64 {
+        self.critical_path_ps
+    }
+
+    /// Total area in µm² under a library.
+    pub fn area_um2(&self, lib: &CellLibrary) -> f64 {
+        self.counts.iter().map(|(&k, &n)| lib.params(k).area_um2 * n as f64).sum()
+    }
+
+    /// Total leakage power in µW under a library.
+    pub fn leakage_uw(&self, lib: &CellLibrary) -> f64 {
+        self.counts.iter().map(|(&k, &n)| lib.params(k).leakage_nw * n as f64).sum::<f64>() / 1000.0
+    }
+
+    /// Dynamic power in µW at the given clock frequency (GHz) and switching
+    /// activity factor (fraction of cells toggling per cycle).
+    pub fn dynamic_power_uw(&self, lib: &CellLibrary, freq_ghz: f64, activity: f64) -> f64 {
+        // energy_fJ * toggles/s = fJ * GHz * 1e9 -> W; convert to µW.
+        let energy_fj: f64 =
+            self.counts.iter().map(|(&k, &n)| lib.params(k).switch_energy_fj * n as f64).sum();
+        energy_fj * activity * freq_ghz * 1e9 * 1e-15 * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_count() {
+        let mut n = Netlist::new("t");
+        n.add(CellKind::Nand2, 10).add(CellKind::Dff, 4).add(CellKind::Nand2, 5);
+        assert_eq!(n.count(CellKind::Nand2), 15);
+        assert_eq!(n.count(CellKind::Dff), 4);
+        assert_eq!(n.count(CellKind::Xor2), 0);
+        assert_eq!(n.total_cells(), 19);
+    }
+
+    #[test]
+    fn serial_and_parallel_composition() {
+        let mut a = Netlist::new("a");
+        a.add(CellKind::Xor2, 8).add_path(50.0);
+        let mut b = Netlist::new("b");
+        b.add(CellKind::Xor2, 8).add_path(30.0);
+
+        let mut serial = a.clone();
+        serial.compose_serial(&b);
+        assert_eq!(serial.count(CellKind::Xor2), 16);
+        assert!((serial.critical_path_ps() - 80.0).abs() < 1e-9);
+
+        let mut parallel = a.clone();
+        parallel.compose_parallel(&b);
+        assert_eq!(parallel.count(CellKind::Xor2), 16);
+        assert!((parallel.critical_path_ps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_scale_with_cell_count() {
+        let lib = CellLibrary::freepdk15();
+        let mut small = Netlist::new("small");
+        small.add(CellKind::Nand2, 100);
+        let mut big = Netlist::new("big");
+        big.add(CellKind::Nand2, 200);
+        assert!((big.area_um2(&lib) - 2.0 * small.area_um2(&lib)).abs() < 1e-9);
+        assert!((big.leakage_uw(&lib) - 2.0 * small.leakage_uw(&lib)).abs() < 1e-9);
+        assert!(
+            (big.dynamic_power_uw(&lib, 1.0, 0.2) - 2.0 * small.dynamic_power_uw(&lib, 1.0, 0.2)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn dynamic_power_units_are_sensible() {
+        let lib = CellLibrary::freepdk15();
+        let mut n = Netlist::new("unit");
+        // 1000 NAND2 at 1 GHz, activity 1.0: 1000 * 0.4 fJ * 1e9 = 0.4 mW = 400 µW.
+        n.add(CellKind::Nand2, 1000);
+        let p = n.dynamic_power_uw(&lib, 1.0, 1.0);
+        assert!((p - 400.0).abs() < 1.0, "got {p}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Table 1 report generation.
+//!
+//! [`table1`] evaluates every switch unit under the FreePDK15-calibrated
+//! library at a 1 GHz frequency target and produces the same four metrics
+//! the paper reports: dynamic power, leakage power, area and minimum
+//! critical-path delay.
+
+use crate::cells::CellLibrary;
+use crate::units::SwitchUnit;
+use serde::{Deserialize, Serialize};
+
+/// Clock frequency target used by the paper's evaluation (GHz).
+pub const FREQ_GHZ: f64 = 1.0;
+/// Switching activity factor assumed for dynamic power. Synthesis tools
+/// default to ~0.1–0.2 toggling probability for datapath logic.
+pub const ACTIVITY: f64 = 0.2;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Which unit this row describes.
+    pub unit: SwitchUnit,
+    /// Display name.
+    pub name: String,
+    /// Dynamic power in µW at 1 GHz.
+    pub dynamic_power_uw: f64,
+    /// Leakage power in µW.
+    pub leakage_uw: f64,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Minimum critical-path delay in ps.
+    pub min_delay_ps: f64,
+    /// Total standard-cell count (not in the paper's table, but useful).
+    pub cells: u64,
+}
+
+/// Produce the Table 1 rows for the default library and parameters.
+pub fn table1() -> Vec<Table1Row> {
+    table1_with(&CellLibrary::freepdk15(), FREQ_GHZ, ACTIVITY)
+}
+
+/// Produce Table 1 rows under an explicit library, frequency and activity.
+pub fn table1_with(lib: &CellLibrary, freq_ghz: f64, activity: f64) -> Vec<Table1Row> {
+    SwitchUnit::all()
+        .iter()
+        .map(|&unit| {
+            let n = unit.netlist(lib);
+            Table1Row {
+                unit,
+                name: unit.name().to_string(),
+                dynamic_power_uw: n.dynamic_power_uw(lib, freq_ghz, activity),
+                leakage_uw: n.leakage_uw(lib),
+                area_um2: n.area_um2(lib),
+                min_delay_ps: n.critical_path_ps(),
+                cells: n.total_cells(),
+            }
+        })
+        .collect()
+}
+
+/// Ratios of a unit's metrics relative to a baseline unit, used to state the
+/// paper's headline comparisons ("13.0% more power and 22.4% more area").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitRatio {
+    /// Dynamic power ratio (unit / baseline).
+    pub dynamic_power: f64,
+    /// Leakage ratio.
+    pub leakage: f64,
+    /// Area ratio.
+    pub area: f64,
+    /// Delay ratio.
+    pub delay: f64,
+}
+
+/// Compute the ratio of `unit` over `baseline` from a set of rows.
+pub fn ratio(rows: &[Table1Row], unit: SwitchUnit, baseline: SwitchUnit) -> Option<UnitRatio> {
+    let u = rows.iter().find(|r| r.unit == unit)?;
+    let b = rows.iter().find(|r| r.unit == baseline)?;
+    Some(UnitRatio {
+        dynamic_power: u.dynamic_power_uw / b.dynamic_power_uw,
+        leakage: u.leakage_uw / b.leakage_uw,
+        area: u.area_um2 / b.area_um2,
+        delay: u.min_delay_ps / b.min_delay_ps,
+    })
+}
+
+/// Render the rows as an aligned text table (what the Table 1 experiment
+/// binary prints).
+pub fn render_table(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>14} {:>14} {:>12} {:>14} {:>8}\n",
+        "Unit", "Dyn power (uW)", "Leakage (uW)", "Area (um2)", "Min delay (ps)", "Cells"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>14.1} {:>14.1} {:>12.1} {:>14.0} {:>8}\n",
+            r.name, r.dynamic_power_uw, r.leakage_uw, r.area_um2, r.min_delay_ps, r.cells
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_units_and_positive_metrics() {
+        let rows = table1();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.dynamic_power_uw > 0.0);
+            assert!(r.leakage_uw > 0.0);
+            assert!(r.area_um2 > 0.0);
+            assert!(r.min_delay_ps > 0.0);
+            assert!(r.cells > 100);
+        }
+    }
+
+    #[test]
+    fn headline_ratios_match_the_papers_shape() {
+        let rows = table1();
+        let alu = ratio(&rows, SwitchUnit::FpisaAlu, SwitchUnit::DefaultAlu).unwrap();
+        assert!(alu.area > 1.0 && alu.area < 1.5);
+        assert!(alu.dynamic_power > 1.0 && alu.dynamic_power < 1.4);
+        // "slightly increasing the minimum delay"
+        assert!(alu.delay >= 1.0 && alu.delay < 1.2);
+
+        let rsaw = ratio(&rows, SwitchUnit::RsawUnit, SwitchUnit::RawUnit).unwrap();
+        assert!(rsaw.area > 1.1 && rsaw.area < 1.8);
+        assert!(rsaw.delay > 1.05 && rsaw.delay < 1.6);
+
+        let fpu = ratio(&rows, SwitchUnit::AluPlusFpu, SwitchUnit::DefaultAlu).unwrap();
+        assert!(fpu.area > 5.0, "FPU area ratio {}", fpu.area);
+        assert!(fpu.leakage > 4.0, "FPU leakage ratio {}", fpu.leakage);
+    }
+
+    #[test]
+    fn render_contains_every_unit_name() {
+        let rows = table1();
+        let text = render_table(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.name));
+        }
+        assert!(text.contains("Area"));
+    }
+
+    #[test]
+    fn custom_activity_scales_dynamic_power_only() {
+        let lib = CellLibrary::freepdk15();
+        let low = table1_with(&lib, 1.0, 0.1);
+        let high = table1_with(&lib, 1.0, 0.2);
+        for (l, h) in low.iter().zip(&high) {
+            assert!((h.dynamic_power_uw / l.dynamic_power_uw - 2.0).abs() < 1e-9);
+            assert_eq!(h.area_um2, l.area_um2);
+            assert_eq!(h.leakage_uw, l.leakage_uw);
+        }
+    }
+
+    #[test]
+    fn ratio_of_missing_unit_is_none() {
+        let rows: Vec<Table1Row> = vec![];
+        assert!(ratio(&rows, SwitchUnit::FpisaAlu, SwitchUnit::DefaultAlu).is_none());
+    }
+}

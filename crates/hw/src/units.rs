@@ -1,0 +1,270 @@
+//! The switch processing units whose costs Table 1 compares.
+//!
+//! * [`SwitchUnit::DefaultAlu`] — the Banzai/RMT stateless ALU: a 32-bit
+//!   add/sub unit, a bitwise logic unit, an immediate-distance shifter and
+//!   the operand/result muxing and staging registers.
+//! * [`SwitchUnit::FpisaAlu`] — the default ALU plus the proposed
+//!   **2-operand shift instruction** (`shl/shr reg.distance, reg.value`):
+//!   the shifter's distance input can be driven from a metadata field, which
+//!   costs an operand-routing network and a staging register.
+//! * [`SwitchUnit::RawUnit`] — the stateful predicated read-add-write unit
+//!   (register storage, address decode, adder, predication, write-back).
+//! * [`SwitchUnit::RsawUnit`] — the proposed read-**shift**-add-write unit:
+//!   RAW plus a variable-distance alignment shifter in the stateful path.
+//! * [`SwitchUnit::AluPlusFpu`] — a default ALU with a hard FP32 adder
+//!   bolted on, the alternative the paper argues is too expensive.
+//! * [`SwitchUnit::AluPlusMultiplier`] — the optional integer-multiplier
+//!   extension discussed in Appendix A.2.
+
+use crate::cells::CellLibrary;
+use crate::components as comp;
+use crate::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// Data path width of the modelled units (Tofino/Banzai use 32-bit lanes).
+pub const WORD_BITS: u32 = 32;
+/// Shift-distance width (log2 of the word width).
+pub const DIST_BITS: u32 = 5;
+
+/// The switch processing units priced by Table 1 (plus the multiplier
+/// extension from Appendix A.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchUnit {
+    /// Baseline stateless match-action ALU.
+    DefaultAlu,
+    /// Stateless ALU extended with the 2-operand (metadata-distance) shift.
+    FpisaAlu,
+    /// Baseline stateful read-add-write unit.
+    RawUnit,
+    /// Proposed stateful read-shift-add-write unit.
+    RsawUnit,
+    /// Stateless ALU with a hard FP32 adder (the expensive alternative).
+    AluPlusFpu,
+    /// Stateless ALU with a 16x16 integer multiplier (Appendix A.2).
+    AluPlusMultiplier,
+}
+
+impl SwitchUnit {
+    /// All units in the order Table 1 lists them (multiplier last, as it is
+    /// an appendix extension).
+    pub fn all() -> [SwitchUnit; 6] {
+        [
+            SwitchUnit::DefaultAlu,
+            SwitchUnit::FpisaAlu,
+            SwitchUnit::RawUnit,
+            SwitchUnit::RsawUnit,
+            SwitchUnit::AluPlusFpu,
+            SwitchUnit::AluPlusMultiplier,
+        ]
+    }
+
+    /// Display name matching the paper's column headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SwitchUnit::DefaultAlu => "Default ALU",
+            SwitchUnit::FpisaAlu => "FPISA ALU",
+            SwitchUnit::RawUnit => "Default RAW",
+            SwitchUnit::RsawUnit => "FPISA RSAW",
+            SwitchUnit::AluPlusFpu => "ALU+FPU",
+            SwitchUnit::AluPlusMultiplier => "ALU+MUL",
+        }
+    }
+
+    /// Build the netlist of this unit under a cell library.
+    pub fn netlist(&self, lib: &CellLibrary) -> Netlist {
+        match self {
+            SwitchUnit::DefaultAlu => default_alu(lib),
+            SwitchUnit::FpisaAlu => fpisa_alu(lib),
+            SwitchUnit::RawUnit => raw_unit(lib),
+            SwitchUnit::RsawUnit => rsaw_unit(lib),
+            SwitchUnit::AluPlusFpu => alu_plus_fpu(lib),
+            SwitchUnit::AluPlusMultiplier => alu_plus_multiplier(lib),
+        }
+    }
+}
+
+/// The baseline stateless ALU.
+///
+/// Banzai's stateless atoms are purely combinational: operands arrive from
+/// the PHV crossbar and the result is written back to the PHV, whose
+/// flip-flops belong to the pipeline, not the ALU. The ALU itself is an
+/// adder/subtractor, a bitwise logic unit, an immediate-distance barrel
+/// shifter, a comparator for predication, and the result-select mux.
+pub fn default_alu(lib: &CellLibrary) -> Netlist {
+    let mut n = Netlist::new("default-alu");
+    // Adder/subtractor and logic unit operate in parallel.
+    let mut datapath = comp::adder(lib, WORD_BITS, true);
+    datapath.compose_parallel(&comp::boolean_unit(lib, WORD_BITS));
+    // Immediate-distance shifter (the distance comes from the instruction,
+    // but the data path still needs a full barrel shifter).
+    datapath.compose_parallel(&comp::barrel_shifter(lib, WORD_BITS, DIST_BITS, true));
+    // Comparator for conditional moves / predication.
+    datapath.compose_parallel(&comp::comparator(lib, WORD_BITS));
+    n.compose_serial(&datapath);
+    // Result selection mux (add / logic / shift / compare).
+    n.compose_serial(&comp::mux_word(lib, WORD_BITS, 4));
+    n
+}
+
+/// The FPISA-extended stateless ALU (2-operand shift).
+pub fn fpisa_alu(lib: &CellLibrary) -> Netlist {
+    let mut n = default_alu(lib);
+    n.name = "fpisa-alu".into();
+    // The only addition is the operand network that routes a metadata field
+    // into the shifter's distance input (and stages it), plus slightly wider
+    // result selection.
+    n.compose_serial(&comp::shift_operand_network(lib, WORD_BITS, DIST_BITS));
+    n.compose_parallel(&comp::mux_word(lib, DIST_BITS, 2));
+    n
+}
+
+/// The baseline stateful read-add-write (RAW) unit.
+pub fn raw_unit(lib: &CellLibrary) -> Netlist {
+    let mut n = Netlist::new("raw");
+    // Stateful register value staging (read port latch) + write-back register.
+    n.compose_parallel(&comp::register(lib, WORD_BITS));
+    // Predication: comparator + condition mux.
+    let mut pred = comp::comparator(lib, WORD_BITS);
+    pred.compose_serial(&comp::mux_word(lib, WORD_BITS, 2));
+    // Adder for read-add-write.
+    let mut datapath = comp::adder(lib, WORD_BITS, true);
+    datapath.compose_parallel(&pred);
+    n.compose_serial(&datapath);
+    // Write-back mux + register.
+    n.compose_serial(&comp::mux_word(lib, WORD_BITS, 2));
+    n.compose_serial(&comp::register(lib, WORD_BITS));
+    n
+}
+
+/// The proposed stateful read-shift-add-write (RSAW) unit.
+pub fn rsaw_unit(lib: &CellLibrary) -> Netlist {
+    let mut n = Netlist::new("rsaw");
+    n.compose_parallel(&comp::register(lib, WORD_BITS));
+    // The stored operand passes through a variable-distance alignment
+    // shifter *before* the adder — this is the serial path that makes RSAW's
+    // minimum delay noticeably longer than RAW's.
+    n.compose_serial(&comp::barrel_shifter(lib, WORD_BITS, DIST_BITS, false));
+    n.compose_serial(&comp::shift_operand_network(lib, WORD_BITS, DIST_BITS));
+    let mut pred = comp::comparator(lib, WORD_BITS);
+    pred.compose_serial(&comp::mux_word(lib, WORD_BITS, 2));
+    let mut datapath = comp::adder(lib, WORD_BITS, true);
+    datapath.compose_parallel(&pred);
+    n.compose_serial(&datapath);
+    n.compose_serial(&comp::mux_word(lib, WORD_BITS, 2));
+    n.compose_serial(&comp::register(lib, WORD_BITS));
+    n
+}
+
+/// A default ALU plus a hard FP32 unit (adder + multiplier).
+///
+/// A "floating point unit" in the Mellanox-Quantum sense supports at least
+/// FP add and FP multiply; both datapaths are extra area, leakage and
+/// switched capacitance even when unused — the paper's core argument
+/// against dedicating silicon to floating point.
+pub fn alu_plus_fpu(lib: &CellLibrary) -> Netlist {
+    let mut n = default_alu(lib);
+    n.name = "alu+fpu".into();
+    // The FPU sits beside the integer datapath (parallel for delay — it is
+    // pipelined over multiple cycles) but its cells are all extra area,
+    // leakage and switched capacitance.
+    n.compose_parallel(&comp::fp_adder(lib, 8, 23, 3));
+    n.compose_parallel(&comp::fp_multiplier(lib, 8, 23, 3));
+    // Result mux widening to select the FP result.
+    n.compose_serial(&comp::mux_word(lib, WORD_BITS, 2));
+    n
+}
+
+/// A default ALU plus a 16×16 integer multiplier (Appendix A.2: "approximately
+/// the same as an adder and a boolean module w.r.t. power and area").
+pub fn alu_plus_multiplier(lib: &CellLibrary) -> Netlist {
+    let mut n = default_alu(lib);
+    n.name = "alu+mul".into();
+    n.compose_parallel(&comp::multiplier(lib, 16));
+    n.compose_serial(&comp::mux_word(lib, WORD_BITS, 2));
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::freepdk15()
+    }
+
+    #[test]
+    fn fpisa_alu_overhead_is_modest() {
+        let l = lib();
+        let base = default_alu(&l);
+        let ext = fpisa_alu(&l);
+        let area_ratio = ext.area_um2(&l) / base.area_um2(&l);
+        let power_ratio = ext.dynamic_power_uw(&l, 1.0, 0.2) / base.dynamic_power_uw(&l, 1.0, 0.2);
+        // Paper: +22.4% area, +13.0% power. Accept the same ballpark.
+        assert!(area_ratio > 1.02 && area_ratio < 1.45, "area ratio {area_ratio}");
+        assert!(power_ratio > 1.02 && power_ratio < 1.35, "power ratio {power_ratio}");
+    }
+
+    #[test]
+    fn rsaw_overhead_over_raw_is_modest_but_larger() {
+        let l = lib();
+        let raw = raw_unit(&l);
+        let rsaw = rsaw_unit(&l);
+        let area_ratio = rsaw.area_um2(&l) / raw.area_um2(&l);
+        let delay_ratio = rsaw.critical_path_ps() / raw.critical_path_ps();
+        // Paper: +35.0% area, +13.5% delay.
+        assert!(area_ratio > 1.1 && area_ratio < 1.7, "area ratio {area_ratio}");
+        assert!(delay_ratio > 1.05 && delay_ratio < 1.6, "delay ratio {delay_ratio}");
+    }
+
+    #[test]
+    fn hard_fpu_costs_over_five_times_the_alu() {
+        let l = lib();
+        let base = default_alu(&l);
+        let fpu = alu_plus_fpu(&l);
+        assert!(fpu.area_um2(&l) > 5.0 * base.area_um2(&l));
+        assert!(
+            fpu.dynamic_power_uw(&l, 1.0, 0.2) > 4.0 * base.dynamic_power_uw(&l, 1.0, 0.2),
+            "power ratio {}",
+            fpu.dynamic_power_uw(&l, 1.0, 0.2) / base.dynamic_power_uw(&l, 1.0, 0.2)
+        );
+        assert!(fpu.leakage_uw(&l) > 4.0 * base.leakage_uw(&l));
+    }
+
+    #[test]
+    fn all_units_meet_the_1ghz_timing_budget() {
+        // The paper checks every design "can operate at 1 GHz" — i.e. the
+        // critical path stays under 1 ns.
+        let l = lib();
+        for unit in SwitchUnit::all() {
+            let n = unit.netlist(&l);
+            assert!(
+                n.critical_path_ps() < 1000.0,
+                "{} misses 1 GHz: {} ps",
+                unit.name(),
+                n.critical_path_ps()
+            );
+        }
+    }
+
+    #[test]
+    fn multiplier_extension_is_comparable_to_adder_plus_boolean() {
+        // Appendix A.2: the integer multiplier's overhead is "approximately
+        // the same as an adder and a boolean module".
+        let l = lib();
+        let base = default_alu(&l);
+        let with_mul = alu_plus_multiplier(&l);
+        let extra = with_mul.area_um2(&l) - base.area_um2(&l);
+        let adder_bool =
+            comp::adder(&l, 32, true).area_um2(&l) + comp::boolean_unit(&l, 32).area_um2(&l);
+        let ratio = extra / adder_bool;
+        assert!(ratio > 0.5 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn unit_names_are_unique() {
+        let mut names: Vec<_> = SwitchUnit::all().iter().map(|u| u.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}
