@@ -1,1 +1,16 @@
-//! placeholder (under construction)
+//! # fpisa-agg — in-network gradient aggregation (stub)
+//!
+//! Planned subsystem reproducing the paper's Fig. 10 comparison:
+//! SwitchML-style fixed-point aggregation (host-side scaling, integer sum
+//! in the switch) versus FPISA-style inline floating-point aggregation
+//! (values summed directly by the pipeline in `fpisa-pipeline`), with both
+//! a numeric engine (per-element error accounting via
+//! [`fpisa_core::AddStats`]) and a performance engine (packets, slots,
+//! worker fan-in).
+//!
+//! Not implemented yet — see the "Open items" section of `ROADMAP.md`. The
+//! crate exists so the workspace layout and dependency edges are fixed
+//! before the subsystem lands.
+
+#[doc(hidden)]
+pub use fpisa_core as _core;

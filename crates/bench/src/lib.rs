@@ -1,1 +1,251 @@
-//! placeholder (under construction)
+//! # fpisa-bench
+//!
+//! `std::time`-based micro-benchmark harness for the FPISA hot paths. The
+//! build environment has no registry access, so instead of criterion this
+//! crate ships a small measured-loop harness: warm-up, N timed batches,
+//! median-of-batches reporting, hand-rendered JSON.
+//!
+//! The `fpisa-bench` binary writes `BENCH_accumulator.json` (schema
+//! [`SCHEMA`]) so successive PRs leave a comparable perf trajectory:
+//!
+//! ```sh
+//! cargo run --release -p fpisa-bench
+//! ```
+//!
+//! Benchmarked hot paths:
+//!
+//! * `FpisaAccumulator::add_f32` in both modes — the per-element cost every
+//!   host-side experiment pays;
+//! * the packet-level pipeline ADD and READ — the simulator cost that
+//!   bounds how big a differential test or aggregation experiment can be.
+
+use fpisa_core::{FpisaAccumulator, FpisaConfig};
+use fpisa_pipeline::{FpisaPipeline, PipelineVariant};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::time::Instant;
+
+/// Identifier of the JSON output shape, bumped on breaking changes.
+pub const SCHEMA: &str = "fpisa-bench/v1";
+
+/// One benchmark's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Operations per timed batch.
+    pub batch_ops: u64,
+    /// Number of timed batches.
+    pub batches: u64,
+    /// Median batch wall time in nanoseconds.
+    pub median_batch_ns: u64,
+    /// Nanoseconds per operation (median batch / batch size).
+    pub ns_per_op: f64,
+}
+
+/// Time `op` (which must perform `batch_ops` operations per call): one
+/// warm-up call, then `batches` timed calls, reporting the median.
+pub fn bench(
+    name: impl Into<String>,
+    batch_ops: u64,
+    batches: u64,
+    mut op: impl FnMut(),
+) -> BenchResult {
+    assert!(batch_ops > 0 && batches > 0);
+    op(); // warm-up
+    let mut times: Vec<u64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            op();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    let median_batch_ns = times[times.len() / 2];
+    BenchResult {
+        name: name.into(),
+        batch_ops,
+        batches,
+        median_batch_ns,
+        ns_per_op: median_batch_ns as f64 / batch_ops as f64,
+    }
+}
+
+/// A deterministic mixed-magnitude input stream (same shape as the
+/// differential tests use, so the numbers track the real workload).
+pub fn input_stream(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let mag = 2f32.powi(rng.gen_range(-20..20));
+            sign * mag * rng.gen_range(1.0f32..2.0)
+        })
+        .collect()
+}
+
+/// Run the standard benchmark set. `scale` multiplies batch sizes (tests
+/// pass a small value; the binary passes 1).
+pub fn run_all(scale: f64) -> Vec<BenchResult> {
+    let ops = |n: u64| ((n as f64 * scale) as u64).max(1);
+    let mut results = Vec::new();
+
+    let stream = input_stream(4096, 0xBE7C);
+
+    // Accumulator hot path, both modes.
+    for (name, cfg) in [
+        ("core/add_f32/approximate", FpisaConfig::fp32_tofino()),
+        ("core/add_f32/full", FpisaConfig::fp32_extended()),
+    ] {
+        let batch = ops(100_000);
+        let mut acc = FpisaAccumulator::new(cfg);
+        results.push(bench(name, batch, 15, || {
+            for i in 0..batch {
+                let x = stream[i as usize % stream.len()];
+                let _ = acc.add_f32(x);
+            }
+            std::hint::black_box(acc.read_bits());
+        }));
+    }
+
+    // Pipeline per-packet step (ADD) and read-out, cheapest and richest
+    // variants.
+    for (name, variant) in [
+        ("pipeline/add_packet/tofino_a", PipelineVariant::TofinoA),
+        (
+            "pipeline/add_packet/extended_full",
+            PipelineVariant::ExtendedFull,
+        ),
+    ] {
+        let batch = ops(2_000);
+        let mut pipe = FpisaPipeline::new(variant, 64).expect("program must validate");
+        results.push(bench(name, batch, 10, || {
+            for i in 0..batch {
+                let x = stream[i as usize % stream.len()];
+                pipe.add_f32((i % 64) as usize, x).expect("finite input");
+            }
+        }));
+    }
+    {
+        let batch = ops(2_000);
+        let mut pipe =
+            FpisaPipeline::new(PipelineVariant::TofinoA, 64).expect("program must validate");
+        for (i, &x) in stream.iter().take(256).enumerate() {
+            pipe.add_f32(i % 64, x).expect("finite input");
+        }
+        results.push(bench("pipeline/read_packet/tofino_a", batch, 10, || {
+            for i in 0..batch {
+                std::hint::black_box(pipe.read_bits((i % 64) as usize).expect("read"));
+            }
+        }));
+    }
+
+    results
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render results as the `BENCH_accumulator.json` document (hand-formatted
+/// JSON; no serde backend in this environment).
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"batch_ops\": {}, \"batches\": {}, \
+             \"median_batch_ns\": {}, \"ns_per_op\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            r.batch_ops,
+            r.batches,
+            r.median_batch_ns,
+            r.ns_per_op,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_reports() {
+        let mut count = 0u64;
+        let r = bench("noop", 10, 5, || count += 10);
+        assert_eq!(r.batch_ops, 10);
+        assert_eq!(r.batches, 5);
+        assert!(r.ns_per_op >= 0.0);
+        assert_eq!(count, 60, "1 warm-up + 5 timed batches");
+    }
+
+    #[test]
+    fn run_all_covers_core_and_pipeline() {
+        let results = run_all(0.01);
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().any(|r| r.name.contains("core/add_f32")));
+        assert!(results
+            .iter()
+            .any(|r| r.name.contains("pipeline/add_packet")));
+        assert!(results.iter().any(|r| r.name.contains("read_packet")));
+        for r in &results {
+            assert!(r.median_batch_ns > 0, "{} measured nothing", r.name);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let results = vec![BenchResult {
+            name: "x".into(),
+            batch_ops: 1,
+            batches: 1,
+            median_batch_ns: 42,
+            ns_per_op: 42.0,
+        }];
+        let j = to_json(&results);
+        assert!(j.starts_with("{\n"));
+        assert!(j.contains("\"schema\": \"fpisa-bench/v1\""));
+        assert!(j.contains("\"ns_per_op\": 42.000"));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_names_are_escaped() {
+        let results = vec![BenchResult {
+            name: "weird \"name\"\\path".into(),
+            batch_ops: 1,
+            batches: 1,
+            median_batch_ns: 1,
+            ns_per_op: 1.0,
+        }];
+        let j = to_json(&results);
+        assert!(j.contains(r#"weird \"name\"\\path"#));
+        assert_eq!(
+            j.matches('"').count() % 2,
+            0,
+            "unescaped quote broke the JSON"
+        );
+    }
+
+    #[test]
+    fn input_stream_is_deterministic_and_finite() {
+        let a = input_stream(64, 1);
+        let b = input_stream(64, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| x.is_finite() && *x != 0.0));
+    }
+}

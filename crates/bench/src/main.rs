@@ -1,0 +1,19 @@
+//! Run the FPISA benchmark set and write `BENCH_accumulator.json`.
+//!
+//! ```sh
+//! cargo run --release -p fpisa-bench [output-path]
+//! ```
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_accumulator.json".into());
+    eprintln!("running FPISA benchmarks (release profile recommended)...");
+    let results = fpisa_bench::run_all(1.0);
+    for r in &results {
+        println!("{:<36} {:>10.1} ns/op", r.name, r.ns_per_op);
+    }
+    let json = fpisa_bench::to_json(&results);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

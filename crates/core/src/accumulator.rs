@@ -24,6 +24,7 @@
 
 use crate::error::FpisaError;
 use crate::format::{FpClass, FpFormat};
+use crate::plan::{plan_add, AddDecision};
 use crate::stats::{AddEvent, AddStats};
 use crate::value::SwitchValue;
 use serde::{Deserialize, Serialize};
@@ -99,7 +100,10 @@ impl FpisaConfig {
             register_bits >= format.sig_bits() + 2,
             "register must fit sign + significand + at least one headroom bit"
         );
-        assert!(register_bits <= 63, "registers wider than 63 bits are not supported");
+        assert!(
+            register_bits <= 63,
+            "registers wider than 63 bits are not supported"
+        );
         FpisaConfig {
             format,
             register_bits,
@@ -184,7 +188,13 @@ pub struct FpisaAccumulator {
 impl FpisaAccumulator {
     /// Create an empty slot.
     pub fn new(cfg: FpisaConfig) -> Self {
-        FpisaAccumulator { cfg, exponent: 0, mantissa: 0, initialized: false, stats: AddStats::default() }
+        FpisaAccumulator {
+            cfg,
+            exponent: 0,
+            mantissa: 0,
+            initialized: false,
+            stats: AddStats::default(),
+        }
     }
 
     /// The configuration of this slot.
@@ -204,6 +214,48 @@ impl FpisaAccumulator {
         self.mantissa = 0;
         self.initialized = false;
         self.stats = AddStats::default();
+    }
+
+    /// Whether any non-zero value has been absorbed yet.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// The biased exponent register entry (meaningful once initialized).
+    pub fn exponent(&self) -> u32 {
+        self.exponent
+    }
+
+    /// The signed mantissa register entry.
+    pub fn mantissa(&self) -> i64 {
+        self.mantissa
+    }
+
+    /// Overwrite the raw register state — a differential-testing hook for
+    /// starting a reference model from an arbitrary mid-stream switch
+    /// state (exercised by `crates/core/tests/property.rs`). The mantissa
+    /// must fit the configured register width.
+    pub fn load_register(&mut self, exponent: u32, mantissa: i64) {
+        assert!(
+            mantissa <= self.cfg.register_max() && mantissa >= self.cfg.register_min(),
+            "mantissa {mantissa} does not fit a {}-bit register",
+            self.cfg.register_bits
+        );
+        self.exponent = exponent;
+        self.mantissa = mantissa;
+        self.initialized = true;
+    }
+
+    /// The alignment decision the *next* `add` of a value with the given
+    /// biased exponent would take (the step-wise hook used by the pipeline
+    /// differential tests; see [`crate::plan::plan_add`]).
+    pub fn plan_for(&self, incoming_exponent: u32) -> AddDecision {
+        plan_add(
+            &self.cfg,
+            self.initialized,
+            self.exponent,
+            incoming_exponent,
+        )
     }
 
     /// The raw register contents as a [`SwitchValue`].
@@ -246,78 +298,72 @@ impl FpisaAccumulator {
         let incoming = SwitchValue::extract(f, self.cfg.register_bits, self.cfg.guard_bits, bits)?;
         let mut events = Vec::with_capacity(2);
 
-        if !self.initialized {
-            // First write simply installs the value (SwitchML-style slot
-            // initialization: the first worker's packet overwrites the slot).
-            self.exponent = incoming.exponent;
-            self.mantissa = incoming.mantissa;
-            self.initialized = true;
-            events.push(AddEvent::Exact);
-            self.stats.record_all(&events);
-            return Ok(events);
-        }
-
         let e_in = incoming.exponent;
         let e_acc = self.exponent;
-        if e_in <= e_acc {
-            // The incoming value is the smaller one: right-shift its mantissa
-            // to the accumulator's scale (MAU3 of Fig. 2), then add (MAU4).
-            let shift = (e_acc - e_in).min(self.cfg.register_bits + 1);
-            let (shifted, lost_bits) = arithmetic_shift_right(incoming.mantissa, shift);
-            if lost_bits != 0 {
-                let lost = lost_bits as f64
-                    * crate::format::pow2(
-                        e_acc as i32
-                            - f.bias()
-                            - f.man_bits as i32
-                            - self.cfg.guard_bits as i32
-                            - shift as i32,
-                    );
-                events.push(AddEvent::Rounded { lost: lost.abs() });
-            } else {
+        match plan_add(&self.cfg, self.initialized, e_acc, e_in) {
+            AddDecision::Install => {
+                // First write simply installs the value (SwitchML-style slot
+                // initialization: the first worker's packet overwrites the
+                // slot).
+                self.exponent = e_in;
+                self.mantissa = incoming.mantissa;
+                self.initialized = true;
                 events.push(AddEvent::Exact);
             }
-            self.apply_add(shifted, &mut events)?;
-        } else {
-            let delta = e_in - e_acc;
-            match self.cfg.mode {
-                FpisaMode::Full => {
-                    // RSAW: right-shift the *stored* mantissa, raise the
-                    // exponent, then add the incoming mantissa unshifted.
-                    let shift = delta.min(self.cfg.register_bits + 1);
-                    let (shifted_acc, lost_bits) = arithmetic_shift_right(self.mantissa, shift);
-                    if lost_bits != 0 {
-                        let lost = lost_bits as f64
-                            * crate::format::pow2(
-                                e_acc as i32
-                                    - f.bias()
-                                    - f.man_bits as i32
-                                    - self.cfg.guard_bits as i32,
-                            );
-                        events.push(AddEvent::Rounded { lost: lost.abs() });
-                    } else {
-                        events.push(AddEvent::Exact);
-                    }
-                    self.mantissa = shifted_acc;
-                    self.exponent = e_in;
-                    self.apply_add(incoming.mantissa, &mut events)?;
+            AddDecision::RightShiftIncoming { shift } => {
+                // The incoming value is the smaller one: right-shift its
+                // mantissa to the accumulator's scale (MAU3 of Fig. 2), then
+                // add (MAU4).
+                let (shifted, lost_bits) = arithmetic_shift_right(incoming.mantissa, shift);
+                if lost_bits != 0 {
+                    let lost = lost_bits as f64
+                        * crate::format::pow2(
+                            e_acc as i32
+                                - f.bias()
+                                - f.man_bits as i32
+                                - self.cfg.guard_bits as i32
+                                - shift as i32,
+                        );
+                    events.push(AddEvent::Rounded { lost: lost.abs() });
+                } else {
+                    events.push(AddEvent::Exact);
                 }
-                FpisaMode::Approximate => {
-                    // FPISA-A: the stored mantissa cannot be shifted. If the
-                    // exponent difference fits in the headroom, left-shift the
-                    // incoming mantissa; otherwise overwrite the slot.
-                    let headroom = self.cfg.headroom_bits();
-                    if delta <= headroom {
-                        events.push(AddEvent::LeftShifted { by: delta });
-                        let shifted_in = incoming.mantissa << delta;
-                        self.apply_add(shifted_in, &mut events)?;
-                    } else {
-                        let lost = self.value_f64();
-                        events.push(AddEvent::Overwrote { lost: lost.abs() });
-                        self.exponent = e_in;
-                        self.mantissa = incoming.mantissa;
-                    }
+                self.apply_add(shifted, &mut events)?;
+            }
+            AddDecision::ShiftStored { shift } => {
+                // RSAW: right-shift the *stored* mantissa, raise the
+                // exponent, then add the incoming mantissa unshifted.
+                let (shifted_acc, lost_bits) = arithmetic_shift_right(self.mantissa, shift);
+                if lost_bits != 0 {
+                    let lost = lost_bits as f64
+                        * crate::format::pow2(
+                            e_acc as i32
+                                - f.bias()
+                                - f.man_bits as i32
+                                - self.cfg.guard_bits as i32,
+                        );
+                    events.push(AddEvent::Rounded { lost: lost.abs() });
+                } else {
+                    events.push(AddEvent::Exact);
                 }
+                self.mantissa = shifted_acc;
+                self.exponent = e_in;
+                self.apply_add(incoming.mantissa, &mut events)?;
+            }
+            AddDecision::LeftShiftIncoming { shift } => {
+                // FPISA-A: the stored mantissa cannot be shifted, so the
+                // incoming one is left-shifted into the register headroom.
+                events.push(AddEvent::LeftShifted { by: shift });
+                let shifted_in = incoming.mantissa << shift;
+                self.apply_add(shifted_in, &mut events)?;
+            }
+            AddDecision::Overwrite => {
+                // FPISA-A: the exponent difference exceeds the headroom, so
+                // the stored value is discarded.
+                let lost = self.value_f64();
+                events.push(AddEvent::Overwrote { lost: lost.abs() });
+                self.exponent = e_in;
+                self.mantissa = incoming.mantissa;
             }
         }
         self.stats.record_all(&events);
@@ -326,7 +372,11 @@ impl FpisaAccumulator {
 
     /// Add an `f32` to an FP32-configured slot.
     pub fn add_f32(&mut self, x: f32) -> Result<Vec<AddEvent>, FpisaError> {
-        debug_assert_eq!(self.cfg.format, FpFormat::FP32, "add_f32 on a non-FP32 slot");
+        debug_assert_eq!(
+            self.cfg.format,
+            FpFormat::FP32,
+            "add_f32 on a non-FP32 slot"
+        );
         self.add_bits(x.to_bits() as u64)
     }
 
@@ -343,8 +393,11 @@ impl FpisaAccumulator {
             events.push(AddEvent::Overflowed);
             match self.cfg.overflow {
                 OverflowPolicy::Saturate => {
-                    self.mantissa =
-                        if sum > 0 { self.cfg.register_max() } else { self.cfg.register_min() };
+                    self.mantissa = if sum > 0 {
+                        self.cfg.register_max()
+                    } else {
+                        self.cfg.register_min()
+                    };
                 }
                 OverflowPolicy::Wrap => {
                     let bits = self.cfg.register_bits;
@@ -359,7 +412,9 @@ impl FpisaAccumulator {
                 }
                 OverflowPolicy::Error => {
                     self.stats.record_all(events);
-                    return Err(FpisaError::RegisterOverflow { exponent: self.exponent });
+                    return Err(FpisaError::RegisterOverflow {
+                        exponent: self.exponent,
+                    });
                 }
             }
         } else {
@@ -402,7 +457,11 @@ fn arithmetic_shift_right(value: i64, shift: u32) -> (i64, u64) {
         return (value, 0);
     }
     if shift >= 63 {
-        let lost = if value >= 0 { value as u64 } else { (value + 1).unsigned_abs() };
+        let lost = if value >= 0 {
+            value as u64
+        } else {
+            (value + 1).unsigned_abs()
+        };
         return (if value < 0 { -1 } else { 0 }, lost);
     }
     let shifted = value >> shift;
@@ -497,7 +556,9 @@ mod tests {
         let mut acc = FpisaAccumulator::new(approx_cfg());
         acc.add_f32(1.0).unwrap();
         let ev = acc.add_f32(64.0).unwrap();
-        assert!(ev.iter().any(|e| matches!(e, AddEvent::LeftShifted { by: 6 })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, AddEvent::LeftShifted { by: 6 })));
         assert_eq!(acc.read_f32(), 65.0);
         assert_eq!(acc.stats().overwrites, 0);
     }
@@ -542,7 +603,9 @@ mod tests {
         let mut acc = FpisaAccumulator::new(approx_cfg());
         acc.add_f32(1.0).unwrap();
         let ev = acc.add_f32(128.0).unwrap();
-        assert!(ev.iter().any(|e| matches!(e, AddEvent::LeftShifted { by: 7 })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, AddEvent::LeftShifted { by: 7 })));
         assert_eq!(acc.read_f32(), 129.0);
     }
 
@@ -588,7 +651,10 @@ mod tests {
         assert_eq!(acc.stats().overflows, 0);
         let exact = 128.0 * v as f64;
         let got = acc.read_f32() as f64;
-        assert!((got - exact).abs() / exact < 1e-6, "got {got}, exact {exact}");
+        assert!(
+            (got - exact).abs() / exact < 1e-6,
+            "got {got}, exact {exact}"
+        );
     }
 
     #[test]
@@ -678,10 +744,14 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
         for _ in 0..50 {
-            let vals: Vec<f32> =
-                (0..8).map(|_| rng.gen_range(0.01f32..1.0) * if rng.gen() { 1.0 } else { -1.0 }).collect();
+            let vals: Vec<f32> = (0..8)
+                .map(|_| rng.gen_range(0.01f32..1.0) * if rng.gen() { 1.0 } else { -1.0 })
+                .collect();
             let (got, exact, stats) = aggregate_f32(approx_cfg(), &vals);
-            assert_eq!(stats.overwrites, 0, "no overwrite expected for ratios < 2^7");
+            assert_eq!(
+                stats.overwrites, 0,
+                "no overwrite expected for ratios < 2^7"
+            );
             let err = (got as f64 - exact).abs();
             assert!(err < 1e-5, "error {err} too large for {vals:?}");
         }
@@ -710,11 +780,17 @@ mod tests {
             total_approx_err += (a as f64 - exact).abs() / scale;
             let ef = (f as f64 - exact).abs() / scale;
             // Full-mode error is pure rounding: bounded by a few ulps per add.
-            assert!(ef < 1e-4, "full-mode relative error {ef} unexpectedly large");
+            assert!(
+                ef < 1e-4,
+                "full-mode relative error {ef} unexpectedly large"
+            );
             total_full_err += ef;
         }
         // The workload is built to exercise the overwrite path.
-        assert!(saw_overwrite, "workload failed to trigger any FPISA-A overwrite");
+        assert!(
+            saw_overwrite,
+            "workload failed to trigger any FPISA-A overwrite"
+        );
         // Aggregated over many trials, overwrite error dominates rounding error.
         assert!(
             total_full_err <= total_approx_err,

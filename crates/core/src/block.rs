@@ -34,7 +34,7 @@ impl BlockFp {
     /// chosen as the maximum exponent of the block (the standard BFP/MSFP
     /// construction; smaller values lose low-order bits).
     pub fn from_f32(values: &[f32], man_bits: u32) -> Self {
-        assert!(man_bits >= 2 && man_bits <= 30);
+        assert!((2..=30).contains(&man_bits));
         let bias = FpFormat::FP32.bias();
         // Find the maximum exponent among the finite, non-zero values.
         let mut max_exp = i32::MIN;
@@ -46,7 +46,12 @@ impl BlockFp {
             }
         }
         if max_exp == i32::MIN {
-            return BlockFp { man_bits, bias, shared_exp: 0, mantissas: vec![0; values.len()] };
+            return BlockFp {
+                man_bits,
+                bias,
+                shared_exp: 0,
+                mantissas: vec![0; values.len()],
+            };
         }
         // Shared exponent is one above the largest element exponent so the
         // largest element's mantissa fits in `man_bits` magnitude bits.
@@ -60,13 +65,21 @@ impl BlockFp {
                 q.clamp(-limit, limit) as i32
             })
             .collect();
-        BlockFp { man_bits, bias, shared_exp, mantissas }
+        BlockFp {
+            man_bits,
+            bias,
+            shared_exp,
+            mantissas,
+        }
     }
 
     /// Decode the block back into `f32` values.
     pub fn to_f32(&self) -> Vec<f32> {
         let scale = pow2(self.shared_exp - self.bias - self.man_bits as i32);
-        self.mantissas.iter().map(|&m| (m as f64 * scale) as f32).collect()
+        self.mantissas
+            .iter()
+            .map(|&m| (m as f64 * scale) as f32)
+            .collect()
     }
 
     /// Number of elements in the block.
@@ -131,7 +144,10 @@ impl BlockFpAccumulator {
     /// Add a block (element-wise) using FPISA-A alignment rules.
     pub fn add(&mut self, block: &BlockFp) {
         assert_eq!(block.len(), self.mantissas.len(), "block length mismatch");
-        assert_eq!(block.man_bits, self.man_bits, "block mantissa width mismatch");
+        assert_eq!(
+            block.man_bits, self.man_bits,
+            "block mantissa width mismatch"
+        );
         if !self.initialized {
             self.shared_exp = block.shared_exp;
             for (dst, &src) in self.mantissas.iter_mut().zip(&block.mantissas) {
@@ -161,26 +177,33 @@ impl BlockFpAccumulator {
             for (dst, &src) in self.mantissas.iter_mut().zip(&block.mantissas) {
                 *dst = clamp_register(*dst + ((src as i64) << delta), self.register_bits);
             }
-            self.stats.record(crate::stats::AddEvent::LeftShifted { by: delta as u32 });
+            self.stats
+                .record(crate::stats::AddEvent::LeftShifted { by: delta as u32 });
         } else {
             // Overwrite the whole block.
             let lost: f64 = self
                 .mantissas
                 .iter()
-                .map(|&m| (m as f64 * pow2(self.shared_exp - self.bias - self.man_bits as i32)).abs())
+                .map(|&m| {
+                    (m as f64 * pow2(self.shared_exp - self.bias - self.man_bits as i32)).abs()
+                })
                 .sum();
             self.shared_exp = block.shared_exp;
             for (dst, &src) in self.mantissas.iter_mut().zip(&block.mantissas) {
                 *dst = src as i64;
             }
-            self.stats.record(crate::stats::AddEvent::Overwrote { lost });
+            self.stats
+                .record(crate::stats::AddEvent::Overwrote { lost });
         }
     }
 
     /// Read the accumulated block back as `f32` values.
     pub fn read_f32(&self) -> Vec<f32> {
         let scale = pow2(self.shared_exp - self.bias - self.man_bits as i32);
-        self.mantissas.iter().map(|&m| (m as f64 * scale) as f32).collect()
+        self.mantissas
+            .iter()
+            .map(|&m| (m as f64 * scale) as f32)
+            .collect()
     }
 
     /// Aggregation statistics.
@@ -216,7 +239,10 @@ mod tests {
         let b = BlockFp::from_f32(&vals, 8);
         let back = b.to_f32();
         for (orig, dec) in vals.iter().zip(&back) {
-            assert!((orig - dec).abs() as f64 <= b.quantization_ulp(), "{orig} vs {dec}");
+            assert!(
+                (orig - dec).abs() as f64 <= b.quantization_ulp(),
+                "{orig} vs {dec}"
+            );
         }
     }
 
@@ -233,7 +259,10 @@ mod tests {
         // 8.0 has exponent field 130; the shared exponent is one above it so
         // 8.0's mantissa fits in the magnitude bits.
         assert_eq!(b.shared_exp, 131);
-        assert!(b.mantissas.iter().all(|&m| (m.unsigned_abs() as u64) < (1 << 10)));
+        assert!(b
+            .mantissas
+            .iter()
+            .all(|&m| (m.unsigned_abs() as u64) < (1 << 10)));
     }
 
     #[test]

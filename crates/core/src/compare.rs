@@ -89,7 +89,13 @@ pub struct SwitchComparator {
 impl SwitchComparator {
     /// Create an empty comparator register.
     pub fn new(format: FpFormat, extreme: KeepExtreme) -> Self {
-        SwitchComparator { format, extreme, best: None, offered: 0, improved: 0 }
+        SwitchComparator {
+            format,
+            extreme,
+            best: None,
+            offered: 0,
+            improved: 0,
+        }
     }
 
     /// Offer a packed value. Returns `true` if the value improved on (or

@@ -47,10 +47,16 @@ impl fmt::Display for FpisaError {
         match self {
             FpisaError::NonFinite(k) => write!(f, "non-finite input ({k:?}) cannot be decomposed"),
             FpisaError::RegisterOverflow { exponent } => {
-                write!(f, "signed mantissa register overflow (exponent field {exponent})")
+                write!(
+                    f,
+                    "signed mantissa register overflow (exponent field {exponent})"
+                )
             }
             FpisaError::FormatMismatch { expected, got } => {
-                write!(f, "format mismatch: accumulator uses {expected:?}, value is {got:?}")
+                write!(
+                    f,
+                    "format mismatch: accumulator uses {expected:?}, value is {got:?}"
+                )
             }
         }
     }

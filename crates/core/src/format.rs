@@ -54,19 +54,31 @@ pub struct Unpacked {
 
 impl FpFormat {
     /// IEEE 754 binary64 (double precision).
-    pub const FP64: FpFormat = FpFormat { exp_bits: 11, man_bits: 52 };
+    pub const FP64: FpFormat = FpFormat {
+        exp_bits: 11,
+        man_bits: 52,
+    };
     /// IEEE 754 binary32 (single precision) — the running example of the paper.
-    pub const FP32: FpFormat = FpFormat { exp_bits: 8, man_bits: 23 };
+    pub const FP32: FpFormat = FpFormat {
+        exp_bits: 8,
+        man_bits: 23,
+    };
     /// IEEE 754 binary16 (half precision), evaluated for ML training in §5.
-    pub const FP16: FpFormat = FpFormat { exp_bits: 5, man_bits: 10 };
+    pub const FP16: FpFormat = FpFormat {
+        exp_bits: 5,
+        man_bits: 10,
+    };
     /// bfloat16: same exponent range as FP32 with a 7-bit mantissa.
-    pub const BF16: FpFormat = FpFormat { exp_bits: 8, man_bits: 7 };
+    pub const BF16: FpFormat = FpFormat {
+        exp_bits: 8,
+        man_bits: 7,
+    };
 
     /// Create an arbitrary format. Panics if the format does not fit in 64
     /// bits or has a degenerate exponent/mantissa width.
     pub fn new(exp_bits: u32, man_bits: u32) -> Self {
-        assert!(exp_bits >= 2 && exp_bits <= 15, "exponent width out of range");
-        assert!(man_bits >= 1 && man_bits <= 62, "mantissa width out of range");
+        assert!((2..=15).contains(&exp_bits), "exponent width out of range");
+        assert!((1..=62).contains(&man_bits), "mantissa width out of range");
         assert!(1 + exp_bits + man_bits <= 64, "format wider than 64 bits");
         FpFormat { exp_bits, man_bits }
     }
@@ -171,13 +183,22 @@ impl FpFormat {
         } else {
             FpClass::Normal
         };
-        Unpacked { sign, exponent, fraction, class }
+        Unpacked {
+            sign,
+            exponent,
+            fraction,
+            class,
+        }
     }
 
     /// Pack sign, exponent and fraction fields into bits. The fields are
     /// masked to their widths; no rounding or normalization is performed.
     pub fn pack(&self, sign: bool, exponent: u32, fraction: u64) -> u64 {
-        let s = if sign { 1u64 << (self.total_bits() - 1) } else { 0 };
+        let s = if sign {
+            1u64 << (self.total_bits() - 1)
+        } else {
+            0
+        };
         s | (((exponent & self.max_exp_field()) as u64) << self.man_bits)
             | (fraction & self.fraction_mask())
     }
@@ -196,8 +217,7 @@ impl FpFormat {
             FpClass::Infinity => f64::INFINITY * sign,
             FpClass::Nan => f64::NAN,
             FpClass::Subnormal => {
-                let mag =
-                    (u.fraction as f64) * pow2(1 - self.bias() - self.man_bits as i32);
+                let mag = (u.fraction as f64) * pow2(1 - self.bias() - self.man_bits as i32);
                 sign * mag
             }
             FpClass::Normal => {
@@ -329,8 +349,20 @@ mod tests {
     #[test]
     fn fp32_roundtrip_matches_native() {
         let samples = [
-            0.0f32, -0.0, 1.0, -1.0, 3.0, 0.1, 1e-30, 1e30, 123456.789, -0.000123,
-            f32::MAX, f32::MIN_POSITIVE, core::f32::consts::PI, -core::f32::consts::E,
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            3.0,
+            0.1,
+            1e-30,
+            1e30,
+            123_456.79,
+            -0.000123,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            core::f32::consts::PI,
+            -core::f32::consts::E,
         ];
         for &x in &samples {
             let bits = FpFormat::FP32.encode_f32(x);
@@ -378,8 +410,8 @@ mod tests {
         // bfloat16 of 1.0 = 0x3F80
         assert_eq!(f.encode(1.0), 0x3F80);
         // quantize keeps sign and approximate magnitude
-        let q = f.quantize_f32(3.1415927);
-        assert!((q - 3.1415927).abs() < 0.02);
+        let q = f.quantize_f32(core::f32::consts::PI);
+        assert!((q - core::f32::consts::PI).abs() < 0.02);
     }
 
     #[test]

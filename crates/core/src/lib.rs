@@ -50,6 +50,7 @@ pub mod block;
 pub mod compare;
 pub mod error;
 pub mod format;
+pub mod plan;
 pub mod reference;
 pub mod stats;
 pub mod value;
@@ -59,6 +60,7 @@ pub use block::{BlockFp, BlockFpAccumulator};
 pub use compare::{compare_bits, compare_f32_switch, sortable_key, SwitchComparator};
 pub use error::{FpisaError, NonFiniteKind};
 pub use format::{FpClass, FpFormat, Unpacked};
+pub use plan::{plan_add, AddDecision};
 pub use reference::{ExactAccumulator, KahanAccumulator, SequentialAccumulator};
 pub use stats::{AddEvent, AddStats};
 pub use value::SwitchValue;
@@ -87,11 +89,8 @@ mod integration_tests {
     #[test]
     fn full_mode_matches_approx_for_similar_magnitudes() {
         let values = [0.5f32, -0.25, 1.0, 0.125, -0.75, 2.0, 0.875, -1.5];
-        let mut a = FpisaAccumulator::new(FpisaConfig::new(
-            FpFormat::FP32,
-            32,
-            FpisaMode::Approximate,
-        ));
+        let mut a =
+            FpisaAccumulator::new(FpisaConfig::new(FpFormat::FP32, 32, FpisaMode::Approximate));
         let mut f = FpisaAccumulator::new(FpisaConfig::new(FpFormat::FP32, 32, FpisaMode::Full));
         for &v in &values {
             a.add_f32(v).unwrap();

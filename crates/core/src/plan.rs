@@ -1,0 +1,150 @@
+//! Step-wise decomposition of one FPISA addition.
+//!
+//! [`FpisaAccumulator::add_bits`](crate::FpisaAccumulator::add_bits) makes
+//! exactly one control decision per addition — which alignment path the
+//! pipeline of Fig. 2 takes — and that decision depends only on the stored
+//! exponent, the incoming exponent, the slot's initialization state and the
+//! mode. [`plan_add`] exposes that decision as a pure function so the
+//! packet-level implementation in `fpisa-pipeline` can be differentially
+//! checked *step by step* against the reference model, not just on final
+//! values: both sides must pick the same [`AddDecision`] for the same
+//! state, and the tests assert they do.
+//!
+//! The arithmetic each decision implies (how far to shift, what to write)
+//! is carried in the variant payloads; shift distances are already clamped
+//! the way the accumulator clamps them.
+
+use crate::accumulator::{FpisaConfig, FpisaMode};
+use serde::{Deserialize, Serialize};
+
+/// The alignment path one addition takes through the Fig. 2 dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddDecision {
+    /// The slot has absorbed no value yet: the incoming exponent and
+    /// mantissa are installed unchanged (SwitchML-style first write).
+    Install,
+    /// The incoming exponent is ≤ the stored exponent: the incoming
+    /// mantissa is right-shifted to the accumulator's scale and added
+    /// (MAU3 + MAU4 of Fig. 2). Lossy iff low-order bits fall off.
+    RightShiftIncoming {
+        /// Arithmetic right-shift distance, clamped to `register_bits + 1`.
+        shift: u32,
+    },
+    /// FPISA-A only: the incoming exponent is larger but the difference
+    /// fits in the register headroom, so the *incoming* mantissa is
+    /// left-shifted instead of the stored one (§4.3). Never lossy by
+    /// itself, but consumes headroom.
+    LeftShiftIncoming {
+        /// Left-shift distance (= exponent difference), ≤ headroom.
+        shift: u32,
+    },
+    /// FPISA-A only: the exponent difference exceeds the headroom, so the
+    /// stored value is discarded and the incoming value installed — the
+    /// bounded "overwrite" error of §4.3.
+    Overwrite,
+    /// Full FPISA only: the RSAW unit right-shifts the *stored* mantissa
+    /// to the incoming scale, raises the stored exponent and adds the
+    /// incoming mantissa unshifted (§4.2). Lossy iff stored low-order bits
+    /// fall off.
+    ShiftStored {
+        /// Arithmetic right-shift distance applied to the stored mantissa,
+        /// clamped to `register_bits + 1`.
+        shift: u32,
+    },
+}
+
+/// Decide which alignment path an addition takes, given the slot state and
+/// the incoming (biased, non-zero-value) exponent. Pure function of its
+/// arguments; [`crate::FpisaAccumulator`] and the `fpisa-pipeline` switch
+/// program must — and are tested to — agree with it.
+pub fn plan_add(
+    cfg: &FpisaConfig,
+    initialized: bool,
+    stored_exponent: u32,
+    incoming_exponent: u32,
+) -> AddDecision {
+    if !initialized {
+        return AddDecision::Install;
+    }
+    if incoming_exponent <= stored_exponent {
+        let shift = (stored_exponent - incoming_exponent).min(cfg.register_bits + 1);
+        return AddDecision::RightShiftIncoming { shift };
+    }
+    let delta = incoming_exponent - stored_exponent;
+    match cfg.mode {
+        FpisaMode::Full => AddDecision::ShiftStored {
+            shift: delta.min(cfg.register_bits + 1),
+        },
+        FpisaMode::Approximate => {
+            if delta <= cfg.headroom_bits() {
+                AddDecision::LeftShiftIncoming { shift: delta }
+            } else {
+                AddDecision::Overwrite
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx() -> FpisaConfig {
+        FpisaConfig::fp32_tofino()
+    }
+    fn full() -> FpisaConfig {
+        FpisaConfig::fp32_extended()
+    }
+
+    #[test]
+    fn uninitialized_slot_installs() {
+        assert_eq!(plan_add(&approx(), false, 0, 200), AddDecision::Install);
+        assert_eq!(plan_add(&full(), false, 130, 1), AddDecision::Install);
+    }
+
+    #[test]
+    fn smaller_incoming_right_shifts_in_both_modes() {
+        for cfg in [approx(), full()] {
+            assert_eq!(
+                plan_add(&cfg, true, 130, 127),
+                AddDecision::RightShiftIncoming { shift: 3 }
+            );
+            assert_eq!(
+                plan_add(&cfg, true, 130, 130),
+                AddDecision::RightShiftIncoming { shift: 0 }
+            );
+        }
+    }
+
+    #[test]
+    fn right_shift_clamps_at_register_width_plus_one() {
+        assert_eq!(
+            plan_add(&approx(), true, 254, 1),
+            AddDecision::RightShiftIncoming { shift: 33 }
+        );
+    }
+
+    #[test]
+    fn fpisa_a_splits_on_headroom() {
+        let cfg = approx();
+        assert_eq!(cfg.headroom_bits(), 7);
+        assert_eq!(
+            plan_add(&cfg, true, 127, 134),
+            AddDecision::LeftShiftIncoming { shift: 7 }
+        );
+        assert_eq!(plan_add(&cfg, true, 127, 135), AddDecision::Overwrite);
+    }
+
+    #[test]
+    fn full_mode_always_shifts_stored_for_larger_incoming() {
+        let cfg = full();
+        assert_eq!(
+            plan_add(&cfg, true, 127, 135),
+            AddDecision::ShiftStored { shift: 8 }
+        );
+        assert_eq!(
+            plan_add(&cfg, true, 1, 254),
+            AddDecision::ShiftStored { shift: 33 }
+        );
+    }
+}

@@ -30,7 +30,11 @@ pub struct SequentialAccumulator {
 impl SequentialAccumulator {
     /// New empty accumulator for the given format.
     pub fn new(format: FpFormat) -> Self {
-        SequentialAccumulator { format, sum: 0.0, count: 0 }
+        SequentialAccumulator {
+            format,
+            sum: 0.0,
+            count: 0,
+        }
     }
 
     /// Add a value (rounded to the format first, then the partial sum is

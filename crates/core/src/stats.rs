@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn record_all_counts_addition_once() {
         let mut s = AddStats::default();
-        s.record_all(&[AddEvent::LeftShifted { by: 2 }, AddEvent::Rounded { lost: 1e-10 }]);
+        s.record_all(&[
+            AddEvent::LeftShifted { by: 2 },
+            AddEvent::Rounded { lost: 1e-10 },
+        ]);
         assert_eq!(s.additions, 1);
         assert_eq!(s.left_shifts, 1);
         assert_eq!(s.rounded, 1);

@@ -15,8 +15,8 @@
 //!   mantissa × 2^(exponent − bias − man_bits − guard_bits)
 //! ```
 
-use crate::format::{pow2, FpClass, FpFormat};
 use crate::error::{FpisaError, NonFiniteKind};
+use crate::format::{pow2, FpClass, FpFormat};
 use serde::{Deserialize, Serialize};
 
 /// A floating-point value in the decomposed form FPISA stores in switch
@@ -66,8 +66,10 @@ impl SwitchValue {
         guard_bits: u32,
         bits: u64,
     ) -> Result<Self, FpisaError> {
-        assert!(register_bits <= 64 && register_bits >= format.sig_bits() + 1 + guard_bits,
-            "register too narrow for format");
+        assert!(
+            register_bits <= 64 && register_bits >= format.sig_bits() + 1 + guard_bits,
+            "register too narrow for format"
+        );
         let u = format.unpack(bits);
         let (exp, sig): (u32, u64) = match u.class {
             FpClass::Zero => (0, 0),
@@ -86,18 +88,35 @@ impl SwitchValue {
         if u.sign {
             man = -man;
         }
-        Ok(SwitchValue { format, register_bits, guard_bits, exponent: exp, mantissa: man })
+        Ok(SwitchValue {
+            format,
+            register_bits,
+            guard_bits,
+            exponent: exp,
+            mantissa: man,
+        })
     }
 
     /// Extract an `f32` (convenience wrapper around [`SwitchValue::extract`]
     /// for the FP32 format).
     pub fn from_f32(x: f32, register_bits: u32, guard_bits: u32) -> Result<Self, FpisaError> {
-        Self::extract(FpFormat::FP32, register_bits, guard_bits, x.to_bits() as u64)
+        Self::extract(
+            FpFormat::FP32,
+            register_bits,
+            guard_bits,
+            x.to_bits() as u64,
+        )
     }
 
     /// A zero value in the given configuration.
     pub fn zero(format: FpFormat, register_bits: u32, guard_bits: u32) -> Self {
-        SwitchValue { format, register_bits, guard_bits, exponent: 0, mantissa: 0 }
+        SwitchValue {
+            format,
+            register_bits,
+            guard_bits,
+            exponent: 0,
+            mantissa: 0,
+        }
     }
 
     /// Whether the mantissa register currently holds zero.
@@ -292,7 +311,9 @@ mod tests {
 
     #[test]
     fn assemble_roundtrips_normal_values() {
-        for &x in &[1.0f32, -1.0, 3.0, 0.5, 123.456, -0.0078125, 1e-20, 1e20, 0.0] {
+        for &x in &[
+            1.0f32, -1.0, 3.0, 0.5, 123.456, -0.0078125, 1e-20, 1e20, 0.0,
+        ] {
             let v = SwitchValue::from_f32(x, 32, 0).unwrap();
             assert_eq!(v.assemble_f32(ReadRounding::TowardZero), x, "roundtrip {x}");
         }
@@ -401,15 +422,24 @@ mod tests {
 
         // (2^24 + 3) * 2^-23 = 2 + 3*2^-23: toward-zero keeps 2 + 2^-22,
         // nearest-even rounds the half-ulp tie up to 2 + 2^-21.
-        let v2 = SwitchValue { mantissa: (1 << 24) + 3, ..v };
+        let v2 = SwitchValue {
+            mantissa: (1 << 24) + 3,
+            ..v
+        };
         let ulp = 2.0 * f32::EPSILON; // ulp of 2.0 is 2^-22
         assert_eq!(v2.assemble_f32(ReadRounding::TowardZero), 2.0 + ulp);
         assert_eq!(v2.assemble_f32(ReadRounding::NearestEven), 2.0 + 2.0 * ulp);
 
         // A negative value with dropped bits: toward -inf increases the
         // magnitude, toward zero truncates it.
-        let v3 = SwitchValue { mantissa: -((1 << 24) + 3), ..v };
+        let v3 = SwitchValue {
+            mantissa: -((1 << 24) + 3),
+            ..v
+        };
         assert_eq!(v3.assemble_f32(ReadRounding::TowardZero), -(2.0 + ulp));
-        assert_eq!(v3.assemble_f32(ReadRounding::TowardNegInf), -(2.0 + 2.0 * ulp));
+        assert_eq!(
+            v3.assemble_f32(ReadRounding::TowardNegInf),
+            -(2.0 + 2.0 * ulp)
+        );
     }
 }

@@ -1,0 +1,251 @@
+//! Property and differential tests for `FpisaAccumulator`.
+//!
+//! Random `f32` streams are pushed through the FPISA model in both modes
+//! and compared against the reference accumulators
+//! ([`ExactAccumulator`], [`KahanAccumulator`]):
+//!
+//! * **Full-mode exactness** — when the stream is constructed so no bits
+//!   can fall off the register (dyadic values in a narrow exponent window),
+//!   the Full (RSAW) mode reproduces the exact sum bit-for-bit.
+//! * **Loss accounting** — in both modes, the deviation from the exact sum
+//!   never exceeds what the accumulator *says* it lost (rounding loss +
+//!   overwrite loss) plus one final read-out truncation, on any stream.
+//! * **Bounded FPISA-A overwrite error** — every overwrite discards a value
+//!   that is at most `2^(1-headroom)` of the incoming magnitude, the bound
+//!   behind the paper's §5.1 error argument.
+//! * **Step-wise agreement** — replaying the stream through the pure
+//!   [`plan_add`] decision function and raw register arithmetic reproduces
+//!   the accumulator state exactly (the hook `fpisa-pipeline` builds on).
+
+use fpisa_core::{
+    plan_add, AddDecision, AddEvent, ExactAccumulator, FpisaAccumulator, FpisaConfig, FpisaMode,
+    KahanAccumulator, SwitchValue,
+};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn cfg(mode: FpisaMode) -> FpisaConfig {
+    FpisaConfig::new(fpisa_core::FpFormat::FP32, 32, mode)
+}
+
+/// A random finite f32 with the exponent drawn from `exp_range` (powers of
+/// two) and a full random mantissa.
+fn random_f32(rng: &mut SmallRng, exp_range: std::ops::Range<i32>) -> f32 {
+    let mag = 2f32.powi(rng.gen_range(exp_range));
+    let frac = rng.gen_range(1.0f32..2.0);
+    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+    sign * mag * frac
+}
+
+/// A random dyadic value: few mantissa bits, narrow exponent range, so that
+/// sums of a short stream are exactly representable and no shift ever drops
+/// a bit.
+fn random_dyadic(rng: &mut SmallRng) -> f32 {
+    let bits = rng.gen_range(0u32..8);
+    let mantissa = (rng.gen_range(1u32..256) | 1) & ((1 << (bits + 1)) - 1) | 1;
+    let scale = 2f32.powi(rng.gen_range(-4..4));
+    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+    sign * mantissa as f32 * scale
+}
+
+#[test]
+fn full_mode_is_exact_on_dyadic_streams() {
+    let mut rng = SmallRng::seed_from_u64(0xF1);
+    for _ in 0..200 {
+        let values: Vec<f32> = (0..32).map(|_| random_dyadic(&mut rng)).collect();
+        let mut acc = FpisaAccumulator::new(cfg(FpisaMode::Full));
+        let mut exact = ExactAccumulator::new();
+        for &v in &values {
+            acc.add_f32(v).unwrap();
+            exact.add_f32(v);
+        }
+        assert_eq!(
+            acc.read_f32().to_bits(),
+            exact.value_f32().to_bits(),
+            "full mode diverged on dyadic stream {values:?}"
+        );
+        assert_eq!(acc.stats().overwrites, 0);
+        assert_eq!(acc.stats().rounded, 0, "dyadic stream must not round");
+    }
+}
+
+#[test]
+fn deviation_never_exceeds_recorded_losses() {
+    let mut rng = SmallRng::seed_from_u64(0xF2);
+    for mode in [FpisaMode::Approximate, FpisaMode::Full] {
+        for trial in 0..200 {
+            // Wide exponent spread to exercise every alignment path.
+            let values: Vec<f32> = (0..64).map(|_| random_f32(&mut rng, -20..20)).collect();
+            let mut acc = FpisaAccumulator::new(cfg(mode));
+            let mut exact = ExactAccumulator::new();
+            for &v in &values {
+                acc.add_f32(v).unwrap();
+                exact.add_f32(v);
+            }
+            if acc.stats().overflows > 0 {
+                // Saturation loss is signalled (Overflowed event) but its
+                // magnitude is not metered, so the loss-budget invariant
+                // only applies to saturation-free streams.
+                continue;
+            }
+            let got = acc.read_f64();
+            let err = (got - exact.value()).abs();
+            // One extra ulp of the result covers the final truncating
+            // read-out, which is not part of the recorded losses.
+            let readout_ulp = (got.abs() as f32).to_bits().max(1);
+            let readout_ulp =
+                (f32::from_bits(readout_ulp + 1) as f64 - f32::from_bits(readout_ulp) as f64).abs();
+            let budget = acc.stats().rounding_loss + acc.stats().overwrite_loss + readout_ulp;
+            assert!(
+                err <= budget + 1e-30,
+                "{mode:?} trial {trial}: error {err} exceeds loss budget {budget}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_mode_tracks_kahan_within_rounding() {
+    let mut rng = SmallRng::seed_from_u64(0xF3);
+    for _ in 0..100 {
+        let values: Vec<f32> = (0..128).map(|_| random_f32(&mut rng, -10..10)).collect();
+        let mut acc = FpisaAccumulator::new(cfg(FpisaMode::Full));
+        let mut kahan = KahanAccumulator::new();
+        for &v in &values {
+            acc.add_f32(v).unwrap();
+            kahan.add(v as f64);
+        }
+        assert_eq!(acc.stats().overwrites, 0, "full mode must never overwrite");
+        let scale = values
+            .iter()
+            .map(|v| v.abs() as f64)
+            .sum::<f64>()
+            .max(1e-30);
+        let err = (acc.read_f64() - kahan.value()).abs() / scale;
+        assert!(
+            err < 1e-4,
+            "full-mode relative error {err} vs Kahan too large"
+        );
+    }
+}
+
+#[test]
+fn fpisa_a_overwrite_loss_is_bounded_by_headroom() {
+    let mut rng = SmallRng::seed_from_u64(0xF4);
+    let c = cfg(FpisaMode::Approximate);
+    let headroom = c.headroom_bits();
+    let mut total_overwrites = 0u64;
+    for _ in 0..200 {
+        let mut acc = FpisaAccumulator::new(c);
+        for _ in 0..64 {
+            let v = random_f32(&mut rng, -24..24);
+            let before = acc.value_f64();
+            let e_acc = acc.exponent();
+            let e_in = SwitchValue::from_f32(v, 32, 0).unwrap().exponent;
+            let events = acc.add_f32(v).unwrap();
+            for ev in events {
+                if let AddEvent::Overwrote { lost } = ev {
+                    total_overwrites += 1;
+                    assert!((lost - before.abs()).abs() <= 1e-12 * before.abs());
+                    // Overwrite requires delta > headroom, and the register
+                    // can hold at most 2^headroom worth of accumulated sum
+                    // above its base scale, so the discarded value is below
+                    // |v| * 2^(headroom + 1 - delta) <= |v|.
+                    let delta = e_in - e_acc;
+                    assert!(delta > headroom);
+                    let bound = v.abs() as f64
+                        * fpisa_core::format::pow2(headroom as i32 + 1 - delta as i32);
+                    assert!(
+                        lost < bound,
+                        "overwrite lost {lost}, incoming {v}, delta {delta}, bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        total_overwrites > 0,
+        "workload failed to exercise the overwrite path"
+    );
+}
+
+#[test]
+fn stepwise_plan_replay_matches_accumulator_state() {
+    let mut rng = SmallRng::seed_from_u64(0xF5);
+    for mode in [FpisaMode::Approximate, FpisaMode::Full] {
+        let c = cfg(mode);
+        for _ in 0..100 {
+            let mut acc = FpisaAccumulator::new(c);
+            // Shadow state driven purely by plan_add + register arithmetic.
+            let mut exp: u32 = 0;
+            let mut man: i64 = 0;
+            let mut init = false;
+            for _ in 0..48 {
+                let v = random_f32(&mut rng, -15..15);
+                let incoming = SwitchValue::from_f32(v, 32, 0).unwrap();
+                let decision = plan_add(&c, init, exp, incoming.exponent);
+                assert_eq!(
+                    decision,
+                    acc.plan_for(incoming.exponent),
+                    "plan_for disagrees"
+                );
+                match decision {
+                    AddDecision::Install => {
+                        exp = incoming.exponent;
+                        man = incoming.mantissa;
+                        init = true;
+                    }
+                    AddDecision::RightShiftIncoming { shift } => {
+                        man = sat_add(man, shr(incoming.mantissa, shift));
+                    }
+                    AddDecision::LeftShiftIncoming { shift } => {
+                        man = sat_add(man, incoming.mantissa << shift);
+                    }
+                    AddDecision::Overwrite => {
+                        exp = incoming.exponent;
+                        man = incoming.mantissa;
+                    }
+                    AddDecision::ShiftStored { shift } => {
+                        man = shr(man, shift);
+                        exp = incoming.exponent;
+                        man = sat_add(man, incoming.mantissa);
+                    }
+                }
+                acc.add_f32(v).unwrap();
+                assert_eq!(acc.exponent(), exp, "{mode:?}: exponent register diverged");
+                assert_eq!(acc.mantissa(), man, "{mode:?}: mantissa register diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn load_register_seeds_reference_state() {
+    let mut a = FpisaAccumulator::new(cfg(FpisaMode::Approximate));
+    a.add_f32(3.0).unwrap();
+    a.add_f32(0.5).unwrap();
+    let mut b = FpisaAccumulator::new(cfg(FpisaMode::Approximate));
+    b.load_register(a.exponent(), a.mantissa());
+    assert!(b.is_initialized());
+    assert_eq!(a.read_f32(), b.read_f32());
+    a.add_f32(-1.25).unwrap();
+    b.add_f32(-1.25).unwrap();
+    assert_eq!(a.read_f32().to_bits(), b.read_f32().to_bits());
+}
+
+/// 32-bit-register saturating add, mirroring `OverflowPolicy::Saturate`.
+fn sat_add(a: i64, b: i64) -> i64 {
+    (a + b).clamp(-(1i64 << 31), (1i64 << 31) - 1)
+}
+
+/// Arithmetic shift right matching the accumulator's barrel-shifter clamp.
+fn shr(v: i64, shift: u32) -> i64 {
+    if shift >= 63 {
+        if v < 0 {
+            -1
+        } else {
+            0
+        }
+    } else {
+        v >> shift
+    }
+}

@@ -69,7 +69,12 @@ impl CellLibrary {
         let mut put = |k: CellKind, area, leak, energy, delay| {
             cells.insert(
                 k,
-                CellParams { area_um2: area, leakage_nw: leak, switch_energy_fj: energy, delay_ps: delay },
+                CellParams {
+                    area_um2: area,
+                    leakage_nw: leak,
+                    switch_energy_fj: energy,
+                    delay_ps: delay,
+                },
             );
         };
         //            kind        area    leak   energy  delay
@@ -85,7 +90,10 @@ impl CellLibrary {
         put(FullAdder, 0.882, 11.0, 2.30, 16.0);
         put(HalfAdder, 0.490, 6.5, 1.30, 12.0);
         put(Dff, 0.980, 14.0, 2.80, 22.0);
-        CellLibrary { name: "FreePDK15-calibrated".to_string(), cells }
+        CellLibrary {
+            name: "FreePDK15-calibrated".to_string(),
+            cells,
+        }
     }
 
     /// Parameters of a cell type.
@@ -139,6 +147,8 @@ mod tests {
         // A flip-flop is bigger than a NAND; an XOR is bigger than an inverter.
         assert!(lib.params(CellKind::Dff).area_um2 > lib.params(CellKind::Nand2).area_um2);
         assert!(lib.params(CellKind::Xor2).area_um2 > lib.params(CellKind::Inv).area_um2);
-        assert!(lib.params(CellKind::FullAdder).area_um2 > lib.params(CellKind::HalfAdder).area_um2);
+        assert!(
+            lib.params(CellKind::FullAdder).area_um2 > lib.params(CellKind::HalfAdder).area_um2
+        );
     }
 }

@@ -70,7 +70,12 @@ pub fn comparator(lib: &CellLibrary, bits: u32) -> Netlist {
 ///
 /// Structure: `distance_bits` mux levels of `bits` 2:1 muxes each; a
 /// bidirectional shifter needs a reversal mux row at each end.
-pub fn barrel_shifter(lib: &CellLibrary, bits: u32, distance_bits: u32, bidirectional: bool) -> Netlist {
+pub fn barrel_shifter(
+    lib: &CellLibrary,
+    bits: u32,
+    distance_bits: u32,
+    bidirectional: bool,
+) -> Netlist {
     let mut n = Netlist::new(format!("shift{bits}x{distance_bits}"));
     let b = bits as u64;
     n.add(Mux2, b * distance_bits as u64);
@@ -184,7 +189,12 @@ pub fn fp_adder(lib: &CellLibrary, exp_bits: u32, man_bits: u32, stages: u32) ->
     n.compose_serial(&adder(lib, sig + 1, true));
     // Leading-zero count + normalization shifter (left, variable).
     n.compose_serial(&priority_encoder(lib, sig + 1));
-    n.compose_serial(&barrel_shifter(lib, sig + 1, log2_ceil(sig as u64 + 1), true));
+    n.compose_serial(&barrel_shifter(
+        lib,
+        sig + 1,
+        log2_ceil(sig as u64 + 1),
+        true,
+    ));
     // Rounding incrementer and exponent adjust.
     n.compose_serial(&adder(lib, man_bits + 1, false));
     n.compose_serial(&adder(lib, exp_bits, true));

@@ -23,7 +23,11 @@ pub struct Netlist {
 impl Netlist {
     /// An empty netlist with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Netlist { name: name.into(), counts: BTreeMap::new(), critical_path_ps: 0.0 }
+        Netlist {
+            name: name.into(),
+            counts: BTreeMap::new(),
+            critical_path_ps: 0.0,
+        }
     }
 
     /// Add `n` cells of a kind.
@@ -76,20 +80,30 @@ impl Netlist {
 
     /// Total area in µm² under a library.
     pub fn area_um2(&self, lib: &CellLibrary) -> f64 {
-        self.counts.iter().map(|(&k, &n)| lib.params(k).area_um2 * n as f64).sum()
+        self.counts
+            .iter()
+            .map(|(&k, &n)| lib.params(k).area_um2 * n as f64)
+            .sum()
     }
 
     /// Total leakage power in µW under a library.
     pub fn leakage_uw(&self, lib: &CellLibrary) -> f64 {
-        self.counts.iter().map(|(&k, &n)| lib.params(k).leakage_nw * n as f64).sum::<f64>() / 1000.0
+        self.counts
+            .iter()
+            .map(|(&k, &n)| lib.params(k).leakage_nw * n as f64)
+            .sum::<f64>()
+            / 1000.0
     }
 
     /// Dynamic power in µW at the given clock frequency (GHz) and switching
     /// activity factor (fraction of cells toggling per cycle).
     pub fn dynamic_power_uw(&self, lib: &CellLibrary, freq_ghz: f64, activity: f64) -> f64 {
         // energy_fJ * toggles/s = fJ * GHz * 1e9 -> W; convert to µW.
-        let energy_fj: f64 =
-            self.counts.iter().map(|(&k, &n)| lib.params(k).switch_energy_fj * n as f64).sum();
+        let energy_fj: f64 = self
+            .counts
+            .iter()
+            .map(|(&k, &n)| lib.params(k).switch_energy_fj * n as f64)
+            .sum();
         energy_fj * activity * freq_ghz * 1e9 * 1e-15 * 1e6
     }
 }
@@ -101,7 +115,9 @@ mod tests {
     #[test]
     fn add_and_count() {
         let mut n = Netlist::new("t");
-        n.add(CellKind::Nand2, 10).add(CellKind::Dff, 4).add(CellKind::Nand2, 5);
+        n.add(CellKind::Nand2, 10)
+            .add(CellKind::Dff, 4)
+            .add(CellKind::Nand2, 5);
         assert_eq!(n.count(CellKind::Nand2), 15);
         assert_eq!(n.count(CellKind::Dff), 4);
         assert_eq!(n.count(CellKind::Xor2), 0);
@@ -136,7 +152,8 @@ mod tests {
         assert!((big.area_um2(&lib) - 2.0 * small.area_um2(&lib)).abs() < 1e-9);
         assert!((big.leakage_uw(&lib) - 2.0 * small.leakage_uw(&lib)).abs() < 1e-9);
         assert!(
-            (big.dynamic_power_uw(&lib, 1.0, 0.2) - 2.0 * small.dynamic_power_uw(&lib, 1.0, 0.2)).abs()
+            (big.dynamic_power_uw(&lib, 1.0, 0.2) - 2.0 * small.dynamic_power_uw(&lib, 1.0, 0.2))
+                .abs()
                 < 1e-9
         );
     }

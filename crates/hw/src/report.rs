@@ -87,16 +87,64 @@ pub fn ratio(rows: &[Table1Row], unit: SwitchUnit, baseline: SwitchUnit) -> Opti
 /// Render the rows as an aligned text table (what the Table 1 experiment
 /// binary prints).
 pub fn render_table(rows: &[Table1Row]) -> String {
+    let headers = [
+        "Unit",
+        "Dyn power (uW)",
+        "Leakage (uW)",
+        "Area (um2)",
+        "Min delay (ps)",
+        "Cells",
+    ];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.1}", r.dynamic_power_uw),
+                format!("{:.1}", r.leakage_uw),
+                format!("{:.1}", r.area_um2),
+                format!("{:.0}", r.min_delay_ps),
+                r.cells.to_string(),
+            ]
+        })
+        .collect();
+    render_columns(&headers, &cells)
+}
+
+/// Render an arbitrary report as an aligned text table: the first column is
+/// left-aligned (row labels), every other column right-aligned, and each
+/// column is as wide as its widest cell. Shared by the Table 1 renderer
+/// above and the Table 3 renderer in `fpisa-pipeline`.
+pub fn render_columns(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "report row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<14} {:>14} {:>14} {:>12} {:>14} {:>8}\n",
-        "Unit", "Dyn power (uW)", "Leakage (uW)", "Area (um2)", "Min delay (ps)", "Cells"
-    ));
-    for r in rows {
-        out.push_str(&format!(
-            "{:<14} {:>14.1} {:>14.1} {:>12.1} {:>14.0} {:>8}\n",
-            r.name, r.dynamic_power_uw, r.leakage_uw, r.area_um2, r.min_delay_ps, r.cells
-        ));
+    let mut push_row = |cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        // Trim the padding of a left-aligned final column.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    push_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        push_row(row);
     }
     out
 }
@@ -162,5 +210,22 @@ mod tests {
     fn ratio_of_missing_unit_is_none() {
         let rows: Vec<Table1Row> = vec![];
         assert!(ratio(&rows, SwitchUnit::FpisaAlu, SwitchUnit::DefaultAlu).is_none());
+    }
+
+    #[test]
+    fn render_columns_aligns_and_sizes_to_content() {
+        let text = render_columns(
+            &["Name", "N"],
+            &[
+                vec!["short".into(), "1".into()],
+                vec!["a-much-longer-label".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All rows have identical width; numbers are right-aligned.
+        assert_eq!(lines[1].len(), lines[2].len());
+        assert!(lines[1].ends_with("    1"));
+        assert!(lines[2].ends_with("12345"));
     }
 }

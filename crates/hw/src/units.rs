@@ -200,8 +200,14 @@ mod tests {
         let area_ratio = ext.area_um2(&l) / base.area_um2(&l);
         let power_ratio = ext.dynamic_power_uw(&l, 1.0, 0.2) / base.dynamic_power_uw(&l, 1.0, 0.2);
         // Paper: +22.4% area, +13.0% power. Accept the same ballpark.
-        assert!(area_ratio > 1.02 && area_ratio < 1.45, "area ratio {area_ratio}");
-        assert!(power_ratio > 1.02 && power_ratio < 1.35, "power ratio {power_ratio}");
+        assert!(
+            area_ratio > 1.02 && area_ratio < 1.45,
+            "area ratio {area_ratio}"
+        );
+        assert!(
+            power_ratio > 1.02 && power_ratio < 1.35,
+            "power ratio {power_ratio}"
+        );
     }
 
     #[test]
@@ -212,8 +218,14 @@ mod tests {
         let area_ratio = rsaw.area_um2(&l) / raw.area_um2(&l);
         let delay_ratio = rsaw.critical_path_ps() / raw.critical_path_ps();
         // Paper: +35.0% area, +13.5% delay.
-        assert!(area_ratio > 1.1 && area_ratio < 1.7, "area ratio {area_ratio}");
-        assert!(delay_ratio > 1.05 && delay_ratio < 1.6, "delay ratio {delay_ratio}");
+        assert!(
+            area_ratio > 1.1 && area_ratio < 1.7,
+            "area ratio {area_ratio}"
+        );
+        assert!(
+            delay_ratio > 1.05 && delay_ratio < 1.6,
+            "delay ratio {delay_ratio}"
+        );
     }
 
     #[test]

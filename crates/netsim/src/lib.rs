@@ -1,1 +1,15 @@
-//! placeholder (under construction)
+//! # fpisa-netsim — host/network simulator (stub)
+//!
+//! Planned subsystem: a discrete-event simulator of workers, links and the
+//! switch data path, carrying the end-host cost models the paper measures
+//! in §5.3 (quantization to FP16/BF16 via [`fpisa_core::FpFormat`],
+//! endianness conversion, memcpy and GPU-copy costs) so that end-to-end
+//! training-throughput experiments (Figs. 7, 11) can be replayed without
+//! hardware.
+//!
+//! Not implemented yet — see the "Open items" section of `ROADMAP.md`. The
+//! crate exists so the workspace layout and dependency edges are fixed
+//! before the subsystem lands.
+
+#[doc(hidden)]
+pub use fpisa_core as _core;

@@ -1,1 +1,244 @@
-//! placeholder (under construction)
+//! # fpisa-pipeline
+//!
+//! The FPISA floating-point add/read dataflow of the paper's Fig. 2,
+//! compiled onto the PISA switch simulator from `fpisa-pisa` and
+//! differentially tested — bit for bit — against the reference model in
+//! `fpisa-core`.
+//!
+//! [`FpisaPipeline`] wraps a [`fpisa_pisa::Switch`] running the program
+//! built by [`program::build_program`]: per aggregation slot, a biased
+//! exponent register entry and a signed 32-bit mantissa register entry
+//! (Fig. 3), updated by ADD packets and renormalized by READ packets using
+//! only match tables and integer ALU operations. Three
+//! [`program::PipelineVariant`]s cover the paper's hardware spectrum —
+//! FPISA-A on unmodified Tofino (shift-by-match-table, overwrite past the
+//! headroom), FPISA-A with the proposed 2-operand shift ALU, and full
+//! FPISA with the RSAW stateful unit.
+//!
+//! The [`report`] module produces the Table 3-style resource accounting
+//! for each variant, rendered through the shared `fpisa-hw` report
+//! machinery.
+//!
+//! ## Example
+//!
+//! ```
+//! use fpisa_pipeline::{FpisaPipeline, PipelineVariant};
+//!
+//! let mut pipe = FpisaPipeline::new(PipelineVariant::TofinoA, 16).unwrap();
+//! pipe.add_f32(0, 3.0).unwrap();
+//! pipe.add_f32(0, 1.0).unwrap();
+//! assert_eq!(pipe.read_f32(0).unwrap(), 4.0); // Fig. 4's worked example
+//! ```
+//!
+//! ## Scope
+//!
+//! The program reproduces the core configuration the paper deploys —
+//! FP32 in 32-bit registers, no guard bits, saturating overflow,
+//! truncating read-out (`FpisaConfig::fp32_tofino()` /
+//! `fp32_extended()`). Inputs must be finite: a PISA switch has no NaN
+//! semantics, and the paper assumes hosts send finite values.
+
+pub mod program;
+pub mod report;
+
+pub use program::{build_program, Arrays, Fields, PipelineVariant, OP_ADD, OP_READ};
+pub use report::{render_stage_breakdown, render_table3, table3, Table3Row};
+
+use fpisa_core::FpisaConfig;
+use fpisa_pisa::{ProgramError, ResourceReport, RuntimeError, Switch, SwitchProgram};
+
+/// A running FPISA pipeline: the Fig. 2 program instantiated on the switch
+/// simulator with `slots` aggregation slots.
+#[derive(Debug, Clone)]
+pub struct FpisaPipeline {
+    switch: Switch,
+    fields: Fields,
+    arrays: Arrays,
+    variant: PipelineVariant,
+    slots: usize,
+}
+
+impl FpisaPipeline {
+    /// Build and validate the program for a variant, with zeroed slots.
+    pub fn new(variant: PipelineVariant, slots: usize) -> Result<Self, ProgramError> {
+        let (program, fields, arrays) = build_program(variant, slots);
+        let switch = Switch::new(program)?;
+        Ok(FpisaPipeline {
+            switch,
+            fields,
+            arrays,
+            variant,
+            slots,
+        })
+    }
+
+    /// The variant this pipeline runs.
+    pub fn variant(&self) -> PipelineVariant {
+        self.variant
+    }
+
+    /// Number of aggregation slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The `fpisa-core` configuration this pipeline reproduces.
+    pub fn core_config(&self) -> FpisaConfig {
+        self.variant.core_config()
+    }
+
+    /// The underlying validated switch program.
+    pub fn switch_program(&self) -> &SwitchProgram {
+        self.switch.program()
+    }
+
+    /// The PHV field handles (for custom packet injection in tests).
+    pub fn fields(&self) -> &Fields {
+        &self.fields
+    }
+
+    /// Resource accounting of the running program.
+    pub fn resource_report(&self) -> ResourceReport {
+        ResourceReport::of(self.switch.program())
+    }
+
+    /// Process an ADD packet: fold packed FP32 `bits` into `slot`.
+    ///
+    /// Non-finite inputs are the caller's responsibility (see the crate
+    /// docs); the switch will process their bit patterns like any others.
+    pub fn add_bits(&mut self, slot: usize, bits: u32) -> Result<(), RuntimeError> {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        let mut phv = self.switch.phv();
+        phv.set(self.fields.op, OP_ADD);
+        phv.set(self.fields.slot, slot as u64);
+        phv.set(self.fields.value, bits as u64);
+        self.switch.run(&mut phv)?;
+        Ok(())
+    }
+
+    /// Process an ADD packet carrying an `f32`.
+    pub fn add_f32(&mut self, slot: usize, x: f32) -> Result<(), RuntimeError> {
+        self.add_bits(slot, x.to_bits())
+    }
+
+    /// Process a READ packet: renormalize `slot` into packed FP32 bits.
+    /// Reading does not modify the slot.
+    pub fn read_bits(&mut self, slot: usize) -> Result<u32, RuntimeError> {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        let mut phv = self.switch.phv();
+        phv.set(self.fields.op, OP_READ);
+        phv.set(self.fields.slot, slot as u64);
+        self.switch.run(&mut phv)?;
+        Ok(phv.get(self.fields.result) as u32)
+    }
+
+    /// Process a READ packet and decode the result.
+    pub fn read_f32(&mut self, slot: usize) -> Result<f32, RuntimeError> {
+        Ok(f32::from_bits(self.read_bits(slot)?))
+    }
+
+    /// Raw register state of a slot: `(biased exponent, signed mantissa)`.
+    /// `(0, 0)` is an empty slot. Control-plane access used by the
+    /// differential tests to compare against the reference model.
+    pub fn register_state(&self, slot: usize) -> (u32, i64) {
+        (
+            self.switch.register(self.arrays.exponent, slot) as u32,
+            self.switch.register(self.arrays.mantissa, slot),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_worked_example_on_every_variant() {
+        for v in PipelineVariant::all() {
+            let mut pipe = FpisaPipeline::new(v, 4).unwrap();
+            pipe.add_f32(0, 3.0).unwrap();
+            assert_eq!(pipe.read_f32(0).unwrap(), 3.0, "{v:?}");
+            pipe.add_f32(0, 1.0).unwrap();
+            // The register is denormalized (0b10.0 x 2^1)...
+            let (e, m) = pipe.register_state(0);
+            assert_eq!(e, 128, "{v:?}");
+            assert_eq!(m, 0b100 << 22, "{v:?}");
+            // ...but reads back as the canonical 4.0.
+            assert_eq!(pipe.read_f32(0).unwrap(), 4.0, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_slots_read_zero() {
+        for v in PipelineVariant::all() {
+            let mut pipe = FpisaPipeline::new(v, 4).unwrap();
+            assert_eq!(pipe.read_bits(1).unwrap(), 0, "{v:?} empty slot");
+            pipe.add_f32(2, 0.0).unwrap();
+            pipe.add_f32(2, -0.0).unwrap();
+            assert_eq!(pipe.read_bits(2).unwrap(), 0, "{v:?} zero inputs skip");
+            assert_eq!(pipe.register_state(2), (0, 0));
+        }
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut pipe = FpisaPipeline::new(PipelineVariant::TofinoA, 8).unwrap();
+        pipe.add_f32(1, 1.5).unwrap();
+        pipe.add_f32(5, -2.25).unwrap();
+        pipe.add_f32(1, 0.5).unwrap();
+        assert_eq!(pipe.read_f32(1).unwrap(), 2.0);
+        assert_eq!(pipe.read_f32(5).unwrap(), -2.25);
+        assert_eq!(pipe.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn overwrite_happens_on_tofino_but_not_full() {
+        let mut a = FpisaPipeline::new(PipelineVariant::TofinoA, 1).unwrap();
+        a.add_f32(0, 1.0).unwrap();
+        a.add_f32(0, 512.0).unwrap();
+        assert_eq!(
+            a.read_f32(0).unwrap(),
+            512.0,
+            "FPISA-A overwrites past the headroom"
+        );
+
+        let mut fp = FpisaPipeline::new(PipelineVariant::ExtendedFull, 1).unwrap();
+        fp.add_f32(0, 1.0).unwrap();
+        fp.add_f32(0, 512.0).unwrap();
+        assert_eq!(
+            fp.read_f32(0).unwrap(),
+            513.0,
+            "RSAW keeps the stored value"
+        );
+    }
+
+    #[test]
+    fn subnormals_and_cancellation() {
+        for v in PipelineVariant::all() {
+            let mut pipe = FpisaPipeline::new(v, 2).unwrap();
+            let tiny = f32::from_bits(7);
+            pipe.add_f32(0, tiny).unwrap();
+            pipe.add_f32(0, tiny).unwrap();
+            assert_eq!(pipe.read_bits(0).unwrap(), 14, "{v:?} subnormal sum");
+
+            pipe.add_f32(1, 1.0).unwrap();
+            pipe.add_f32(1, -(1.0 - 2f32.powi(-20))).unwrap();
+            assert_eq!(
+                pipe.read_f32(1).unwrap(),
+                2f32.powi(-20),
+                "{v:?} cancellation"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_do_not_disturb_state() {
+        let mut pipe = FpisaPipeline::new(PipelineVariant::ExtendedFull, 1).unwrap();
+        pipe.add_f32(0, 0.1).unwrap();
+        let before = pipe.register_state(0);
+        for _ in 0..5 {
+            pipe.read_bits(0).unwrap();
+        }
+        assert_eq!(pipe.register_state(0), before);
+    }
+}

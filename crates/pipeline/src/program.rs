@@ -1,0 +1,853 @@
+//! The Fig. 2 dataflow, compiled onto the PISA simulator.
+//!
+//! One program implements both FPISA packet operations:
+//!
+//! * **ADD** (`op = 0`): decompose the packed FP32 in `value`, align it to
+//!   the slot's scale and fold it into the exponent/mantissa register
+//!   arrays — stages 0–5, mirroring MAU0–MAU4 of Fig. 2.
+//! * **READ** (`op = 1`): read the slot and renormalize it back to packed
+//!   IEEE bits in `result` — stages 6–10, mirroring MAU5–MAU8 (the
+//!   conversion-back path), with truncating (toward-zero) rounding.
+//!
+//! The three [`PipelineVariant`]s change *how* alignment shifts happen,
+//! which is exactly the paper's hardware argument:
+//!
+//! * [`PipelineVariant::TofinoA`] — FPISA-A on today's hardware: no
+//!   2-operand shift, so every variable shift becomes a **match table**
+//!   keyed on the exponent difference with one constant-shift action per
+//!   distance; no RSAW, so a too-large incoming exponent **overwrites**
+//!   the slot.
+//! * [`PipelineVariant::ExtendedA`] — FPISA-A plus the FPISA ALU
+//!   (metadata-distance shifts): same numerics, far fewer table entries.
+//! * [`PipelineVariant::ExtendedFull`] — full FPISA: metadata shifts plus
+//!   the RSAW stateful unit, so the *stored* mantissa is aligned in place
+//!   and no overwrite ever happens.
+//!
+//! Every variant is differentially tested bit-for-bit against
+//! [`fpisa_core::FpisaAccumulator`] with the matching
+//! [`fpisa_core::FpisaMode`].
+
+use fpisa_core::{FpisaConfig, FpisaMode};
+use fpisa_pisa::{
+    Action, AluOp, CmpOp, FieldId, KeyMatch, MatchKind, Operand, PhvLayout, RegArrayId,
+    RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, Stage, StatefulCall, SwitchCaps,
+    SwitchProgram, Table,
+};
+use serde::{Deserialize, Serialize};
+
+/// Packet opcode: fold a value into a slot.
+pub const OP_ADD: u64 = 0;
+/// Packet opcode: read a slot out as packed IEEE bits.
+pub const OP_READ: u64 = 1;
+
+/// Which hardware/algorithm combination the program targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineVariant {
+    /// FPISA-A on unmodified Tofino: shift-by-table, overwrite on large
+    /// exponent jumps.
+    TofinoA,
+    /// FPISA-A with the 2-operand-shift ALU extension.
+    ExtendedA,
+    /// Full FPISA: 2-operand shifts plus the RSAW stateful unit.
+    ExtendedFull,
+}
+
+impl PipelineVariant {
+    /// All variants, in Table 3 order.
+    pub fn all() -> [PipelineVariant; 3] {
+        [
+            PipelineVariant::TofinoA,
+            PipelineVariant::ExtendedA,
+            PipelineVariant::ExtendedFull,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineVariant::TofinoA => "FPISA-A (Tofino)",
+            PipelineVariant::ExtendedA => "FPISA-A (+shift ALU)",
+            PipelineVariant::ExtendedFull => "FPISA (full, RSAW)",
+        }
+    }
+
+    /// The accumulator mode this variant computes.
+    pub fn mode(&self) -> FpisaMode {
+        match self {
+            PipelineVariant::TofinoA | PipelineVariant::ExtendedA => FpisaMode::Approximate,
+            PipelineVariant::ExtendedFull => FpisaMode::Full,
+        }
+    }
+
+    /// The capability profile this variant requires.
+    pub fn caps(&self) -> SwitchCaps {
+        match self {
+            PipelineVariant::TofinoA => SwitchCaps::tofino(),
+            PipelineVariant::ExtendedA => SwitchCaps {
+                metadata_shift: true,
+                ..SwitchCaps::tofino()
+            },
+            PipelineVariant::ExtendedFull => SwitchCaps::fpisa_extended(),
+        }
+    }
+
+    /// The `fpisa-core` configuration this variant reproduces
+    /// (FP32 in 32-bit registers, no guard bits, saturating overflow,
+    /// truncating read-out).
+    pub fn core_config(&self) -> FpisaConfig {
+        match self.mode() {
+            FpisaMode::Approximate => FpisaConfig::fp32_tofino(),
+            FpisaMode::Full => FpisaConfig::fp32_extended(),
+        }
+    }
+}
+
+/// The PHV fields the program uses. Public so tests and the driver can
+/// inject/extract packets.
+#[derive(Debug, Clone)]
+pub struct Fields {
+    /// Packet opcode ([`OP_ADD`] or [`OP_READ`]).
+    pub op: FieldId,
+    /// Aggregation slot index.
+    pub slot: FieldId,
+    /// Packed FP32 input (ADD).
+    pub value: FieldId,
+    /// Packed FP32 output (READ).
+    pub result: FieldId,
+    /// Set for ±0 inputs: the packet skips all state updates.
+    pub skip: FieldId,
+
+    // -- decompose (MAU0/MAU1) --
+    pub(crate) sign: FieldId,
+    pub(crate) e_in: FieldId,
+    pub(crate) frac: FieldId,
+    pub(crate) sig: FieldId,
+    pub(crate) man_in: FieldId,
+    pub(crate) e_in_mh: FieldId,
+
+    // -- align + accumulate (MAU2-MAU4) --
+    pub(crate) e_old: FieldId,
+    pub(crate) d1: FieldId,
+    pub(crate) d2: FieldId,
+    pub(crate) bigger: FieldId,
+    pub(crate) p_empty: Option<FieldId>,
+    pub(crate) p_far: Option<FieldId>,
+    pub(crate) wr: Option<FieldId>,
+    pub(crate) man_shifted: FieldId,
+
+    // -- read-out / renormalize (MAU5-MAU8) --
+    pub(crate) man_r: FieldId,
+    pub(crate) neg: FieldId,
+    pub(crate) rz: FieldId,
+    pub(crate) mag: FieldId,
+    pub(crate) top: FieldId,
+    pub(crate) shift_amt: FieldId,
+    pub(crate) exp_field: FieldId,
+    pub(crate) sub: FieldId,
+    pub(crate) inf: FieldId,
+    pub(crate) extra: FieldId,
+    pub(crate) frac_shift: FieldId,
+    pub(crate) fs_neg: FieldId,
+    pub(crate) nfs: Option<FieldId>,
+    pub(crate) sig_out: FieldId,
+    pub(crate) exp_out: FieldId,
+    pub(crate) t1: FieldId,
+    pub(crate) t2: FieldId,
+}
+
+/// The two register arrays of Fig. 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrays {
+    /// Biased-exponent array (stage 2; 0 = empty slot).
+    pub exponent: RegArrayId,
+    /// Signed-mantissa array (stage 5).
+    pub mantissa: RegArrayId,
+}
+
+const MAN_BITS: u64 = 23;
+const FRAC_MASK: u64 = 0x7F_FFFF;
+const IMPLIED_ONE: u64 = 0x80_0000;
+const EXP_MASK: u64 = 0xFF;
+const MAX_EXP_FIELD: i64 = 255;
+/// Largest meaningful arithmetic right shift for a 32-bit register: the
+/// core model clamps at `register_bits + 1`.
+const MAX_RSHIFT: u32 = 33;
+
+fn f(id: FieldId) -> Operand {
+    Operand::Field(id)
+}
+fn c(v: i64) -> Operand {
+    Operand::Const(v)
+}
+
+/// Build the Fig. 2 program for a variant and a slot count. The returned
+/// program is guaranteed to validate against [`PipelineVariant::caps`].
+pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, Fields, Arrays) {
+    assert!(
+        slots > 0 && slots <= 1 << 16,
+        "slot count must fit the 16-bit slot field"
+    );
+    let caps = variant.caps();
+    let approx = variant.mode() == FpisaMode::Approximate;
+    let headroom = variant.core_config().headroom_bits() as i64;
+
+    let mut l = PhvLayout::new();
+    let fields = Fields {
+        op: l.field("op", 2),
+        slot: l.field("slot", 16),
+        value: l.field("value", 32),
+        result: l.field("result", 32),
+        skip: l.field("skip", 1),
+        sign: l.field("sign", 1),
+        e_in: l.field("e_in", 32),
+        frac: l.field("frac", 32),
+        sig: l.field("sig", 32),
+        man_in: l.field("man_in", 32),
+        e_in_mh: l.field("e_in_mh", 32),
+        e_old: l.field("e_old", 32),
+        d1: l.field("d1", 32),
+        d2: l.field("d2", 32),
+        bigger: l.field("bigger", 1),
+        p_empty: approx.then(|| l.field("p_empty", 1)),
+        p_far: approx.then(|| l.field("p_far", 1)),
+        wr: approx.then(|| l.field("wr", 1)),
+        man_shifted: l.field("man_shifted", 32),
+        man_r: l.field("man_r", 32),
+        neg: l.field("neg", 1),
+        rz: l.field("rz", 1),
+        mag: l.field("mag", 32),
+        top: l.field("top", 8),
+        shift_amt: l.field("shift_amt", 32),
+        exp_field: l.field("exp_field", 32),
+        sub: l.field("sub", 1),
+        inf: l.field("inf", 1),
+        extra: l.field("extra", 32),
+        frac_shift: l.field("frac_shift", 32),
+        fs_neg: l.field("fs_neg", 1),
+        nfs: caps.metadata_shift.then(|| l.field("nfs", 32)),
+        sig_out: l.field("sig_out", 32),
+        exp_out: l.field("exp_out", 32),
+        t1: l.field("t1", 32),
+        t2: l.field("t2", 32),
+    };
+    let fd = &fields;
+
+    let arrays = Arrays {
+        exponent: RegArrayId(0),
+        mantissa: RegArrayId(1),
+    };
+    let array_specs = vec![
+        RegisterArraySpec {
+            name: "exp_reg".into(),
+            width_bits: 9,
+            entries: slots,
+            stage: 2,
+        },
+        RegisterArraySpec {
+            name: "man_reg".into(),
+            width_bits: 32,
+            entries: slots,
+            stage: 5,
+        },
+    ];
+
+    // ---------------- Stage 0: parse / extract (MAU0) ----------------
+    let extract = Action::nop("extract")
+        .prim(fd.sign, AluOp::ShrLogic, f(fd.value), c(31))
+        .prim(fd.e_in, AluOp::ShrLogic, f(fd.value), c(MAN_BITS as i64))
+        .prim(fd.e_in, AluOp::And, f(fd.e_in), c(EXP_MASK as i64))
+        .prim(fd.frac, AluOp::And, f(fd.value), c(FRAC_MASK as i64));
+    let classify = Table::keyed(
+        "classify",
+        vec![(fd.e_in, MatchKind::Exact), (fd.frac, MatchKind::Exact)],
+        vec![
+            Action::nop("zero").set(fd.skip, c(1)),
+            Action::nop("subnormal")
+                .set(fd.sig, f(fd.frac))
+                .set(fd.e_in, c(1)),
+            Action::nop("normal").prim(fd.sig, AluOp::Or, f(fd.frac), c(IMPLIED_ONE as i64)),
+        ],
+        Some(2),
+    )
+    .entry(vec![KeyMatch::Exact(0), KeyMatch::Exact(0)], 2, 0)
+    .entry(vec![KeyMatch::Exact(0), KeyMatch::Any], 1, 1);
+    let stage0 = Stage::new()
+        .table(Table::always("extract", extract))
+        .table(classify);
+
+    // ---------------- Stage 1: two's complement + headroom (MAU1) -----
+    let apply_sign = Table::keyed(
+        "apply_sign",
+        vec![(fd.sign, MatchKind::Exact)],
+        vec![
+            Action::nop("negate").prim(fd.man_in, AluOp::Sub, c(0), f(fd.sig)),
+            Action::nop("copy").set(fd.man_in, f(fd.sig)),
+        ],
+        Some(1),
+    )
+    .entry(vec![KeyMatch::Exact(1)], 1, 0);
+    let prep = Action::nop("headroom").prim(fd.e_in_mh, AluOp::Sub, f(fd.e_in), c(headroom));
+    let stage1 = Stage::new()
+        .table(apply_sign)
+        .table(Table::always("prep", prep));
+
+    // ---------------- Stage 2: exponent stateful ALU (MAU2) ----------
+    // Stored exponent 0 means "slot empty": every real value has a biased
+    // exponent >= 1 (subnormals are installed with exponent 1).
+    let exp_cond = if approx {
+        // Install (empty) or overwrite (further than the headroom).
+        SaluCond::Or(
+            Box::new(SaluCond::RegCmp {
+                cmp: CmpOp::Eq,
+                rhs: c(0),
+            }),
+            Box::new(SaluCond::RegCmp {
+                cmp: CmpOp::Lt,
+                rhs: f(fd.e_in_mh),
+            }),
+        )
+    } else {
+        // Full FPISA: the exponent simply tracks the running maximum.
+        SaluCond::RegCmp {
+            cmp: CmpOp::Lt,
+            rhs: f(fd.e_in),
+        }
+    };
+    let exp_add = Action::nop("exp_add").call(StatefulCall {
+        array: arrays.exponent,
+        index: f(fd.slot),
+        cond: exp_cond,
+        on_true: SaluUpdate::Write(f(fd.e_in)),
+        on_false: SaluUpdate::Keep,
+        output: Some((fd.e_old, SaluOutput::Old)),
+    });
+    let exp_read = Action::nop("exp_read").call(StatefulCall {
+        array: arrays.exponent,
+        index: f(fd.slot),
+        cond: SaluCond::Always,
+        on_true: SaluUpdate::Keep,
+        on_false: SaluUpdate::Keep,
+        output: Some((fd.e_old, SaluOutput::Old)),
+    });
+    let exp_table = Table::keyed(
+        "exponent",
+        vec![(fd.op, MatchKind::Exact), (fd.skip, MatchKind::Exact)],
+        vec![exp_add, exp_read],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_ADD), KeyMatch::Exact(0)], 1, 0)
+    .entry(vec![KeyMatch::Exact(OP_READ), KeyMatch::Any], 1, 1);
+    let stage2 = Stage::new().table(exp_table);
+
+    // ---------------- Stage 3: exponent difference (MAU2') -----------
+    let mut delta = Action::nop("delta")
+        .prim(fd.d1, AluOp::Sub, f(fd.e_old), f(fd.e_in))
+        .prim(fd.d2, AluOp::Sub, f(fd.e_in), f(fd.e_old))
+        .prim(fd.bigger, AluOp::CmpGt, f(fd.e_in), f(fd.e_old));
+    if approx {
+        let (p_empty, p_far, wr) = (fd.p_empty.unwrap(), fd.p_far.unwrap(), fd.wr.unwrap());
+        delta = delta
+            .prim(p_empty, AluOp::CmpEq, f(fd.e_old), c(0))
+            .prim(p_far, AluOp::CmpLt, f(fd.e_old), f(fd.e_in_mh))
+            .prim(wr, AluOp::Or, f(p_empty), f(p_far));
+    }
+    let delta_table = Table::keyed(
+        "delta",
+        vec![(fd.op, MatchKind::Exact), (fd.skip, MatchKind::Exact)],
+        vec![delta],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_ADD), KeyMatch::Exact(0)], 1, 0);
+    let stage3 = Stage::new().table(delta_table);
+
+    // ---------------- Stage 4: align the incoming mantissa (MAU3) ----
+    let stage4 = Stage::new().table(build_align_table(variant, fd));
+
+    // ---------------- Stage 5: mantissa stateful ALU (MAU4) ----------
+    let man_update = if approx {
+        StatefulCall {
+            array: arrays.mantissa,
+            index: f(fd.slot),
+            cond: SaluCond::MetaNonZero(fd.wr.unwrap()),
+            // Install/overwrite takes the unshifted mantissa; otherwise a
+            // saturating RAW add of the aligned one.
+            on_true: SaluUpdate::Write(f(fd.man_in)),
+            on_false: SaluUpdate::AddSat(f(fd.man_shifted)),
+            output: None,
+        }
+    } else {
+        StatefulCall {
+            array: arrays.mantissa,
+            index: f(fd.slot),
+            cond: SaluCond::MetaNonZero(fd.bigger),
+            // RSAW: align the *stored* value, then add the incoming one.
+            on_true: SaluUpdate::ShiftRightAddSat {
+                shift: f(fd.d2),
+                addend: f(fd.man_in),
+            },
+            on_false: SaluUpdate::AddSat(f(fd.man_shifted)),
+            output: None,
+        }
+    };
+    let man_add = Action::nop("man_add").call(man_update);
+    let man_read = Action::nop("man_read").call(StatefulCall {
+        array: arrays.mantissa,
+        index: f(fd.slot),
+        cond: SaluCond::Always,
+        on_true: SaluUpdate::Keep,
+        on_false: SaluUpdate::Keep,
+        output: Some((fd.man_r, SaluOutput::Old)),
+    });
+    let man_table = Table::keyed(
+        "mantissa",
+        vec![(fd.op, MatchKind::Exact), (fd.skip, MatchKind::Exact)],
+        vec![man_add, man_read],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_ADD), KeyMatch::Exact(0)], 1, 0)
+    .entry(vec![KeyMatch::Exact(OP_READ), KeyMatch::Any], 1, 1);
+    let stage5 = Stage::new().table(man_table);
+
+    // ---------------- Stage 6: sign + magnitude (MAU5) ---------------
+    let read_flags = Table::keyed(
+        "read_flags",
+        vec![(fd.op, MatchKind::Exact)],
+        vec![Action::nop("flags")
+            .prim(fd.neg, AluOp::CmpLt, f(fd.man_r), c(0))
+            .prim(fd.rz, AluOp::CmpEq, f(fd.man_r), c(0))],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_READ)], 1, 0);
+    let absval = Table::keyed(
+        "absval",
+        vec![(fd.op, MatchKind::Exact), (fd.neg, MatchKind::Exact)],
+        vec![
+            Action::nop("neg_mag").prim(fd.mag, AluOp::Sub, c(0), f(fd.man_r)),
+            Action::nop("pos_mag").set(fd.mag, f(fd.man_r)),
+        ],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(1)], 1, 0)
+    .entry(vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(0)], 1, 1);
+    let stage6 = Stage::new().table(read_flags).table(absval);
+
+    // ---------------- Stage 7: leading-one via TCAM LPM (MAU6) -------
+    // The Fig. 5 trick: 32 ternary entries, one per leading-one position.
+    let mut lpm = Table::keyed(
+        "find_top",
+        vec![(fd.op, MatchKind::Exact), (fd.mag, MatchKind::Ternary)],
+        (0..32u32)
+            .map(|t| Action::nop(format!("top{t}")).set(fd.top, c(t as i64)))
+            .collect(),
+        None,
+    );
+    for t in 0..32u32 {
+        let mask = (!((1u64 << t) - 1)) & 0xFFFF_FFFF;
+        lpm = lpm.entry(
+            vec![
+                KeyMatch::Exact(OP_READ),
+                KeyMatch::Ternary {
+                    value: 1u64 << t,
+                    mask,
+                },
+            ],
+            t + 1,
+            t as usize,
+        );
+    }
+    let stage7 = Stage::new().table(lpm);
+
+    // ---------------- Stage 8: renormalization arithmetic (MAU7) -----
+    let norm = Table::keyed(
+        "normalize",
+        vec![(fd.op, MatchKind::Exact)],
+        vec![Action::nop("norm")
+            .prim(fd.shift_amt, AluOp::Sub, f(fd.top), c(MAN_BITS as i64))
+            .prim(fd.exp_field, AluOp::Add, f(fd.e_old), f(fd.shift_amt))
+            .prim(fd.sub, AluOp::CmpLt, f(fd.exp_field), c(1))
+            .prim(fd.inf, AluOp::CmpGe, f(fd.exp_field), c(MAX_EXP_FIELD))
+            .prim(fd.extra, AluOp::Sub, c(1), f(fd.exp_field))],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_READ)], 1, 0);
+    let subsel = Table::keyed(
+        "subnormal_select",
+        vec![(fd.op, MatchKind::Exact), (fd.sub, MatchKind::Exact)],
+        vec![
+            Action::nop("normal_out")
+                .set(fd.frac_shift, f(fd.shift_amt))
+                .set(fd.exp_out, f(fd.exp_field))
+                .prim(fd.fs_neg, AluOp::CmpLt, f(fd.frac_shift), c(0)),
+            Action::nop("subnormal_out")
+                .prim(fd.frac_shift, AluOp::Add, f(fd.shift_amt), f(fd.extra))
+                .set(fd.exp_out, c(0))
+                .prim(fd.fs_neg, AluOp::CmpLt, f(fd.frac_shift), c(0)),
+        ],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(0)], 1, 0)
+    .entry(vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(1)], 1, 1);
+    let stage8 = Stage::new().table(norm).table(subsel);
+
+    // ---------------- Stage 9: final mantissa shift (MAU8) -----------
+    let mask_tbl = Table::keyed(
+        "mask_frac",
+        vec![(fd.op, MatchKind::Exact)],
+        vec![Action::nop("mask").prim(fd.frac, AluOp::And, f(fd.sig_out), c(FRAC_MASK as i64))],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_READ)], 1, 0);
+    let stage9 = Stage::new()
+        .table(build_fracshift_table(variant, fd))
+        .table(mask_tbl);
+
+    // ---------------- Stage 10: pack (MAU8') --------------------------
+    let pack = Table::keyed(
+        "pack",
+        vec![
+            (fd.op, MatchKind::Exact),
+            (fd.rz, MatchKind::Exact),
+            (fd.inf, MatchKind::Exact),
+        ],
+        vec![
+            Action::nop("pack_zero").set(fd.result, c(0)),
+            Action::nop("pack_inf")
+                .prim(fd.t1, AluOp::Shl, f(fd.neg), c(31))
+                .prim(fd.result, AluOp::Or, f(fd.t1), c(0x7F80_0000)),
+            Action::nop("pack_value")
+                .prim(fd.t1, AluOp::Shl, f(fd.neg), c(31))
+                .prim(fd.t2, AluOp::Shl, f(fd.exp_out), c(MAN_BITS as i64))
+                .prim(fd.t1, AluOp::Or, f(fd.t1), f(fd.t2))
+                .prim(fd.result, AluOp::Or, f(fd.t1), f(fd.frac)),
+        ],
+        None,
+    )
+    .entry(
+        vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(1), KeyMatch::Any],
+        3,
+        0,
+    )
+    .entry(
+        vec![
+            KeyMatch::Exact(OP_READ),
+            KeyMatch::Exact(0),
+            KeyMatch::Exact(1),
+        ],
+        2,
+        1,
+    )
+    .entry(
+        vec![
+            KeyMatch::Exact(OP_READ),
+            KeyMatch::Exact(0),
+            KeyMatch::Exact(0),
+        ],
+        1,
+        2,
+    );
+    let stage10 = Stage::new().table(pack);
+
+    let program = SwitchProgram {
+        caps,
+        layout: l,
+        stages: vec![
+            stage0, stage1, stage2, stage3, stage4, stage5, stage6, stage7, stage8, stage9, stage10,
+        ],
+        arrays: array_specs,
+        recirc_field: None,
+    };
+    (program, fields, arrays)
+}
+
+/// Stage-4 alignment of the incoming mantissa (MAU3). On extended
+/// hardware this is one action per path using metadata-distance shifts; on
+/// Tofino it is the paper's shift-offset match table keyed on the exponent
+/// difference, with one constant-shift action per distance.
+fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
+    let approx = variant.mode() == FpisaMode::Approximate;
+    match variant {
+        PipelineVariant::ExtendedA | PipelineVariant::ExtendedFull => {
+            let mut keys = vec![(fd.op, MatchKind::Exact), (fd.skip, MatchKind::Exact)];
+            if approx {
+                keys.push((fd.wr.unwrap(), MatchKind::Exact));
+            }
+            keys.push((fd.bigger, MatchKind::Exact));
+            let copy = Action::nop("keep_unshifted").set(fd.man_shifted, f(fd.man_in));
+            let shr = Action::nop("shr_meta").prim(
+                fd.man_shifted,
+                AluOp::ShrArith,
+                f(fd.man_in),
+                f(fd.d1),
+            );
+            let mut t;
+            if approx {
+                let shl = Action::nop("shl_meta").prim(
+                    fd.man_shifted,
+                    AluOp::Shl,
+                    f(fd.man_in),
+                    f(fd.d2),
+                );
+                t = Table::keyed("align", keys, vec![copy, shr, shl], None)
+                    // wr: the unshifted mantissa is written; shift is moot.
+                    .entry(
+                        vec![
+                            KeyMatch::Exact(OP_ADD),
+                            KeyMatch::Exact(0),
+                            KeyMatch::Exact(1),
+                            KeyMatch::Any,
+                        ],
+                        3,
+                        0,
+                    )
+                    .entry(
+                        vec![
+                            KeyMatch::Exact(OP_ADD),
+                            KeyMatch::Exact(0),
+                            KeyMatch::Exact(0),
+                            KeyMatch::Exact(1),
+                        ],
+                        2,
+                        2,
+                    )
+                    .entry(
+                        vec![
+                            KeyMatch::Exact(OP_ADD),
+                            KeyMatch::Exact(0),
+                            KeyMatch::Exact(0),
+                            KeyMatch::Exact(0),
+                        ],
+                        1,
+                        1,
+                    );
+            } else {
+                // Full FPISA: a larger incoming exponent leaves the incoming
+                // mantissa unshifted (the RSAW unit aligns the stored one).
+                t = Table::keyed("align", keys, vec![copy, shr], None)
+                    .entry(
+                        vec![
+                            KeyMatch::Exact(OP_ADD),
+                            KeyMatch::Exact(0),
+                            KeyMatch::Exact(1),
+                        ],
+                        2,
+                        0,
+                    )
+                    .entry(
+                        vec![
+                            KeyMatch::Exact(OP_ADD),
+                            KeyMatch::Exact(0),
+                            KeyMatch::Exact(0),
+                        ],
+                        1,
+                        1,
+                    );
+            }
+            t = t.with_capacity(8);
+            t
+        }
+        PipelineVariant::TofinoA => {
+            // No 2-operand shift: enumerate the shift distances as exact
+            // matches on the (two's complement) exponent difference d2.
+            let headroom = variant.core_config().headroom_bits();
+            let mut actions: Vec<Action> = Vec::new();
+            let mut t = Table::keyed(
+                "align_shift_table",
+                vec![
+                    (fd.op, MatchKind::Exact),
+                    (fd.skip, MatchKind::Exact),
+                    (fd.bigger, MatchKind::Exact),
+                    (fd.d2, MatchKind::Exact),
+                ],
+                Vec::new(),
+                None,
+            );
+            // Left shifts: d2 in 1..=headroom (past that, wr takes over and
+            // the shifted value is unused).
+            for k in 1..=headroom {
+                actions.push(Action::nop(format!("shl{k}")).prim(
+                    fd.man_shifted,
+                    AluOp::Shl,
+                    f(fd.man_in),
+                    c(k as i64),
+                ));
+            }
+            // Right shifts: d2 = -k (mod 2^32) for k in 0..=MAX_RSHIFT.
+            for k in 0..=MAX_RSHIFT {
+                actions.push(Action::nop(format!("shr{k}")).prim(
+                    fd.man_shifted,
+                    AluOp::ShrArith,
+                    f(fd.man_in),
+                    c(k as i64),
+                ));
+            }
+            // Distances past MAX_RSHIFT collapse to the sign fill, exactly
+            // like the reference model's clamped barrel shifter.
+            let default = actions.len();
+            actions.push(Action::nop("shr_all").prim(
+                fd.man_shifted,
+                AluOp::ShrArith,
+                f(fd.man_in),
+                c(63),
+            ));
+            t.actions = actions;
+            t.default_action = Some(default);
+            for k in 1..=headroom {
+                t = t.entry(
+                    vec![
+                        KeyMatch::Exact(OP_ADD),
+                        KeyMatch::Exact(0),
+                        KeyMatch::Exact(1),
+                        KeyMatch::Exact(k as u64),
+                    ],
+                    2,
+                    (k - 1) as usize,
+                );
+            }
+            for k in 0..=MAX_RSHIFT {
+                let d2 = (k as i64).wrapping_neg() as u64 & 0xFFFF_FFFF;
+                t = t.entry(
+                    vec![
+                        KeyMatch::Exact(OP_ADD),
+                        KeyMatch::Exact(0),
+                        KeyMatch::Exact(0),
+                        KeyMatch::Exact(d2),
+                    ],
+                    2,
+                    headroom as usize + k as usize,
+                );
+            }
+            t
+        }
+    }
+}
+
+/// Stage-9 renormalization shift: `sig_out = mag >> frac_shift` (or `<<`
+/// for negative distances). Same table-vs-metadata split as stage 4.
+fn build_fracshift_table(variant: PipelineVariant, fd: &Fields) -> Table {
+    match variant {
+        PipelineVariant::ExtendedA | PipelineVariant::ExtendedFull => {
+            let nfs = fd.nfs.unwrap();
+            Table::keyed(
+                "frac_shift",
+                vec![(fd.op, MatchKind::Exact), (fd.fs_neg, MatchKind::Exact)],
+                vec![
+                    Action::nop("shr_meta").prim(
+                        fd.sig_out,
+                        AluOp::ShrLogic,
+                        f(fd.mag),
+                        f(fd.frac_shift),
+                    ),
+                    Action::nop("shl_meta")
+                        .prim(nfs, AluOp::Sub, c(0), f(fd.frac_shift))
+                        .prim(fd.sig_out, AluOp::Shl, f(fd.mag), f(nfs)),
+                ],
+                None,
+            )
+            .entry(vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(0)], 1, 0)
+            .entry(vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(1)], 1, 1)
+            .with_capacity(4)
+        }
+        PipelineVariant::TofinoA => {
+            let mut actions: Vec<Action> = Vec::new();
+            let mut t = Table::keyed(
+                "frac_shift_table",
+                vec![(fd.op, MatchKind::Exact), (fd.frac_shift, MatchKind::Exact)],
+                Vec::new(),
+                None,
+            );
+            // Right shifts 0..=33 and left shifts 1..=31; anything past the
+            // enumerated range shifts every bit out.
+            for k in 0..=MAX_RSHIFT {
+                actions.push(Action::nop(format!("shr{k}")).prim(
+                    fd.sig_out,
+                    AluOp::ShrLogic,
+                    f(fd.mag),
+                    c(k as i64),
+                ));
+            }
+            for k in 1..=31u32 {
+                actions.push(Action::nop(format!("shl{k}")).prim(
+                    fd.sig_out,
+                    AluOp::Shl,
+                    f(fd.mag),
+                    c(k as i64),
+                ));
+            }
+            let default = actions.len();
+            actions.push(Action::nop("shift_out").set(fd.sig_out, c(0)));
+            t.actions = actions;
+            t.default_action = Some(default);
+            for k in 0..=MAX_RSHIFT {
+                t = t.entry(
+                    vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(k as u64)],
+                    1,
+                    k as usize,
+                );
+            }
+            for k in 1..=31u32 {
+                let v = (k as i64).wrapping_neg() as u64 & 0xFFFF_FFFF;
+                t = t.entry(
+                    vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(v)],
+                    1,
+                    MAX_RSHIFT as usize + k as usize,
+                );
+            }
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_validate_against_their_caps() {
+        for v in PipelineVariant::all() {
+            let (program, _, _) = build_program(v, 64);
+            program.validate().unwrap_or_else(|e| panic!("{v:?}: {e}"));
+            assert_eq!(program.stages.len(), 11);
+        }
+    }
+
+    #[test]
+    fn extended_programs_are_rejected_on_baseline_hardware() {
+        for v in [PipelineVariant::ExtendedA, PipelineVariant::ExtendedFull] {
+            let (mut program, _, _) = build_program(v, 4);
+            program.caps = SwitchCaps::tofino();
+            assert!(
+                program.validate().is_err(),
+                "{v:?} must need the extensions"
+            );
+        }
+    }
+
+    #[test]
+    fn tofino_variant_uses_no_extension_features() {
+        let (program, _, _) = build_program(PipelineVariant::TofinoA, 4);
+        assert!(!program.caps.rsaw && !program.caps.metadata_shift);
+        // Re-validating under explicitly baseline caps must also pass.
+        let mut p = program;
+        p.caps = SwitchCaps::tofino();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn shift_tables_exist_only_on_tofino() {
+        let (tof, _, _) = build_program(PipelineVariant::TofinoA, 4);
+        let (ext, _, _) = build_program(PipelineVariant::ExtendedFull, 4);
+        let entries = |p: &SwitchProgram| -> usize {
+            p.stages
+                .iter()
+                .flat_map(|s| &s.tables)
+                .map(|t| t.entries.len())
+                .sum()
+        };
+        assert!(
+            entries(&tof) > entries(&ext) + 30,
+            "Tofino profile must pay for shifts in table entries ({} vs {})",
+            entries(&tof),
+            entries(&ext)
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! The Table 3-style resource report.
+//!
+//! Table 3 of the paper accounts what the FPISA pipeline costs on a real
+//! switch: stages, tables and their entries, SRAM, TCAM, stateful ALUs,
+//! action slots and PHV bits. [`table3`] builds every
+//! [`PipelineVariant`]'s program and runs it through the simulator's
+//! [`ResourceReport`]; rendering goes through the same column machinery as
+//! the Table 1 report in `fpisa-hw` ([`fpisa_hw::report::render_columns`]),
+//! so the two experiment reports print consistently.
+
+use crate::program::{build_program, PipelineVariant};
+use fpisa_hw::report::render_columns;
+use fpisa_pisa::ResourceReport;
+use serde::{Deserialize, Serialize};
+
+/// One Table 3 row: a pipeline variant and its whole-program resources.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Variant display name.
+    pub name: String,
+    /// Match-action stages doing work.
+    pub stages_used: u64,
+    /// Tables across all stages.
+    pub tables: u64,
+    /// Provisioned table entries.
+    pub table_entries: u64,
+    /// SRAM bits (table storage + register arrays).
+    pub sram_bits: u64,
+    /// TCAM bits (ternary/range keys).
+    pub tcam_bits: u64,
+    /// Stateful ALUs.
+    pub stateful_alus: u64,
+    /// Register-array storage bits.
+    pub register_bits: u64,
+    /// Stateless action primitives (VLIW slots).
+    pub action_slots: u64,
+    /// PHV bits the program's fields occupy.
+    pub phv_bits: u64,
+}
+
+impl Table3Row {
+    /// Summarize a program's resource report under a display name.
+    pub fn from_report(name: impl Into<String>, r: &ResourceReport) -> Self {
+        let t = r.totals();
+        Table3Row {
+            name: name.into(),
+            stages_used: r.stages_used,
+            tables: t.tables,
+            table_entries: t.table_entries,
+            sram_bits: t.sram_bits,
+            tcam_bits: t.tcam_bits,
+            stateful_alus: t.stateful_alus,
+            register_bits: t.register_bits,
+            action_slots: t.action_slots,
+            phv_bits: r.phv_bits,
+        }
+    }
+}
+
+/// Build all three variants for `slots` aggregation slots and summarize
+/// them — the reproduction of Table 3.
+pub fn table3(slots: usize) -> Vec<Table3Row> {
+    PipelineVariant::all()
+        .iter()
+        .map(|&v| {
+            let (program, _, _) = build_program(v, slots);
+            program
+                .validate()
+                .expect("generated programs must validate");
+            Table3Row::from_report(v.name(), &ResourceReport::of(&program))
+        })
+        .collect()
+}
+
+/// Render Table 3 rows as an aligned text table (via the shared `fpisa-hw`
+/// report machinery).
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let headers = [
+        "Variant", "Stages", "Tables", "Entries", "SRAM (b)", "TCAM (b)", "SALUs", "Reg bits",
+        "Slots", "PHV bits",
+    ];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.stages_used.to_string(),
+                r.tables.to_string(),
+                r.table_entries.to_string(),
+                r.sram_bits.to_string(),
+                r.tcam_bits.to_string(),
+                r.stateful_alus.to_string(),
+                r.register_bits.to_string(),
+                r.action_slots.to_string(),
+                r.phv_bits.to_string(),
+            ]
+        })
+        .collect();
+    render_columns(&headers, &cells)
+}
+
+/// Render one variant's per-stage breakdown (the long form of Table 3).
+pub fn render_stage_breakdown(variant: PipelineVariant, slots: usize) -> String {
+    let (program, _, _) = build_program(variant, slots);
+    let report = ResourceReport::of(&program);
+    let headers = [
+        "Stage", "Tables", "Entries", "SRAM (b)", "TCAM (b)", "SALUs", "Reg bits", "Slots",
+    ];
+    let cells: Vec<Vec<String>> = report
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                format!("MAU{}", s.stage),
+                s.tables.to_string(),
+                s.table_entries.to_string(),
+                s.sram_bits.to_string(),
+                s.tcam_bits.to_string(),
+                s.stateful_alus.to_string(),
+                s.register_bits.to_string(),
+                s.action_slots.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "{} ({slots} slots)\n{}",
+        variant.name(),
+        render_columns(&headers, &cells)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_all_variants_with_sane_shapes() {
+        let rows = table3(1024);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.stages_used >= 8,
+                "{}: uses {} stages",
+                r.name,
+                r.stages_used
+            );
+            assert!(r.stages_used <= 12);
+            assert!(r.tables > 5);
+            assert!(r.phv_bits > 0 && r.phv_bits < 4096);
+            assert!(r.stateful_alus == 2, "exponent + mantissa arrays");
+            // 1024 slots x (9-bit exponent + 32-bit mantissa).
+            assert_eq!(r.register_bits, 1024 * (9 + 32));
+            assert!(r.tcam_bits > 0, "the leading-one LPM table lives in TCAM");
+        }
+    }
+
+    #[test]
+    fn tofino_pays_in_table_entries_extensions_pay_in_hardware() {
+        let rows = table3(256);
+        let tof = &rows[0];
+        let full = &rows[2];
+        assert!(
+            tof.table_entries > full.table_entries + 50,
+            "shift tables must dominate the Tofino profile ({} vs {})",
+            tof.table_entries,
+            full.table_entries
+        );
+        assert!(tof.sram_bits > full.sram_bits);
+    }
+
+    #[test]
+    fn rendering_contains_every_variant_and_header() {
+        let rows = table3(64);
+        let text = render_table3(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.name), "missing {}", r.name);
+        }
+        assert!(text.contains("SRAM"));
+        assert!(text.contains("PHV"));
+        let breakdown = render_stage_breakdown(PipelineVariant::TofinoA, 64);
+        assert!(breakdown.contains("MAU0"));
+        assert!(breakdown.contains("MAU10"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Packet-level differential test: the pipeline must agree with
+//! `fpisa_core::FpisaAccumulator` **bit for bit**.
+//!
+//! For every variant (FPISA-A on Tofino, FPISA-A with the shift ALU, full
+//! FPISA/RSAW) a stream of ≥ 10,000 random finite `f32` values — wide
+//! exponent spread, subnormals, zeros, sign flips — is pushed through both
+//! the packet pipeline and the reference accumulator of the matching mode:
+//!
+//! * after **every** ADD packet, the exponent/mantissa register state must
+//!   be identical, and both sides must have taken the same
+//!   [`fpisa_core::AddDecision`];
+//! * periodically, and at the end, the packed READ result must be
+//!   bit-identical to the reference read-out.
+
+use fpisa_core::{FpisaAccumulator, SwitchValue};
+use fpisa_pipeline::{FpisaPipeline, PipelineVariant};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+const SLOTS: usize = 16;
+const ADDS_PER_VARIANT: usize = 12_000;
+
+/// A random finite f32 biased toward adversarial cases: wide exponent
+/// range, occasional zeros and subnormals, mixed signs.
+fn random_input(rng: &mut SmallRng) -> f32 {
+    match rng.gen_range(0u32..100) {
+        // Zeros (positive and negative) exercise the skip path.
+        0..=3 => {
+            if rng.gen::<bool>() {
+                0.0
+            } else {
+                -0.0
+            }
+        }
+        // Subnormals exercise the exponent-1 install path.
+        4..=8 => {
+            let bits = rng.gen_range(1u32..0x80_0000) | (u32::from(rng.gen::<bool>()) << 31);
+            f32::from_bits(bits)
+        }
+        // Narrow range: mostly exact sums and right shifts.
+        9..=40 => {
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            sign * rng.gen_range(0.5f32..2.0)
+        }
+        // Wide range: left shifts, overwrites, RSAW shifts, saturation.
+        _ => {
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let mag = 2f32.powi(rng.gen_range(-40..40));
+            sign * mag * rng.gen_range(1.0f32..2.0)
+        }
+    }
+}
+
+fn run_differential(variant: PipelineVariant, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pipe = FpisaPipeline::new(variant, SLOTS).expect("program must validate");
+    let cfg = pipe.core_config();
+    let mut refs: Vec<FpisaAccumulator> = (0..SLOTS).map(|_| FpisaAccumulator::new(cfg)).collect();
+
+    for i in 0..ADDS_PER_VARIANT {
+        let slot = rng.gen_range(0usize..SLOTS);
+        let x = random_input(&mut rng);
+
+        // Both sides must plan the same alignment path (step-wise hook).
+        if x != 0.0 {
+            let incoming = SwitchValue::from_f32(x, 32, 0).unwrap();
+            let (pe, _pm) = pipe.register_state(slot);
+            let initialized = refs[slot].is_initialized();
+            assert_eq!(
+                fpisa_core::plan_add(&cfg, initialized, pe, incoming.exponent),
+                refs[slot].plan_for(incoming.exponent),
+                "{variant:?} add #{i}: decision diverged for {x} in slot {slot}"
+            );
+        }
+
+        pipe.add_f32(slot, x).unwrap();
+        refs[slot].add_f32(x).unwrap();
+
+        // The register state must match after every single packet.
+        let (pe, pm) = pipe.register_state(slot);
+        if refs[slot].is_initialized() {
+            assert_eq!(
+                (pe, pm),
+                (refs[slot].exponent(), refs[slot].mantissa()),
+                "{variant:?} add #{i}: register state diverged after {x} in slot {slot}"
+            );
+        } else {
+            assert_eq!((pe, pm), (0, 0), "{variant:?} add #{i}: phantom install");
+        }
+
+        // Periodic read-out comparison (bit-for-bit).
+        if i % 7 == 0 {
+            let got = pipe.read_bits(slot).unwrap();
+            let want = refs[slot].read_bits() as u32;
+            assert_eq!(
+                got,
+                want,
+                "{variant:?} add #{i}: read {got:#010x} vs reference {want:#010x} \
+                 ({} vs {})",
+                f32::from_bits(got),
+                f32::from_bits(want)
+            );
+        }
+    }
+
+    // Final read-out of every slot.
+    for (slot, reference) in refs.iter().enumerate() {
+        let got = pipe.read_bits(slot).unwrap();
+        let want = reference.read_bits() as u32;
+        assert_eq!(got, want, "{variant:?} final read of slot {slot}");
+        // Reading must be non-destructive on both sides: repeat.
+        assert_eq!(pipe.read_bits(slot).unwrap(), got);
+    }
+}
+
+#[test]
+fn tofino_approximate_matches_reference_bit_for_bit() {
+    run_differential(PipelineVariant::TofinoA, 0xD1FF_0001);
+}
+
+#[test]
+fn extended_approximate_matches_reference_bit_for_bit() {
+    run_differential(PipelineVariant::ExtendedA, 0xD1FF_0002);
+}
+
+#[test]
+fn extended_full_matches_reference_bit_for_bit() {
+    run_differential(PipelineVariant::ExtendedFull, 0xD1FF_0003);
+}
+
+/// Directed streams that historically break FP pipelines: pure
+/// cancellation, saturation pressure, exact powers of two at the headroom
+/// boundary, and denormal dust.
+#[test]
+fn directed_edge_streams_match_bit_for_bit() {
+    let near_max_mantissa = f32::from_bits(0x3FFF_FFFF); // ~1.9999999
+    let streams: Vec<Vec<f32>> = vec![
+        // Headroom boundary: delta == 7 shifts, delta == 8 overwrites.
+        vec![1.0, 128.0, 1.0, 256.0, 1.0],
+        // Saturation: 300 near-max values at one exponent.
+        vec![near_max_mantissa; 300],
+        // Cancellation to exact zero and below.
+        vec![5.5, -5.5, -3.25, 1.0, 2.25],
+        // Denormal dust plus a huge value (RSAW shifts everything out).
+        vec![f32::from_bits(7), f32::from_bits(3), 1.0e20, -1.0e20],
+        // Alternating signs across the full exponent sweep.
+        (-38..38)
+            .map(|e| 2f32.powi(e) * if e % 2 == 0 { 1.0 } else { -1.0 })
+            .collect(),
+        // Subnormal-only arithmetic.
+        (1..200u32).map(f32::from_bits).collect(),
+    ];
+    for variant in PipelineVariant::all() {
+        for (si, stream) in streams.iter().enumerate() {
+            let mut pipe = FpisaPipeline::new(variant, 1).unwrap();
+            let mut reference = FpisaAccumulator::new(pipe.core_config());
+            for (i, &x) in stream.iter().enumerate() {
+                pipe.add_f32(0, x).unwrap();
+                reference.add_f32(x).unwrap();
+                let got = pipe.read_bits(0).unwrap();
+                let want = reference.read_bits() as u32;
+                assert_eq!(
+                    got, want,
+                    "{variant:?} stream {si} step {i} ({x}): {got:#010x} vs {want:#010x}"
+                );
+            }
+        }
+    }
+}

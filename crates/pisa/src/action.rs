@@ -1,0 +1,342 @@
+//! Actions: the stateless ALU work a matched table entry performs on the
+//! PHV.
+//!
+//! An [`Action`] is a short sequence of [`Primitive`] ALU operations (the
+//! VLIW action slots of a real MAU) optionally followed by stateful-ALU
+//! calls (defined in [`crate::register`]). Primitives execute in order and
+//! later primitives see earlier results — a superset of the parallel VLIW
+//! semantics that keeps programs easy to write; the per-stage *slot count*
+//! is still accounted per primitive in the resource report.
+//!
+//! The shift operations take their distance from either an immediate or a
+//! PHV field. Field-sourced distances are exactly the paper's proposed
+//! **2-operand shift instruction** (Table 1's "FPISA ALU") and are gated by
+//! [`crate::switch::SwitchCaps::metadata_shift`]; on baseline hardware a
+//! program must branch through a match table to a constant-distance shift
+//! instead, which is what `fpisa-pipeline` does in its Tofino profile.
+
+use crate::phv::{FieldId, Phv, PhvLayout};
+use crate::register::StatefulCall;
+use serde::{Deserialize, Serialize};
+
+/// A source operand of a primitive or stateful-ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operand {
+    /// Read a PHV field (zero- or sign-extended depending on the consumer).
+    Field(FieldId),
+    /// An immediate. For signed consumers the `i64` value is used as-is;
+    /// for raw consumers its two's-complement bits are.
+    Const(i64),
+}
+
+impl Operand {
+    /// Raw (unsigned) evaluation against a PHV.
+    #[inline]
+    pub fn raw(&self, phv: &Phv) -> u64 {
+        match *self {
+            Operand::Field(f) => phv.get(f),
+            Operand::Const(c) => c as u64,
+        }
+    }
+
+    /// Signed evaluation (fields sign-extend from their declared width).
+    #[inline]
+    pub fn signed(&self, phv: &Phv) -> i64 {
+        match *self {
+            Operand::Field(f) => phv.get_signed(f),
+            Operand::Const(c) => c,
+        }
+    }
+
+    /// The field this operand reads, if any.
+    pub fn field(&self) -> Option<FieldId> {
+        match *self {
+            Operand::Field(f) => Some(f),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+/// One stateless ALU operation (one VLIW slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AluOp {
+    /// `dst = a`.
+    Set,
+    /// `dst = a + b` (wrapping at the destination width).
+    Add,
+    /// `dst = a - b` (wrapping at the destination width).
+    Sub,
+    /// `dst = a & b`.
+    And,
+    /// `dst = a | b`.
+    Or,
+    /// `dst = a ^ b`.
+    Xor,
+    /// `dst = a << b` (zero-filling; distances ≥ 64 produce 0).
+    Shl,
+    /// `dst = a >> b` logically on the raw container bits.
+    ShrLogic,
+    /// `dst = a >> b` arithmetically, sign-extending `a` from its width.
+    ShrArith,
+    /// `dst = (a == b) ? 1 : 0` on raw bits.
+    CmpEq,
+    /// `dst = (a != b) ? 1 : 0` on raw bits.
+    CmpNe,
+    /// `dst = (a < b) ? 1 : 0`, signed.
+    CmpLt,
+    /// `dst = (a <= b) ? 1 : 0`, signed.
+    CmpLe,
+    /// `dst = (a > b) ? 1 : 0`, signed.
+    CmpGt,
+    /// `dst = (a >= b) ? 1 : 0`, signed.
+    CmpGe,
+}
+
+/// A primitive: `dst = op(a, b)`. Unary ops ignore `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Primitive {
+    /// Destination PHV field.
+    pub dst: FieldId,
+    /// Operation.
+    pub op: AluOp,
+    /// First operand.
+    pub a: Operand,
+    /// Second operand (ignored by `Set`).
+    pub b: Operand,
+}
+
+impl Primitive {
+    /// Execute the primitive against a PHV.
+    pub fn execute(&self, phv: &mut Phv) {
+        let out: u64 = match self.op {
+            AluOp::Set => self.a.raw(phv),
+            AluOp::Add => self.a.raw(phv).wrapping_add(self.b.raw(phv)),
+            AluOp::Sub => self.a.raw(phv).wrapping_sub(self.b.raw(phv)),
+            AluOp::And => self.a.raw(phv) & self.b.raw(phv),
+            AluOp::Or => self.a.raw(phv) | self.b.raw(phv),
+            AluOp::Xor => self.a.raw(phv) ^ self.b.raw(phv),
+            AluOp::Shl => {
+                let d = self.b.raw(phv);
+                if d >= 64 {
+                    0
+                } else {
+                    self.a.raw(phv) << d
+                }
+            }
+            AluOp::ShrLogic => {
+                let d = self.b.raw(phv);
+                if d >= 64 {
+                    0
+                } else {
+                    self.a.raw(phv) >> d
+                }
+            }
+            AluOp::ShrArith => {
+                let d = self.b.raw(phv).min(63);
+                (self.a.signed(phv) >> d) as u64
+            }
+            AluOp::CmpEq => (self.a.raw(phv) == self.b.raw(phv)) as u64,
+            AluOp::CmpNe => (self.a.raw(phv) != self.b.raw(phv)) as u64,
+            AluOp::CmpLt => (self.a.signed(phv) < self.b.signed(phv)) as u64,
+            AluOp::CmpLe => (self.a.signed(phv) <= self.b.signed(phv)) as u64,
+            AluOp::CmpGt => (self.a.signed(phv) > self.b.signed(phv)) as u64,
+            AluOp::CmpGe => (self.a.signed(phv) >= self.b.signed(phv)) as u64,
+        };
+        phv.set(self.dst, out);
+    }
+
+    /// Whether this primitive is a shift whose distance comes from a PHV
+    /// field (the 2-operand shift the FPISA ALU extension adds).
+    pub fn is_metadata_shift(&self) -> bool {
+        matches!(self.op, AluOp::Shl | AluOp::ShrLogic | AluOp::ShrArith)
+            && self.b.field().is_some()
+    }
+}
+
+/// A named bundle of primitives plus stateful-ALU calls, invoked by a
+/// matched table entry (or as a table's default).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    /// Diagnostic name.
+    pub name: String,
+    /// Stateless work, executed in order.
+    pub primitives: Vec<Primitive>,
+    /// Stateful register-array operations, executed after the primitives.
+    pub stateful: Vec<StatefulCall>,
+}
+
+impl Action {
+    /// An action with no effects.
+    pub fn nop(name: impl Into<String>) -> Self {
+        Action {
+            name: name.into(),
+            primitives: Vec::new(),
+            stateful: Vec::new(),
+        }
+    }
+
+    /// Builder: append a primitive.
+    pub fn prim(mut self, dst: FieldId, op: AluOp, a: Operand, b: Operand) -> Self {
+        self.primitives.push(Primitive { dst, op, a, b });
+        self
+    }
+
+    /// Builder: append `dst = a`.
+    pub fn set(self, dst: FieldId, a: Operand) -> Self {
+        self.prim(dst, AluOp::Set, a, Operand::Const(0))
+    }
+
+    /// Builder: append a stateful call.
+    pub fn call(mut self, call: StatefulCall) -> Self {
+        self.stateful.push(call);
+        self
+    }
+
+    /// Fields this action writes (for PHV liveness diagnostics).
+    pub fn written_fields(&self, _layout: &PhvLayout) -> Vec<FieldId> {
+        let mut out: Vec<FieldId> = self.primitives.iter().map(|p| p.dst).collect();
+        for c in &self.stateful {
+            if let Some((f, _)) = c.output {
+                out.push(f);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::PhvLayout;
+
+    fn setup() -> (PhvLayout, FieldId, FieldId, FieldId) {
+        let mut l = PhvLayout::new();
+        let a = l.field("a", 32);
+        let b = l.field("b", 32);
+        let d = l.field("d", 32);
+        (l, a, b, d)
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_width() {
+        let (l, a, b, d) = setup();
+        let mut p = Phv::new(&l);
+        p.set(a, 0xFFFF_FFFF);
+        p.set(b, 2);
+        Primitive {
+            dst: d,
+            op: AluOp::Add,
+            a: Operand::Field(a),
+            b: Operand::Field(b),
+        }
+        .execute(&mut p);
+        assert_eq!(p.get(d), 1);
+        Primitive {
+            dst: d,
+            op: AluOp::Sub,
+            a: Operand::Const(0),
+            b: Operand::Const(5),
+        }
+        .execute(&mut p);
+        assert_eq!(p.get_signed(d), -5);
+    }
+
+    #[test]
+    fn arithmetic_shift_sign_extends_from_field_width() {
+        let (l, a, _b, d) = setup();
+        let mut p = Phv::new(&l);
+        p.set_signed(a, -64);
+        Primitive {
+            dst: d,
+            op: AluOp::ShrArith,
+            a: Operand::Field(a),
+            b: Operand::Const(3),
+        }
+        .execute(&mut p);
+        assert_eq!(p.get_signed(d), -8);
+        // Distances past the width collapse to the sign fill.
+        Primitive {
+            dst: d,
+            op: AluOp::ShrArith,
+            a: Operand::Field(a),
+            b: Operand::Const(200),
+        }
+        .execute(&mut p);
+        assert_eq!(p.get_signed(d), -1);
+    }
+
+    #[test]
+    fn logical_shifts_zero_fill_and_saturate_distance() {
+        let (l, a, _b, d) = setup();
+        let mut p = Phv::new(&l);
+        p.set(a, 0x8000_0000);
+        Primitive {
+            dst: d,
+            op: AluOp::ShrLogic,
+            a: Operand::Field(a),
+            b: Operand::Const(31),
+        }
+        .execute(&mut p);
+        assert_eq!(p.get(d), 1);
+        Primitive {
+            dst: d,
+            op: AluOp::Shl,
+            a: Operand::Field(a),
+            b: Operand::Const(64),
+        }
+        .execute(&mut p);
+        assert_eq!(p.get(d), 0);
+    }
+
+    #[test]
+    fn comparisons_are_signed_over_field_widths() {
+        let (l, a, b, d) = setup();
+        let mut p = Phv::new(&l);
+        p.set_signed(a, -1);
+        p.set(b, 1);
+        Primitive {
+            dst: d,
+            op: AluOp::CmpLt,
+            a: Operand::Field(a),
+            b: Operand::Field(b),
+        }
+        .execute(&mut p);
+        assert_eq!(p.get(d), 1, "-1 < 1 signed");
+        Primitive {
+            dst: d,
+            op: AluOp::CmpGt,
+            a: Operand::Field(a),
+            b: Operand::Field(b),
+        }
+        .execute(&mut p);
+        assert_eq!(p.get(d), 0);
+    }
+
+    #[test]
+    fn metadata_shift_detection() {
+        let (_l, a, b, d) = setup();
+        let by_field = Primitive {
+            dst: d,
+            op: AluOp::Shl,
+            a: Operand::Field(a),
+            b: Operand::Field(b),
+        };
+        let by_const = Primitive {
+            dst: d,
+            op: AluOp::Shl,
+            a: Operand::Field(a),
+            b: Operand::Const(3),
+        };
+        assert!(by_field.is_metadata_shift());
+        assert!(!by_const.is_metadata_shift());
+        let add_fields = Primitive {
+            dst: d,
+            op: AluOp::Add,
+            a: Operand::Field(a),
+            b: Operand::Field(b),
+        };
+        assert!(!add_fields.is_metadata_shift());
+    }
+}

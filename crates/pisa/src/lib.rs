@@ -1,1 +1,54 @@
-//! placeholder (under construction)
+//! # fpisa-pisa
+//!
+//! A PISA (Protocol Independent Switch Architecture) programmable-switch
+//! simulator: the substrate the FPISA pipeline of Fig. 2 is compiled onto
+//! by `fpisa-pipeline`, following the match-action pipeline model of RMT /
+//! Banzai ("Packet Transactions", Sivaraman et al.).
+//!
+//! The model is the one the paper's feasibility argument rests on:
+//!
+//! * a typed **packet header vector** ([`phv::Phv`]) flows through a fixed
+//!   sequence of **match-action stages** ([`stage::Stage`]);
+//! * each stage holds **match tables** ([`table::Table`]; exact keys in
+//!   SRAM, ternary/range keys in TCAM) selecting **actions** of stateless
+//!   integer ALU primitives ([`action::Primitive`]);
+//! * all state lives in **register arrays** guarded by **stateful ALUs**
+//!   ([`register::StatefulCall`]) that perform exactly one
+//!   read-modify-write per packet — the **RAW constraint** that motivates
+//!   FPISA-A — with the proposed **RSAW** extension
+//!   ([`register::SaluUpdate::ShiftRightAddSat`]) available behind a
+//!   capability flag;
+//! * packets may **recirculate** for extra passes, bounded by the
+//!   capability profile ([`switch::SwitchCaps`]);
+//! * every program yields a per-stage **resource report**
+//!   ([`resources::ResourceReport`]: tables, SRAM/TCAM bits, stateful
+//!   ALUs, action slots, PHV bits) — the machinery behind Table 3.
+//!
+//! Programs are validated against a [`switch::SwitchCaps`] profile
+//! *before* running: [`switch::SwitchCaps::tofino`] models today's
+//! hardware (no RSAW, no 2-operand shift), and
+//! [`switch::SwitchCaps::fpisa_extended`] adds the paper's proposed
+//! extensions. Capability violations are construction-time errors, not
+//! silent emulation — that distinction *is* the paper's Table 1/Table 3
+//! argument.
+
+pub mod action;
+pub mod phv;
+pub mod register;
+pub mod resources;
+pub mod stage;
+pub mod switch;
+pub mod table;
+
+pub use action::{Action, AluOp, Operand, Primitive};
+pub use phv::{FieldId, FieldSpec, Phv, PhvLayout};
+pub use register::{
+    CmpOp, RegArrayId, RegisterArray, RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate,
+    StatefulCall,
+};
+pub use resources::{ResourceReport, StageResources};
+pub use stage::Stage;
+pub use switch::{
+    PacketTrace, ProgramError, RuntimeError, Switch, SwitchCaps, SwitchProgram, TraceEntry,
+};
+pub use table::{KeyMatch, MatchKind, Table, TableEntry};

@@ -1,0 +1,217 @@
+//! The Packet Header Vector: the typed, width-checked field store a packet
+//! carries through the pipeline.
+//!
+//! A PISA switch parses a packet into a PHV — a fixed set of containers of
+//! known widths — and every match key, action operand and stateful-ALU
+//! input reads from it. [`PhvLayout`] declares the fields a program uses
+//! (header fields and metadata alike; the simulator does not need to
+//! distinguish them) and [`Phv`] is one packet's instance of that layout.
+//!
+//! Field containers are at most 64 bits wide. Writes are truncated to the
+//! declared width, exactly like a hardware container; reads can be raw
+//! (zero-extended) or signed (sign-extended from the declared width), which
+//! is how the FPISA mantissa fields get their two's-complement meaning.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a field within a [`PhvLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FieldId(pub u16);
+
+/// Declaration of one PHV field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    /// Diagnostic name (unique within a layout).
+    pub name: String,
+    /// Container width in bits (1..=64).
+    pub bits: u32,
+}
+
+/// The set of fields a program's packets carry.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhvLayout {
+    fields: Vec<FieldSpec>,
+}
+
+impl PhvLayout {
+    /// An empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a field and return its id. Panics on duplicate names or
+    /// out-of-range widths (program-construction bugs, not packet errors).
+    pub fn field(&mut self, name: impl Into<String>, bits: u32) -> FieldId {
+        let name = name.into();
+        assert!(
+            (1..=64).contains(&bits),
+            "field `{name}`: width {bits} out of range"
+        );
+        assert!(
+            self.fields.iter().all(|f| f.name != name),
+            "duplicate PHV field name `{name}`"
+        );
+        assert!(self.fields.len() < u16::MAX as usize, "too many PHV fields");
+        self.fields.push(FieldSpec { name, bits });
+        FieldId(self.fields.len() as u16 - 1)
+    }
+
+    /// Specification of a field.
+    pub fn spec(&self, id: FieldId) -> &FieldSpec {
+        &self.fields[id.0 as usize]
+    }
+
+    /// Look a field up by name (diagnostics and tests).
+    pub fn lookup(&self, name: &str) -> Option<FieldId> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FieldId(i as u16))
+    }
+
+    /// Number of declared fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether no fields are declared.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Total PHV width in bits — the "PHV bits" line of the resource report.
+    pub fn total_bits(&self) -> u64 {
+        self.fields.iter().map(|f| f.bits as u64).sum()
+    }
+
+    /// Iterate over `(id, spec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, &FieldSpec)> {
+        self.fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FieldId(i as u16), f))
+    }
+
+    /// Bit mask covering a width-`bits` container.
+    pub(crate) fn mask(bits: u32) -> u64 {
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        }
+    }
+}
+
+/// One packet's header vector: a value per layout field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phv {
+    values: Vec<u64>,
+    widths: Vec<u32>,
+}
+
+impl Phv {
+    /// A zeroed PHV for a layout.
+    pub fn new(layout: &PhvLayout) -> Self {
+        Phv {
+            values: vec![0; layout.len()],
+            widths: layout.fields.iter().map(|f| f.bits).collect(),
+        }
+    }
+
+    /// Raw (zero-extended) value of a field.
+    #[inline]
+    pub fn get(&self, id: FieldId) -> u64 {
+        self.values[id.0 as usize]
+    }
+
+    /// Value of a field sign-extended from its declared width.
+    #[inline]
+    pub fn get_signed(&self, id: FieldId) -> i64 {
+        let w = self.widths[id.0 as usize];
+        sign_extend(self.values[id.0 as usize], w)
+    }
+
+    /// Write a field, truncating to its declared width.
+    #[inline]
+    pub fn set(&mut self, id: FieldId, value: u64) {
+        let w = self.widths[id.0 as usize];
+        self.values[id.0 as usize] = value & PhvLayout::mask(w);
+    }
+
+    /// Write a signed value (two's-complement truncation to the width).
+    #[inline]
+    pub fn set_signed(&mut self, id: FieldId, value: i64) {
+        self.set(id, value as u64);
+    }
+
+    /// Declared width of a field, in bits.
+    #[inline]
+    pub fn width(&self, id: FieldId) -> u32 {
+        self.widths[id.0 as usize]
+    }
+}
+
+/// Sign-extend the low `bits` bits of `value` into an `i64`.
+#[inline]
+pub fn sign_extend(value: u64, bits: u32) -> i64 {
+    if bits >= 64 {
+        return value as i64;
+    }
+    let shift = 64 - bits;
+    ((value << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_allocates_and_counts_bits() {
+        let mut l = PhvLayout::new();
+        let a = l.field("a", 32);
+        let b = l.field("b", 9);
+        assert_eq!(l.total_bits(), 41);
+        assert_eq!(l.spec(a).name, "a");
+        assert_eq!(l.lookup("b"), Some(b));
+        assert_eq!(l.lookup("c"), None);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_field_names_panic() {
+        let mut l = PhvLayout::new();
+        l.field("x", 8);
+        l.field("x", 8);
+    }
+
+    #[test]
+    fn writes_truncate_to_width() {
+        let mut l = PhvLayout::new();
+        let f = l.field("f", 8);
+        let mut p = Phv::new(&l);
+        p.set(f, 0x1FF);
+        assert_eq!(p.get(f), 0xFF);
+    }
+
+    #[test]
+    fn signed_reads_sign_extend_from_width() {
+        let mut l = PhvLayout::new();
+        let f = l.field("f", 8);
+        let g = l.field("g", 32);
+        let mut p = Phv::new(&l);
+        p.set(f, 0xFF);
+        assert_eq!(p.get_signed(f), -1);
+        p.set_signed(g, -5);
+        assert_eq!(p.get(g), 0xFFFF_FFFB);
+        assert_eq!(p.get_signed(g), -5);
+    }
+
+    #[test]
+    fn sign_extend_edge_widths() {
+        assert_eq!(sign_extend(1, 1), -1);
+        assert_eq!(sign_extend(0, 1), 0);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+        assert_eq!(sign_extend(0x8000_0000, 32), i32::MIN as i64);
+    }
+}

@@ -1,0 +1,471 @@
+//! Register arrays and the stateful ALUs that guard them.
+//!
+//! State in a PISA pipeline lives in **register arrays**: SRAM blocks of
+//! fixed-width entries, each bound to one stage, accessed through a
+//! **stateful ALU** that performs a single read-modify-write per packet —
+//! the paper's **RAW** (read-add-write) constraint. A packet cannot touch
+//! the same array twice (there is no second access port and the packet has
+//! left the stage), which is exactly why FPISA-A exists: without hardware
+//! help the *stored* mantissa can never be shifted in the same pass that
+//! adds to it.
+//!
+//! The proposed **RSAW** (read-shift-add-write) extension is modelled as
+//! [`SaluUpdate::ShiftRightAddSat`] and is only admitted when the switch
+//! capability profile enables it ([`crate::switch::SwitchCaps::rsaw`]).
+//!
+//! The stateful ALU itself follows the shape of real hardware (Tofino's
+//! dual-predicate SALU): a condition over the stored value and packet
+//! metadata selects one of two update expressions, and the old or new value
+//! can be emitted into a PHV field.
+
+use crate::action::Operand;
+use crate::phv::{sign_extend, FieldId, Phv, PhvLayout};
+use serde::{Deserialize, Serialize};
+
+/// Index of a register array within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegArrayId(pub u16);
+
+/// Declaration of one register array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterArraySpec {
+    /// Diagnostic name (unique within a program).
+    pub name: String,
+    /// Entry width in bits (1..=64; 8/16/32 on real hardware).
+    pub width_bits: u32,
+    /// Number of entries.
+    pub entries: usize,
+    /// The stage this array is bound to. A packet meets each array exactly
+    /// once, in this stage.
+    pub stage: usize,
+}
+
+impl RegisterArraySpec {
+    /// Total storage of this array in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.width_bits as u64 * self.entries as u64
+    }
+}
+
+/// Comparison operators available to SALU conditions (signed, at the
+/// register width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// The predicate selecting between a stateful call's two updates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SaluCond {
+    /// Always take the true branch.
+    Always,
+    /// True iff the named PHV field is non-zero.
+    MetaNonZero(FieldId),
+    /// Compare the stored register value (sign-extended from the array
+    /// width) against an operand.
+    RegCmp {
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// Right-hand side (signed evaluation).
+        rhs: Operand,
+    },
+    /// Disjunction — the second predicate ALU of a dual-predicate SALU.
+    Or(Box<SaluCond>, Box<SaluCond>),
+    /// Conjunction.
+    And(Box<SaluCond>, Box<SaluCond>),
+}
+
+impl SaluCond {
+    fn eval(&self, stored: i64, phv: &Phv) -> bool {
+        match self {
+            SaluCond::Always => true,
+            SaluCond::MetaNonZero(f) => phv.get(*f) != 0,
+            SaluCond::RegCmp { cmp, rhs } => cmp.eval(stored, rhs.signed(phv)),
+            SaluCond::Or(a, b) => a.eval(stored, phv) || b.eval(stored, phv),
+            SaluCond::And(a, b) => a.eval(stored, phv) && b.eval(stored, phv),
+        }
+    }
+
+    /// Number of primitive predicates — real SALUs provide two; the
+    /// validator warns past that via the resource report.
+    pub fn predicate_count(&self) -> u32 {
+        match self {
+            SaluCond::Always => 0,
+            SaluCond::MetaNonZero(_) | SaluCond::RegCmp { .. } => 1,
+            SaluCond::Or(a, b) | SaluCond::And(a, b) => a.predicate_count() + b.predicate_count(),
+        }
+    }
+}
+
+/// The update expression a stateful ALU applies to the stored value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SaluUpdate {
+    /// Leave the stored value unchanged (pure read).
+    Keep,
+    /// Replace the stored value.
+    Write(Operand),
+    /// `stored + operand`, saturating at the signed range of the width —
+    /// the RAW unit of Table 1.
+    AddSat(Operand),
+    /// `stored + operand`, wrapping at the width.
+    AddWrap(Operand),
+    /// Arithmetic-right-shift the **stored** value by a metadata-sourced
+    /// distance, then add saturating — the proposed RSAW unit. Requires
+    /// [`crate::switch::SwitchCaps::rsaw`].
+    ShiftRightAddSat {
+        /// Shift distance (raw evaluation; distances past the width
+        /// collapse to the sign fill, like a barrel-shifter chain).
+        shift: Operand,
+        /// Addend (signed evaluation).
+        addend: Operand,
+    },
+    /// `max(stored, operand)` signed.
+    MaxSigned(Operand),
+    /// `min(stored, operand)` signed.
+    MinSigned(Operand),
+}
+
+impl SaluUpdate {
+    /// Whether this update needs the RSAW hardware extension.
+    pub fn needs_rsaw(&self) -> bool {
+        matches!(self, SaluUpdate::ShiftRightAddSat { .. })
+    }
+
+    fn apply(&self, stored: i64, width: u32, phv: &Phv) -> i64 {
+        let max = if width >= 64 {
+            i64::MAX
+        } else {
+            (1i64 << (width - 1)) - 1
+        };
+        let min = if width >= 64 {
+            i64::MIN
+        } else {
+            -(1i64 << (width - 1))
+        };
+        match *self {
+            SaluUpdate::Keep => stored,
+            SaluUpdate::Write(op) => truncate(op.signed(phv), width),
+            SaluUpdate::AddSat(op) => saturating(stored as i128 + op.signed(phv) as i128, min, max),
+            SaluUpdate::AddWrap(op) => truncate(stored.wrapping_add(op.signed(phv)), width),
+            SaluUpdate::ShiftRightAddSat { shift, addend } => {
+                let d = shift.raw(phv).min(63) as u32;
+                let shifted = stored >> d;
+                saturating(shifted as i128 + addend.signed(phv) as i128, min, max)
+            }
+            SaluUpdate::MaxSigned(op) => stored.max(truncate(op.signed(phv), width)),
+            SaluUpdate::MinSigned(op) => stored.min(truncate(op.signed(phv), width)),
+        }
+    }
+}
+
+fn truncate(v: i64, width: u32) -> i64 {
+    sign_extend(v as u64 & crate::phv::PhvLayout::mask(width), width)
+}
+
+fn saturating(v: i128, min: i64, max: i64) -> i64 {
+    if v > max as i128 {
+        max
+    } else if v < min as i128 {
+        min
+    } else {
+        v as i64
+    }
+}
+
+/// Which value a stateful call emits into the PHV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SaluOutput {
+    /// The stored value *before* the update (what RAW units forward).
+    Old,
+    /// The stored value *after* the update.
+    New,
+    /// 1 if the condition held, else 0.
+    Predicate,
+}
+
+/// One stateful-ALU invocation attached to an action: the single
+/// read-modify-write a packet performs on one register array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatefulCall {
+    /// The register array accessed.
+    pub array: RegArrayId,
+    /// Entry index (raw evaluation; out of range is a runtime error).
+    pub index: Operand,
+    /// Predicate selecting between the two updates.
+    pub cond: SaluCond,
+    /// Update applied when the predicate holds.
+    pub on_true: SaluUpdate,
+    /// Update applied otherwise.
+    pub on_false: SaluUpdate,
+    /// Optional PHV output of the access.
+    pub output: Option<(FieldId, SaluOutput)>,
+}
+
+impl StatefulCall {
+    /// Whether either arm needs the RSAW extension.
+    pub fn needs_rsaw(&self) -> bool {
+        self.on_true.needs_rsaw() || self.on_false.needs_rsaw()
+    }
+}
+
+/// Runtime storage of one register array.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegisterArray {
+    spec: RegisterArraySpec,
+    values: Vec<i64>,
+}
+
+impl RegisterArray {
+    /// Zero-initialized storage for a spec.
+    pub fn new(spec: RegisterArraySpec) -> Self {
+        let n = spec.entries;
+        RegisterArray {
+            spec,
+            values: vec![0; n],
+        }
+    }
+
+    /// The array's declaration.
+    pub fn spec(&self) -> &RegisterArraySpec {
+        &self.spec
+    }
+
+    /// Read an entry (sign-extended at the array width).
+    pub fn get(&self, index: usize) -> i64 {
+        self.values[index]
+    }
+
+    /// Write an entry directly (control-plane style access for tests and
+    /// initialization; the data path goes through [`StatefulCall`]s).
+    pub fn set(&mut self, index: usize, value: i64) {
+        self.values[index] = truncate(value, self.spec.width_bits);
+    }
+
+    /// Execute one stateful call against this array. Returns the entry
+    /// index touched, or an error message for out-of-range indices.
+    pub fn execute(
+        &mut self,
+        call: &StatefulCall,
+        phv: &mut Phv,
+        _layout: &PhvLayout,
+    ) -> Result<usize, String> {
+        let idx = call.index.raw(phv) as usize;
+        if idx >= self.values.len() {
+            return Err(format!(
+                "index {idx} out of range for register array `{}` ({} entries)",
+                self.spec.name, self.spec.entries
+            ));
+        }
+        let old = self.values[idx];
+        let taken = call.cond.eval(old, phv);
+        let update = if taken { &call.on_true } else { &call.on_false };
+        let new = update.apply(old, self.spec.width_bits, phv);
+        self.values[idx] = new;
+        if let Some((f, out)) = call.output {
+            let v = match out {
+                SaluOutput::Old => old as u64,
+                SaluOutput::New => new as u64,
+                SaluOutput::Predicate => taken as u64,
+            };
+            phv.set(f, v);
+        }
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(width: u32) -> RegisterArray {
+        RegisterArray::new(RegisterArraySpec {
+            name: "r".into(),
+            width_bits: width,
+            entries: 4,
+            stage: 0,
+        })
+    }
+
+    fn phv1() -> (PhvLayout, FieldId, FieldId) {
+        let mut l = PhvLayout::new();
+        let x = l.field("x", 32);
+        let out = l.field("out", 32);
+        (l, x, out)
+    }
+
+    #[test]
+    fn raw_add_saturates_at_width() {
+        let (l, x, _) = phv1();
+        let mut p = Phv::new(&l);
+        let mut r = arr(8);
+        r.set(0, 120);
+        p.set(x, 50);
+        let call = StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Const(0),
+            cond: SaluCond::Always,
+            on_true: SaluUpdate::AddSat(Operand::Field(x)),
+            on_false: SaluUpdate::Keep,
+            output: None,
+        };
+        r.execute(&call, &mut p, &l).unwrap();
+        assert_eq!(r.get(0), 127, "8-bit signed saturation");
+        r.set(1, -120);
+        p.set_signed(x, -50);
+        let call = StatefulCall {
+            index: Operand::Const(1),
+            ..call
+        };
+        r.execute(&call, &mut p, &l).unwrap();
+        assert_eq!(r.get(1), -128);
+    }
+
+    #[test]
+    fn condition_selects_update_and_outputs_old() {
+        let (l, x, out) = phv1();
+        let mut p = Phv::new(&l);
+        let mut r = arr(32);
+        r.set(2, 7);
+        p.set(x, 100);
+        let call = StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Const(2),
+            cond: SaluCond::RegCmp {
+                cmp: CmpOp::Lt,
+                rhs: Operand::Field(x),
+            },
+            on_true: SaluUpdate::Write(Operand::Field(x)),
+            on_false: SaluUpdate::Keep,
+            output: Some((out, SaluOutput::Old)),
+        };
+        r.execute(&call, &mut p, &l).unwrap();
+        assert_eq!(r.get(2), 100, "7 < 100 -> write");
+        assert_eq!(p.get(out), 7, "old value forwarded");
+        // Second offer, smaller: condition false, keep.
+        p.set(x, 50);
+        r.execute(&call, &mut p, &l).unwrap();
+        assert_eq!(r.get(2), 100);
+        assert_eq!(p.get(out), 100);
+    }
+
+    #[test]
+    fn rsaw_shifts_stored_then_adds() {
+        let (l, x, _) = phv1();
+        let mut p = Phv::new(&l);
+        let mut r = arr(32);
+        r.set(0, 0b11000);
+        p.set(x, 5);
+        let call = StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Const(0),
+            cond: SaluCond::Always,
+            on_true: SaluUpdate::ShiftRightAddSat {
+                shift: Operand::Const(3),
+                addend: Operand::Field(x),
+            },
+            on_false: SaluUpdate::Keep,
+            output: None,
+        };
+        assert!(call.needs_rsaw());
+        r.execute(&call, &mut p, &l).unwrap();
+        assert_eq!(r.get(0), 0b11 + 5);
+    }
+
+    #[test]
+    fn rsaw_shift_of_negative_value_sign_fills() {
+        let (l, x, _) = phv1();
+        let mut p = Phv::new(&l);
+        p.set(x, 0);
+        let mut r = arr(32);
+        r.set(0, -16);
+        let call = StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Const(0),
+            cond: SaluCond::Always,
+            on_true: SaluUpdate::ShiftRightAddSat {
+                shift: Operand::Const(200),
+                addend: Operand::Field(x),
+            },
+            on_false: SaluUpdate::Keep,
+            output: None,
+        };
+        r.execute(&call, &mut p, &l).unwrap();
+        assert_eq!(
+            r.get(0),
+            -1,
+            "distance past the width collapses to sign fill"
+        );
+    }
+
+    #[test]
+    fn dual_predicate_or_condition() {
+        let (l, x, out) = phv1();
+        let mut p = Phv::new(&l);
+        let mut r = arr(32);
+        r.set(0, 0);
+        p.set(x, 42);
+        // reg == 0 OR reg < x - exactly the FPISA-A install-or-overwrite shape.
+        let cond = SaluCond::Or(
+            Box::new(SaluCond::RegCmp {
+                cmp: CmpOp::Eq,
+                rhs: Operand::Const(0),
+            }),
+            Box::new(SaluCond::RegCmp {
+                cmp: CmpOp::Lt,
+                rhs: Operand::Field(x),
+            }),
+        );
+        assert_eq!(cond.predicate_count(), 2);
+        let call = StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Const(0),
+            cond,
+            on_true: SaluUpdate::Write(Operand::Field(x)),
+            on_false: SaluUpdate::Keep,
+            output: Some((out, SaluOutput::Predicate)),
+        };
+        r.execute(&call, &mut p, &l).unwrap();
+        assert_eq!(r.get(0), 42);
+        assert_eq!(p.get(out), 1);
+    }
+
+    #[test]
+    fn out_of_range_index_is_an_error() {
+        let (l, _x, _) = phv1();
+        let mut p = Phv::new(&l);
+        let mut r = arr(32);
+        let call = StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Const(99),
+            cond: SaluCond::Always,
+            on_true: SaluUpdate::Keep,
+            on_false: SaluUpdate::Keep,
+            output: None,
+        };
+        assert!(r.execute(&call, &mut p, &l).is_err());
+    }
+}

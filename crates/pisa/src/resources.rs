@@ -1,0 +1,233 @@
+//! Per-stage resource accounting — the machinery behind the paper's
+//! Table 3.
+//!
+//! Table 3 of the paper reports, per implementation variant, how much of
+//! the switch the FPISA pipeline consumes: match-action stages, tables,
+//! SRAM and TCAM, stateful ALUs, action slots and PHV bits. The same
+//! categories fall out of a [`crate::switch::SwitchProgram`] by walking
+//! its structure:
+//!
+//! * **tables / entries** — declared tables and their provisioned
+//!   capacity;
+//! * **SRAM bits** — exact-match storage (key bits + action-select bits
+//!   per provisioned entry) plus register-array storage;
+//! * **TCAM bits** — ternary/range key storage;
+//! * **stateful ALUs** — register arrays accessed in the stage;
+//! * **action slots** — stateless primitives across the stage's actions
+//!   (the VLIW budget);
+//! * **PHV bits** — the layout's total container width (a per-pipeline,
+//!   not per-stage, quantity).
+
+use crate::register::RegArrayId;
+use crate::switch::SwitchProgram;
+use serde::{Deserialize, Serialize};
+
+/// Resource usage of one stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageResources {
+    /// Stage index.
+    pub stage: usize,
+    /// Number of tables.
+    pub tables: u64,
+    /// Provisioned entries across the stage's tables.
+    pub table_entries: u64,
+    /// SRAM bits: exact-match table storage + register arrays.
+    pub sram_bits: u64,
+    /// TCAM bits: ternary/range key storage.
+    pub tcam_bits: u64,
+    /// Register arrays bound to this stage.
+    pub register_arrays: u64,
+    /// Register storage bits bound to this stage.
+    pub register_bits: u64,
+    /// Stateful ALUs used (distinct arrays accessed by the stage's
+    /// actions).
+    pub stateful_alus: u64,
+    /// Stateless action primitives (VLIW slots) across all actions.
+    pub action_slots: u64,
+}
+
+impl StageResources {
+    /// Whether the stage uses nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.tables == 0 && self.register_arrays == 0 && self.action_slots == 0
+    }
+
+    fn accumulate(&mut self, other: &StageResources) {
+        self.tables += other.tables;
+        self.table_entries += other.table_entries;
+        self.sram_bits += other.sram_bits;
+        self.tcam_bits += other.tcam_bits;
+        self.register_arrays += other.register_arrays;
+        self.register_bits += other.register_bits;
+        self.stateful_alus += other.stateful_alus;
+        self.action_slots += other.action_slots;
+    }
+}
+
+/// Whole-program resource usage: per stage plus pipeline-wide totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// Per-stage breakdown (only stages the program declares).
+    pub stages: Vec<StageResources>,
+    /// Number of PHV fields the program declares.
+    pub phv_fields: u64,
+    /// Total PHV width in bits.
+    pub phv_bits: u64,
+    /// Stages that do any work (the "stages" row of Table 3).
+    pub stages_used: u64,
+}
+
+impl ResourceReport {
+    /// Account a program.
+    pub fn of(program: &SwitchProgram) -> Self {
+        let width = |f| program.layout.spec(f).bits;
+        let mut stages = Vec::with_capacity(program.stages.len());
+        for (si, stage) in program.stages.iter().enumerate() {
+            let mut r = StageResources {
+                stage: si,
+                ..Default::default()
+            };
+            let mut arrays_accessed: Vec<RegArrayId> = Vec::new();
+            for t in &stage.tables {
+                r.tables += 1;
+                r.table_entries += t.capacity as u64;
+                let key_bits = t.key_bits(width);
+                // Action-select overhead per entry: enough bits to name an
+                // action, at least one.
+                let sel_bits = (t.actions.len().max(2) as f64).log2().ceil() as u64;
+                let entry_bits = (key_bits + sel_bits) * t.capacity as u64;
+                if t.uses_tcam() {
+                    r.tcam_bits += key_bits * t.capacity as u64;
+                    r.sram_bits += sel_bits * t.capacity as u64;
+                } else {
+                    r.sram_bits += entry_bits;
+                }
+                for a in &t.actions {
+                    r.action_slots += a.primitives.len() as u64;
+                    for c in &a.stateful {
+                        if !arrays_accessed.contains(&c.array) {
+                            arrays_accessed.push(c.array);
+                        }
+                    }
+                }
+            }
+            r.stateful_alus = arrays_accessed.len() as u64;
+            for spec in &program.arrays {
+                if spec.stage == si {
+                    r.register_arrays += 1;
+                    r.register_bits += spec.total_bits();
+                    r.sram_bits += spec.total_bits();
+                }
+            }
+            stages.push(r);
+        }
+        let stages_used = stages.iter().filter(|s| !s.is_empty()).count() as u64;
+        ResourceReport {
+            stages,
+            phv_fields: program.layout.len() as u64,
+            phv_bits: program.layout.total_bits(),
+            stages_used,
+        }
+    }
+
+    /// Sum across stages.
+    pub fn totals(&self) -> StageResources {
+        let mut t = StageResources {
+            stage: usize::MAX,
+            ..Default::default()
+        };
+        for s in &self.stages {
+            t.accumulate(s);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, AluOp, Operand};
+    use crate::phv::PhvLayout;
+    use crate::register::{RegisterArraySpec, SaluCond, SaluUpdate, StatefulCall};
+    use crate::stage::Stage;
+    use crate::switch::SwitchCaps;
+    use crate::table::{KeyMatch, MatchKind, Table};
+
+    #[test]
+    fn report_accounts_tables_registers_and_phv() {
+        let mut layout = PhvLayout::new();
+        let k = layout.field("k", 8);
+        let v = layout.field("v", 32);
+
+        let bump = Action::nop("bump")
+            .prim(v, AluOp::Add, Operand::Field(v), Operand::Const(1))
+            .call(StatefulCall {
+                array: RegArrayId(0),
+                index: Operand::Const(0),
+                cond: SaluCond::Always,
+                on_true: SaluUpdate::AddSat(Operand::Field(v)),
+                on_false: SaluUpdate::Keep,
+                output: None,
+            });
+        let exact = Table::keyed("t0", vec![(k, MatchKind::Exact)], vec![bump], None)
+            .entry(vec![KeyMatch::Exact(1)], 0, 0)
+            .with_capacity(64);
+        let tern = Table::keyed(
+            "t1",
+            vec![(k, MatchKind::Ternary)],
+            vec![Action::nop("n")],
+            Some(0),
+        )
+        .entry(
+            vec![KeyMatch::Ternary {
+                value: 0,
+                mask: 0x80,
+            }],
+            0,
+            0,
+        )
+        .with_capacity(32);
+
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout,
+            stages: vec![
+                Stage::new().table(exact),
+                Stage::new().table(tern),
+                Stage::new(),
+            ],
+            arrays: vec![RegisterArraySpec {
+                name: "r".into(),
+                width_bits: 32,
+                entries: 1024,
+                stage: 0,
+            }],
+            recirc_field: None,
+        };
+
+        let report = ResourceReport::of(&program);
+        assert_eq!(report.phv_fields, 2);
+        assert_eq!(report.phv_bits, 40);
+        assert_eq!(report.stages_used, 2, "stage 2 is empty");
+
+        let s0 = &report.stages[0];
+        assert_eq!(s0.tables, 1);
+        assert_eq!(s0.table_entries, 64);
+        // 64 entries x (8 key bits + 1 select bit) + 1024 x 32 register bits.
+        assert_eq!(s0.sram_bits, 64 * 9 + 1024 * 32);
+        assert_eq!(s0.tcam_bits, 0);
+        assert_eq!(s0.register_arrays, 1);
+        assert_eq!(s0.register_bits, 1024 * 32);
+        assert_eq!(s0.stateful_alus, 1);
+        assert_eq!(s0.action_slots, 1);
+
+        let s1 = &report.stages[1];
+        assert_eq!(s1.tcam_bits, 32 * 8, "ternary keys live in TCAM");
+        assert_eq!(s1.sram_bits, 32, "select bits still live in SRAM");
+        assert_eq!(s1.stateful_alus, 0);
+
+        let totals = report.totals();
+        assert_eq!(totals.tables, 2);
+        assert_eq!(totals.register_bits, 1024 * 32);
+    }
+}

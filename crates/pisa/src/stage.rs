@@ -1,0 +1,38 @@
+//! A match-action stage: an ordered set of tables sharing one time slot.
+//!
+//! Real MAU stages run their tables in parallel subject to dependency
+//! analysis; the simulator runs them **in order**, each seeing the effects
+//! of the previous — a deterministic superset that keeps programs explicit
+//! about intra-stage ordering. Anything that must observe a *stateful*
+//! result, however, still has to wait a stage: register arrays are bound to
+//! a stage, and a packet meets each exactly once (see [`crate::register`]).
+
+use crate::phv::Phv;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// One pipeline stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Tables applied in order.
+    pub tables: Vec<Table>,
+}
+
+impl Stage {
+    /// An empty stage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: append a table.
+    pub fn table(mut self, t: Table) -> Self {
+        self.tables.push(t);
+        self
+    }
+
+    /// Which action each table selects for the current PHV, without
+    /// executing anything. `None` per table = miss with no default.
+    pub fn select(&self, phv: &Phv) -> Vec<Option<usize>> {
+        self.tables.iter().map(|t| t.lookup(phv)).collect()
+    }
+}

@@ -1,0 +1,332 @@
+//! Match tables: the control-flow primitive of a match-action stage.
+//!
+//! A [`Table`] matches a tuple of PHV fields against its entries and
+//! selects an [`Action`]. The match kinds map onto the memories a real
+//! switch spends on them — exact matches live in SRAM, ternary/LPM matches
+//! in TCAM, range matches in TCAM via range-to-ternary expansion — which is
+//! what the resource report accounts.
+//!
+//! Entries carry an explicit priority (higher wins), which subsumes LPM
+//! (priority = prefix length) and overlapping ternary rules, the same
+//! convention P4 targets use.
+
+use crate::action::Action;
+use crate::phv::{FieldId, Phv};
+use serde::{Deserialize, Serialize};
+
+/// How a key field is matched, for memory accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// Exact value match (SRAM).
+    Exact,
+    /// Value/mask match (TCAM). Also covers LPM.
+    Ternary,
+    /// Inclusive range match (TCAM after range expansion).
+    Range,
+}
+
+/// The per-field pattern of one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyMatch {
+    /// Match a single value exactly.
+    Exact(u64),
+    /// Match `(field & mask) == (value & mask)`.
+    Ternary {
+        /// Pattern bits.
+        value: u64,
+        /// Cared-about bits.
+        mask: u64,
+    },
+    /// Match `lo <= field <= hi` (unsigned).
+    Range {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Match anything (wildcard).
+    Any,
+}
+
+impl KeyMatch {
+    fn matches(&self, v: u64) -> bool {
+        match *self {
+            KeyMatch::Exact(x) => v == x,
+            KeyMatch::Ternary { value, mask } => v & mask == value & mask,
+            KeyMatch::Range { lo, hi } => (lo..=hi).contains(&v),
+            KeyMatch::Any => true,
+        }
+    }
+
+    /// Whether this pattern is legal for a declared match kind.
+    fn legal_for(&self, kind: MatchKind) -> bool {
+        match (self, kind) {
+            (KeyMatch::Any, _) => true,
+            (KeyMatch::Exact(_), _) => true, // exact is expressible in any memory
+            (KeyMatch::Ternary { .. }, MatchKind::Ternary) => true,
+            (KeyMatch::Range { .. }, MatchKind::Range) => true,
+            _ => false,
+        }
+    }
+}
+
+/// One table entry: a pattern per key field, a priority and an action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// One pattern per declared key field.
+    pub key: Vec<KeyMatch>,
+    /// Higher priority wins among multiple matches (LPM: prefix length).
+    pub priority: u32,
+    /// Index into the table's action list.
+    pub action: usize,
+}
+
+/// A match-action table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Diagnostic name (unique within a program).
+    pub name: String,
+    /// Key fields and how each is matched.
+    pub keys: Vec<(FieldId, MatchKind)>,
+    /// The actions entries can invoke.
+    pub actions: Vec<Action>,
+    /// Installed entries.
+    pub entries: Vec<TableEntry>,
+    /// Action run when nothing matches (index into `actions`); `None`
+    /// means no-op on miss.
+    pub default_action: Option<usize>,
+    /// Provisioned capacity in entries, for memory accounting. At least
+    /// `entries.len()`.
+    pub capacity: usize,
+}
+
+impl Table {
+    /// A keyless always-run table with a single default action — the
+    /// idiom for unconditional per-stage work.
+    pub fn always(name: impl Into<String>, action: Action) -> Self {
+        Table {
+            name: name.into(),
+            keys: Vec::new(),
+            actions: vec![action],
+            entries: Vec::new(),
+            default_action: Some(0),
+            capacity: 1,
+        }
+    }
+
+    /// Builder: a keyed table with actions and a default.
+    pub fn keyed(
+        name: impl Into<String>,
+        keys: Vec<(FieldId, MatchKind)>,
+        actions: Vec<Action>,
+        default_action: Option<usize>,
+    ) -> Self {
+        Table {
+            name: name.into(),
+            keys,
+            actions,
+            entries: Vec::new(),
+            default_action,
+            capacity: 0,
+        }
+    }
+
+    /// Builder: install an entry.
+    pub fn entry(mut self, key: Vec<KeyMatch>, priority: u32, action: usize) -> Self {
+        assert_eq!(
+            key.len(),
+            self.keys.len(),
+            "table `{}`: key arity mismatch",
+            self.name
+        );
+        assert!(
+            action < self.actions.len(),
+            "table `{}`: bad action index",
+            self.name
+        );
+        for (km, (_, kind)) in key.iter().zip(&self.keys) {
+            assert!(
+                km.legal_for(*kind),
+                "table `{}`: pattern {km:?} not expressible as {kind:?}",
+                self.name
+            );
+        }
+        self.entries.push(TableEntry {
+            key,
+            priority,
+            action,
+        });
+        if self.capacity < self.entries.len() {
+            self.capacity = self.entries.len();
+        }
+        self
+    }
+
+    /// Builder: set the provisioned capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= self.entries.len());
+        self.capacity = capacity;
+        self
+    }
+
+    /// Look the PHV up: the matching entry's action index, or the default.
+    /// Among matching entries the highest priority wins; ties go to the
+    /// earliest installed.
+    pub fn lookup(&self, phv: &Phv) -> Option<usize> {
+        let mut best: Option<(u32, usize)> = None;
+        for e in &self.entries {
+            let hit = e
+                .key
+                .iter()
+                .zip(&self.keys)
+                .all(|(km, (field, _))| km.matches(phv.get(*field)));
+            if hit {
+                let better = match best {
+                    None => true,
+                    Some((p, _)) => e.priority > p,
+                };
+                if better {
+                    best = Some((e.priority, e.action));
+                }
+            }
+        }
+        best.map(|(_, a)| a).or(self.default_action)
+    }
+
+    /// Total key width in bits.
+    pub fn key_bits(&self, phv_width: impl Fn(FieldId) -> u32) -> u64 {
+        self.keys.iter().map(|(f, _)| phv_width(*f) as u64).sum()
+    }
+
+    /// Whether any key uses TCAM (ternary or range).
+    pub fn uses_tcam(&self) -> bool {
+        self.keys
+            .iter()
+            .any(|(_, k)| matches!(k, MatchKind::Ternary | MatchKind::Range))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, AluOp, Operand};
+    use crate::phv::PhvLayout;
+
+    fn setup() -> (PhvLayout, FieldId, FieldId) {
+        let mut l = PhvLayout::new();
+        let k = l.field("k", 8);
+        let out = l.field("out", 8);
+        (l, k, out)
+    }
+
+    fn set_const(out: FieldId, v: i64) -> Action {
+        Action::nop(format!("set{v}")).prim(out, AluOp::Set, Operand::Const(v), Operand::Const(0))
+    }
+
+    #[test]
+    fn exact_match_selects_entry_else_default() {
+        let (l, k, out) = setup();
+        let t = Table::keyed(
+            "t",
+            vec![(k, MatchKind::Exact)],
+            vec![set_const(out, 1), set_const(out, 2), set_const(out, 9)],
+            Some(2),
+        )
+        .entry(vec![KeyMatch::Exact(5)], 0, 0)
+        .entry(vec![KeyMatch::Exact(7)], 0, 1);
+
+        let mut p = Phv::new(&l);
+        p.set(k, 5);
+        assert_eq!(t.lookup(&p), Some(0));
+        p.set(k, 7);
+        assert_eq!(t.lookup(&p), Some(1));
+        p.set(k, 0);
+        assert_eq!(t.lookup(&p), Some(2), "miss takes the default");
+    }
+
+    #[test]
+    fn ternary_priority_implements_lpm() {
+        let (l, k, out) = setup();
+        // 8-bit "prefixes": 0b1??????? (len 1) vs 0b10?????? (len 2).
+        let t = Table::keyed(
+            "lpm",
+            vec![(k, MatchKind::Ternary)],
+            vec![set_const(out, 1), set_const(out, 2)],
+            None,
+        )
+        .entry(
+            vec![KeyMatch::Ternary {
+                value: 0x80,
+                mask: 0x80,
+            }],
+            1,
+            0,
+        )
+        .entry(
+            vec![KeyMatch::Ternary {
+                value: 0x80,
+                mask: 0xC0,
+            }],
+            2,
+            1,
+        );
+
+        let mut p = Phv::new(&l);
+        p.set(k, 0xA5); // 0b10100101: both match; longer prefix (priority 2) wins
+        assert_eq!(t.lookup(&p), Some(1));
+        p.set(k, 0xC5); // 0b11000101: only the /1 matches
+        assert_eq!(t.lookup(&p), Some(0));
+        p.set(k, 0x05);
+        assert_eq!(t.lookup(&p), None, "no default: miss is a no-op");
+    }
+
+    #[test]
+    fn range_match_is_inclusive() {
+        let (l, k, out) = setup();
+        let t = Table::keyed(
+            "r",
+            vec![(k, MatchKind::Range)],
+            vec![set_const(out, 1)],
+            None,
+        )
+        .entry(vec![KeyMatch::Range { lo: 10, hi: 20 }], 0, 0);
+        let mut p = Phv::new(&l);
+        for (v, hit) in [(9u64, false), (10, true), (20, true), (21, false)] {
+            p.set(k, v);
+            assert_eq!(t.lookup(&p).is_some(), hit, "value {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not expressible")]
+    fn ternary_pattern_rejected_in_exact_table() {
+        let (_l, k, out) = setup();
+        let _ = Table::keyed(
+            "bad",
+            vec![(k, MatchKind::Exact)],
+            vec![set_const(out, 1)],
+            None,
+        )
+        .entry(vec![KeyMatch::Ternary { value: 0, mask: 1 }], 0, 0);
+    }
+
+    #[test]
+    fn tcam_detection_and_key_bits() {
+        let (_, k, out) = setup();
+        let exact = Table::keyed(
+            "e",
+            vec![(k, MatchKind::Exact)],
+            vec![set_const(out, 1)],
+            None,
+        );
+        let tern = Table::keyed(
+            "t",
+            vec![(k, MatchKind::Ternary)],
+            vec![set_const(out, 1)],
+            None,
+        );
+        assert!(!exact.uses_tcam());
+        assert!(tern.uses_tcam());
+        assert_eq!(exact.key_bits(|_| 8), 8);
+    }
+}

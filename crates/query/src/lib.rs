@@ -1,1 +1,14 @@
-//! placeholder (under construction)
+//! # fpisa-query — distributed query processing (stub)
+//!
+//! Planned subsystem reproducing the paper's §6 query use case (Table 2,
+//! Fig. 13): Cheetah/NetAccel-style in-switch pruning and aggregation over
+//! floating-point columns, built on [`fpisa_core::SwitchComparator`] for
+//! Top-N / group-by max-min pruning and on the pipeline accumulator for
+//! in-switch SUM/AVG.
+//!
+//! Not implemented yet — see the "Open items" section of `ROADMAP.md`. The
+//! crate exists so the workspace layout and dependency edges are fixed
+//! before the subsystem lands.
+
+#[doc(hidden)]
+pub use fpisa_core as _core;

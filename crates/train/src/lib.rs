@@ -1,1 +1,14 @@
-//! placeholder (under construction)
+//! # fpisa-train — data-parallel training harness (stub)
+//!
+//! Planned subsystem: synchronous data-parallel training with a pluggable
+//! gradient-aggregation backend (exact host-side reduction, SwitchML-style
+//! fixed point, FPISA-A, full FPISA) so the accuracy experiments of
+//! Figs. 8 and 9 — does FPISA-A's bounded overwrite error change model
+//! convergence? — can be reproduced on small models.
+//!
+//! Not implemented yet — see the "Open items" section of `ROADMAP.md`. The
+//! crate exists so the workspace layout and dependency edges are fixed
+//! before the subsystem lands.
+
+#[doc(hidden)]
+pub use fpisa_core as _core;

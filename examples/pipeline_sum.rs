@@ -1,0 +1,56 @@
+//! Sum a stream of floats *inside the switch* and print what it cost.
+//!
+//! Runs the same stream through every pipeline variant (FPISA-A on
+//! today's Tofino, FPISA-A with the proposed shift ALU, full FPISA with
+//! RSAW) and through the host-side reference accumulator, then prints the
+//! Table 3-style resource report.
+//!
+//! ```sh
+//! cargo run --example pipeline_sum
+//! ```
+
+use fpisa::core::{ExactAccumulator, FpisaAccumulator};
+use fpisa::pipeline::{render_table3, table3, FpisaPipeline, PipelineVariant};
+
+fn main() {
+    // A stream with a wide dynamic range: the interesting case, because it
+    // forces alignment shifts and (in FPISA-A) overwrites.
+    let stream: Vec<f32> = (0..64)
+        .map(|i| {
+            let mag = 2f32.powi((i * 7 % 24) - 12);
+            let sign = if i % 3 == 0 { -1.0 } else { 1.0 };
+            sign * mag * (1.0 + (i as f32) / 64.0)
+        })
+        .collect();
+
+    let mut exact = ExactAccumulator::new();
+    for &x in &stream {
+        exact.add_f32(x);
+    }
+    println!("exact (f64) sum:          {:>14.7}", exact.value());
+
+    for variant in PipelineVariant::all() {
+        let mut pipe = FpisaPipeline::new(variant, 1).expect("program must validate");
+        let mut reference = FpisaAccumulator::new(pipe.core_config());
+        for &x in &stream {
+            pipe.add_f32(0, x).expect("finite input");
+            reference.add_f32(x).expect("finite input");
+        }
+        let got = pipe.read_f32(0).expect("read packet");
+        assert_eq!(
+            got.to_bits(),
+            reference.read_f32().to_bits(),
+            "pipeline and reference model must agree bit-for-bit"
+        );
+        println!(
+            "{:<25} {:>14.7}   (overwrites: {}, rounded: {})",
+            variant.name(),
+            got,
+            reference.stats().overwrites,
+            reference.stats().rounded,
+        );
+    }
+
+    println!("\nTable 3 — switch resources for 1024 aggregation slots:\n");
+    println!("{}", render_table3(&table3(1024)));
+}

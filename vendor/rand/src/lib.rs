@@ -1,0 +1,268 @@
+//! Offline shim for `rand`.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! stands in for `rand 0.8`. It implements the exact API surface the
+//! workspace's tests and benches use — [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`], [`Rng::gen_range`] and
+//! [`Rng::gen_bool`] — over a deterministic xoshiro256++ core. The
+//! generator is seeded via SplitMix64, like the real `SmallRng`, so seeded
+//! test streams are stable across runs (though not bit-identical to the
+//! real crate's streams, which no test relies on).
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level source of random bits.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of a type with a standard distribution (`bool`,
+    /// integers, unit-interval floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from the standard distribution.
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` using the top 24 bits.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`. `high` must be greater than `low`.
+    fn sample_range<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                let span = (high as i128 - low as i128) as u128;
+                // Modulo bias is < 2^-64 per draw for the spans tests use.
+                let draw = (rng.next_u64() as u128) % span;
+                (low as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: low >= high");
+        let unit: f32 = Standard::sample(rng);
+        low + (high - low) * unit
+    }
+}
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: low >= high");
+        let unit: f64 = Standard::sample(rng);
+        low + (high - low) * unit
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl SampleRange<u32> for RangeInclusive<u32> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> u32 {
+        let (lo, hi) = self.into_inner();
+        let span = hi as u64 - lo as u64 + 1;
+        lo + ((rng.next_u64() % span) as u32)
+    }
+}
+
+impl SampleRange<i32> for RangeInclusive<i32> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> i32 {
+        let (lo, hi) = self.into_inner();
+        let span = (hi as i64 - lo as i64 + 1) as u64;
+        (lo as i64 + (rng.next_u64() % span) as i64) as i32
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> usize {
+        let (lo, hi) = self.into_inner();
+        let span = (hi - lo) as u64 + 1;
+        lo + (rng.next_u64() % span) as usize
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic small-state generator (xoshiro256++), the shim's
+    /// equivalent of `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    Self::splitmix64(&mut sm),
+                    Self::splitmix64(&mut sm),
+                    Self::splitmix64(&mut sm),
+                    Self::splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen_range(0.25f32..1.5);
+            assert!((0.25..1.5).contains(&x));
+            let n: i32 = rng.gen_range(-12..12);
+            assert!((-12..12).contains(&n));
+            let m: u32 = rng.gen_range(3u32..=7);
+            assert!((3..=7).contains(&m));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trues = (0..1000).filter(|_| rng.gen::<bool>()).count();
+        assert!(trues > 400 && trues < 600, "biased bool: {trues}/1000");
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! stands in for the real `serde`. Nothing in the workspace actually
+//! serializes through serde yet (reports are rendered by hand, the bench
+//! JSON is hand-formatted); the code only *derives* the traits and uses
+//! them as bounds. The shim therefore keeps exactly that surface:
+//!
+//! * [`Serialize`] / [`Deserialize`] marker traits, blanket-implemented for
+//!   every type, so trait bounds like `T: serde::Serialize` always hold;
+//! * re-exported no-op derive macros from the vendored `serde_derive`, so
+//!   `#[derive(Serialize, Deserialize)]` compiles unchanged.
+//!
+//! When a registry becomes reachable, point `[workspace.dependencies]
+//! serde` back at crates.io and everything keeps compiling — the derives
+//! then start generating real impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

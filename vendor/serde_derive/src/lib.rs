@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal stand-in: `vendor/serde` defines `Serialize`/`Deserialize` as
+//! marker traits with blanket impls, which means these derives have nothing
+//! to generate — they only need to *exist* so `#[derive(Serialize,
+//! Deserialize)]` attributes compile unchanged. `#[serde(...)]` helper
+//! attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the shim trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the shim trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
