@@ -6,7 +6,10 @@
 //! (values summed directly by the pipeline in `fpisa-pipeline`), with both
 //! a numeric engine (per-element error accounting via
 //! [`fpisa_core::AddStats`]) and a performance engine (packets, slots,
-//! worker fan-in).
+//! worker fan-in). Switch-side slot pools will be instantiated through
+//! `fpisa_pipeline::PipelineSpec`, so the SwitchML-style comparisons can
+//! put FP16/BF16 on the wire (§5.2.2) and enable guard bits with
+//! nearest-even read-out (Appendix A.1) per experiment.
 //!
 //! Not implemented yet — see the "Open items" section of `ROADMAP.md`. The
 //! crate exists so the workspace layout and dependency edges are fixed

@@ -17,10 +17,12 @@
 //! * `FpisaAccumulator::add_f32` in both modes — the per-element cost every
 //!   host-side experiment pays;
 //! * the packet-level pipeline ADD and READ — the simulator cost that
-//!   bounds how big a differential test or aggregation experiment can be.
+//!   bounds how big a differential test or aggregation experiment can be —
+//!   including the FP16/BF16 field widths of §3.3 and the nearest-even
+//!   read-out of Appendix A.1 (both built through `PipelineSpec`).
 
-use fpisa_core::{FpisaAccumulator, FpisaConfig};
-use fpisa_pipeline::{FpisaPipeline, PipelineVariant};
+use fpisa_core::{FpFormat, FpisaAccumulator, FpisaConfig, ReadRounding};
+use fpisa_pipeline::{FpisaPipeline, PipelineSpec, PipelineVariant};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::time::Instant;
 
@@ -139,6 +141,57 @@ pub fn run_all(scale: f64) -> Vec<BenchResult> {
         }));
     }
 
+    // Per-format pipeline throughput (§3.3): the same Tofino-profile
+    // program with FP16/BF16 field widths — fewer shift-table entries, so
+    // ADD packets traverse smaller tables.
+    for (name, format) in [
+        ("pipeline/add_packet/tofino_a_fp16", FpFormat::FP16),
+        ("pipeline/add_packet/tofino_a_bf16", FpFormat::BF16),
+    ] {
+        let batch = ops(2_000);
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+            .format(format)
+            .slots(64);
+        let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+        // Drop values that overflow the narrow format (FP16 tops out at
+        // 65504): the pipeline's contract is finite inputs only.
+        let bits: Vec<u64> = stream
+            .iter()
+            .map(|&x| format.encode(x as f64))
+            .filter(|&b| format.unpack(b).class != fpisa_core::FpClass::Infinity)
+            .collect();
+        results.push(bench(name, batch, 10, || {
+            for i in 0..batch {
+                let b = bits[i as usize % bits.len()];
+                pipe.add_bits((i % 64) as usize, b).expect("finite input");
+            }
+        }));
+    }
+
+    // The Appendix A.1 nearest-even read-out costs one extra stage; meter
+    // the READ path with guard bits + rounding enabled.
+    {
+        let batch = ops(2_000);
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+            .guard_bits(2)
+            .read_rounding(ReadRounding::NearestEven)
+            .slots(64);
+        let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+        for (i, &x) in stream.iter().take(256).enumerate() {
+            pipe.add_f32(i % 64, x).expect("finite input");
+        }
+        results.push(bench(
+            "pipeline/read_packet/tofino_a_nearest_even",
+            batch,
+            10,
+            || {
+                for i in 0..batch {
+                    std::hint::black_box(pipe.read_bits((i % 64) as usize).expect("read"));
+                }
+            },
+        ));
+    }
+
     results
 }
 
@@ -195,12 +248,15 @@ mod tests {
     #[test]
     fn run_all_covers_core_and_pipeline() {
         let results = run_all(0.01);
-        assert_eq!(results.len(), 5);
+        assert_eq!(results.len(), 8);
         assert!(results.iter().any(|r| r.name.contains("core/add_f32")));
         assert!(results
             .iter()
             .any(|r| r.name.contains("pipeline/add_packet")));
         assert!(results.iter().any(|r| r.name.contains("read_packet")));
+        assert!(results.iter().any(|r| r.name.contains("fp16")));
+        assert!(results.iter().any(|r| r.name.contains("bf16")));
+        assert!(results.iter().any(|r| r.name.contains("nearest_even")));
         for r in &results {
             assert!(r.median_batch_ns > 0, "{} measured nothing", r.name);
         }

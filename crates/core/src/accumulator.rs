@@ -131,6 +131,23 @@ impl FpisaConfig {
         Self::new(FpFormat::FP16, 32, FpisaMode::Approximate)
     }
 
+    /// FP16 FPISA-A in a native 16-bit register — §3.3: "other
+    /// floating-point formats only require changing the bit width of the
+    /// fields", and Tofino's register files come in 16-bit entries, so a
+    /// half-precision slot halves the register (and shift-table) cost of
+    /// [`FpisaConfig::fp32_tofino`].
+    pub fn fp16_tofino() -> Self {
+        Self::new(FpFormat::FP16, 16, FpisaMode::Approximate)
+    }
+
+    /// bfloat16 FPISA-A in a native 16-bit register — the other ML format
+    /// §3.3 names as supported "trivially": FP32's exponent range with a
+    /// 7-bit mantissa, leaving the same 7 headroom bits as
+    /// [`FpisaConfig::fp32_tofino`] at half the register width.
+    pub fn bf16_tofino() -> Self {
+        Self::new(FpFormat::BF16, 16, FpisaMode::Approximate)
+    }
+
     /// Builder-style setter for the number of guard bits.
     pub fn with_guard_bits(mut self, guard_bits: u32) -> Self {
         assert!(
@@ -704,6 +721,31 @@ mod tests {
             acc.add_bits(f.encode(x)).unwrap();
         }
         assert_eq!(acc.read_f64(), 6.25);
+    }
+
+    #[test]
+    fn native_16bit_presets_match_the_paper_headrooms() {
+        let fp16 = FpisaConfig::fp16_tofino();
+        assert_eq!((fp16.format, fp16.register_bits), (FpFormat::FP16, 16));
+        assert_eq!(fp16.headroom_bits(), 4);
+        let bf16 = FpisaConfig::bf16_tofino();
+        assert_eq!((bf16.format, bf16.register_bits), (FpFormat::BF16, 16));
+        // Same 7-bit headroom as FP32-in-32-bit (§3.3).
+        assert_eq!(
+            bf16.headroom_bits(),
+            FpisaConfig::fp32_tofino().headroom_bits()
+        );
+
+        let mut acc = FpisaAccumulator::new(fp16);
+        for x in [1.0f64, 0.5, 2.0, -0.25] {
+            acc.add_bits(FpFormat::FP16.encode(x)).unwrap();
+        }
+        assert_eq!(acc.read_f64(), 3.25);
+        let mut acc = FpisaAccumulator::new(bf16);
+        for x in [1.0f64, 2.0, -0.5] {
+            acc.add_bits(FpFormat::BF16.encode(x)).unwrap();
+        }
+        assert_eq!(acc.read_f64(), 2.5);
     }
 
     #[test]

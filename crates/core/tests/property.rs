@@ -219,6 +219,79 @@ fn stepwise_plan_replay_matches_accumulator_state() {
 }
 
 #[test]
+fn fp16_bf16_subnormal_roundtrips_are_exact() {
+    // Every subnormal bit pattern of the 16-bit formats must survive
+    // decode -> encode and the SwitchValue extract -> assemble path
+    // bit-for-bit — the pipeline's install/read-out stages depend on it.
+    for format in [fpisa_core::FpFormat::FP16, fpisa_core::FpFormat::BF16] {
+        for frac in 1..=format.fraction_mask() {
+            for sign in [false, true] {
+                let bits = format.pack(sign, 0, frac);
+                assert_eq!(
+                    format.encode(format.decode(bits)),
+                    bits,
+                    "{format:?} pack/unpack roundtrip of subnormal {bits:#06x}"
+                );
+                let v = SwitchValue::extract(format, 16, 0, bits).unwrap();
+                assert_eq!(v.exponent, 1, "subnormals install at exponent 1");
+                assert_eq!(v.mantissa.unsigned_abs(), frac);
+                assert_eq!(
+                    v.assemble(fpisa_core::ReadRounding::TowardZero),
+                    bits,
+                    "{format:?} extract/assemble roundtrip of {bits:#06x}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quantize_f32_at_format_boundaries() {
+    for format in [fpisa_core::FpFormat::FP16, fpisa_core::FpFormat::BF16] {
+        // max_finite is a fixed point of quantization...
+        let max = format.max_finite();
+        assert_eq!(format.quantize_f32(max as f32) as f64, max, "{format:?}");
+        // ...everything past the overflow threshold (half an ulp above
+        // max_finite) rounds to infinity...
+        let ulp = fpisa_core::format::pow2(format.bias() - format.man_bits as i32);
+        let threshold = max + ulp / 2.0;
+        assert!(
+            format
+                .quantize_f32((threshold * 1.0001) as f32)
+                .is_infinite(),
+            "{format:?} must overflow past {threshold}"
+        );
+        // ...and just below the threshold still rounds back down to max.
+        assert_eq!(
+            format.quantize_f32((threshold * 0.9999) as f32) as f64,
+            max,
+            "{format:?} must round down to max_finite"
+        );
+
+        // min_positive_normal is also a fixed point, and halving it lands
+        // exactly on a representable subnormal (no rounding).
+        let tiny = format.min_positive_normal();
+        assert_eq!(format.quantize_f32(tiny as f32) as f64, tiny, "{format:?}");
+        assert_eq!(
+            format.quantize_f32((tiny / 2.0) as f32) as f64,
+            tiny / 2.0,
+            "{format:?} half of min-normal is an exact subnormal"
+        );
+        // The largest subnormal sits one epsilon-step below min-normal.
+        let below = tiny - tiny * format.epsilon();
+        assert_eq!(
+            format.quantize_f32(below as f32) as f64,
+            below,
+            "{format:?} largest subnormal is exact"
+        );
+    }
+    // FP32 quantization through the generic path is the identity.
+    let f32fmt = fpisa_core::FpFormat::FP32;
+    assert_eq!(f32fmt.quantize_f32(f32::MAX), f32::MAX);
+    assert_eq!(f32fmt.quantize_f32(f32::MIN_POSITIVE), f32::MIN_POSITIVE);
+}
+
+#[test]
 fn load_register_seeds_reference_state() {
     let mut a = FpisaAccumulator::new(cfg(FpisaMode::Approximate));
     a.add_f32(3.0).unwrap();

@@ -5,7 +5,9 @@
 //! in §5.3 (quantization to FP16/BF16 via [`fpisa_core::FpFormat`],
 //! endianness conversion, memcpy and GPU-copy costs) so that end-to-end
 //! training-throughput experiments (Figs. 7, 11) can be replayed without
-//! hardware.
+//! hardware. The switch side will come from
+//! `fpisa_pipeline::PipelineSpec`, whose FP16/BF16 field widths set the
+//! per-packet element counts the cost models depend on.
 //!
 //! Not implemented yet — see the "Open items" section of `ROADMAP.md`. The
 //! crate exists so the workspace layout and dependency edges are fixed

@@ -5,86 +5,137 @@
 //! differentially tested — bit for bit — against the reference model in
 //! `fpisa-core`.
 //!
-//! [`FpisaPipeline`] wraps a [`fpisa_pisa::Switch`] running the program
-//! built by [`program::build_program`]: per aggregation slot, a biased
-//! exponent register entry and a signed 32-bit mantissa register entry
-//! (Fig. 3), updated by ADD packets and renormalized by READ packets using
-//! only match tables and integer ALU operations. Three
-//! [`program::PipelineVariant`]s cover the paper's hardware spectrum —
-//! FPISA-A on unmodified Tofino (shift-by-match-table, overwrite past the
-//! headroom), FPISA-A with the proposed 2-operand shift ALU, and full
-//! FPISA with the RSAW stateful unit.
+//! Construction goes through [`PipelineSpec`], a validated builder that
+//! picks the variant, floating-point format, register width, guard bits,
+//! read-out rounding and slot count; the program builder computes every
+//! field width, bias constant and shift-table entry count from it.
+//! [`FpisaPipeline`] wraps a [`fpisa_pisa::Switch`] running that program:
+//! per aggregation slot, a biased exponent register entry and a signed
+//! mantissa register entry (Fig. 3), updated by ADD packets and
+//! renormalized by READ packets using only match tables and integer ALU
+//! operations. Three [`program::PipelineVariant`]s cover the paper's
+//! hardware spectrum — FPISA-A on unmodified Tofino
+//! (shift-by-match-table, overwrite past the headroom), FPISA-A with the
+//! proposed 2-operand shift ALU, and full FPISA with the RSAW stateful
+//! unit.
 //!
 //! The [`report`] module produces the Table 3-style resource accounting
-//! for each variant, rendered through the shared `fpisa-hw` report
-//! machinery.
+//! for each variant — and, via [`report::table3_formats`], for each
+//! format, showing how the Tofino shift tables shrink for FP16/BF16 —
+//! rendered through the shared `fpisa-hw` report machinery.
 //!
 //! ## Example
 //!
 //! ```
-//! use fpisa_pipeline::{FpisaPipeline, PipelineVariant};
+//! use fpisa_core::{FpFormat, ReadRounding};
+//! use fpisa_pipeline::{FpisaPipeline, PipelineSpec, PipelineVariant};
 //!
+//! // The FP32 default (Fig. 4's worked example).
 //! let mut pipe = FpisaPipeline::new(PipelineVariant::TofinoA, 16).unwrap();
 //! pipe.add_f32(0, 3.0).unwrap();
 //! pipe.add_f32(0, 1.0).unwrap();
-//! assert_eq!(pipe.read_f32(0).unwrap(), 4.0); // Fig. 4's worked example
+//! assert_eq!(pipe.read_f32(0).unwrap(), 4.0);
+//!
+//! // BF16 on the wire, guard bits, round-to-nearest-even read-out.
+//! let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+//!     .format(FpFormat::BF16)
+//!     .guard_bits(2)
+//!     .read_rounding(ReadRounding::NearestEven)
+//!     .slots(16);
+//! let mut pipe = FpisaPipeline::from_spec(spec).unwrap();
+//! pipe.add_value(0, 3.0).unwrap();
+//! pipe.add_value(0, 1.0).unwrap();
+//! assert_eq!(pipe.read_f64(0).unwrap(), 4.0);
 //! ```
 //!
 //! ## Scope
 //!
-//! The program reproduces the core configuration the paper deploys —
-//! FP32 in 32-bit registers, no guard bits, saturating overflow,
-//! truncating read-out (`FpisaConfig::fp32_tofino()` /
-//! `fp32_extended()`). Inputs must be finite: a PISA switch has no NaN
-//! semantics, and the paper assumes hosts send finite values.
+//! The program covers the format space of §3.3 and Appendix A.1: any
+//! [`fpisa_core::FpFormat`] that packs into 32 bits (FP32, FP16, BF16,
+//! custom `(e, m)` shapes) in registers up to 32 bits wide, with optional
+//! guard bits and either truncating or round-to-nearest-even read-out
+//! (`ReadRounding::TowardNegInf` has no pipeline lowering and is rejected
+//! at spec validation). `FpisaPipeline::new` keeps the paper's deployed
+//! default — FP32 in 32-bit registers, no guard bits, truncating
+//! read-out. Inputs must be finite: a PISA switch has no NaN semantics,
+//! and the paper assumes hosts send finite values.
 
 pub mod program;
 pub mod report;
+pub mod spec;
 
 pub use program::{build_program, Arrays, Fields, PipelineVariant, OP_ADD, OP_READ};
-pub use report::{render_stage_breakdown, render_table3, table3, Table3Row};
+pub use report::{render_stage_breakdown, render_table3, table3, table3_formats, Table3Row};
+pub use spec::{format_name, PipelineSpec, SpecError, MAX_SLOTS};
 
-use fpisa_core::FpisaConfig;
+use fpisa_core::{FpFormat, FpisaConfig};
 use fpisa_pisa::{ProgramError, ResourceReport, RuntimeError, Switch, SwitchProgram};
 
 /// A running FPISA pipeline: the Fig. 2 program instantiated on the switch
-/// simulator with `slots` aggregation slots.
+/// simulator for one [`PipelineSpec`].
 #[derive(Debug, Clone)]
 pub struct FpisaPipeline {
     switch: Switch,
     fields: Fields,
     arrays: Arrays,
-    variant: PipelineVariant,
-    slots: usize,
+    spec: PipelineSpec,
+    cfg: FpisaConfig,
 }
 
 impl FpisaPipeline {
-    /// Build and validate the program for a variant, with zeroed slots.
-    pub fn new(variant: PipelineVariant, slots: usize) -> Result<Self, ProgramError> {
-        let (program, fields, arrays) = build_program(variant, slots);
+    /// Build and validate the program for a spec, with zeroed slots. This
+    /// is the single constructor every configuration goes through;
+    /// [`FpisaPipeline::new`] is a thin FP32 convenience over it.
+    pub fn from_spec(spec: PipelineSpec) -> Result<Self, SpecError> {
+        // `core_config` validates the spec, so the program can be built
+        // directly without a second validation pass.
+        let cfg = spec.core_config()?;
+        let (program, fields, arrays) = program::build_for_spec(&spec, &cfg);
         let switch = Switch::new(program)?;
         Ok(FpisaPipeline {
             switch,
             fields,
             arrays,
-            variant,
-            slots,
+            spec,
+            cfg,
         })
+    }
+
+    /// Build the paper's default configuration for a variant — FP32 in
+    /// 32-bit registers, no guard bits, truncating read-out. Panics on
+    /// slot counts outside the 16-bit slot field (use
+    /// [`FpisaPipeline::from_spec`] for fallible construction).
+    pub fn new(variant: PipelineVariant, slots: usize) -> Result<Self, ProgramError> {
+        Self::from_spec(PipelineSpec::new(variant).slots(slots)).map_err(|e| match e {
+            SpecError::Program(p) => p,
+            other => panic!("{other}"),
+        })
+    }
+
+    /// The spec this pipeline was built from.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
     }
 
     /// The variant this pipeline runs.
     pub fn variant(&self) -> PipelineVariant {
-        self.variant
+        self.spec.variant()
     }
 
     /// Number of aggregation slots.
     pub fn slots(&self) -> usize {
-        self.slots
+        self.spec.slot_count()
     }
 
-    /// The `fpisa-core` configuration this pipeline reproduces.
+    /// The floating-point format on the wire.
+    pub fn format(&self) -> FpFormat {
+        self.cfg.format
+    }
+
+    /// The `fpisa-core` configuration this pipeline reproduces — the
+    /// reference model the differential suite instantiates.
     pub fn core_config(&self) -> FpisaConfig {
-        self.variant.core_config()
+        self.cfg
     }
 
     /// The underlying validated switch program.
@@ -102,39 +153,90 @@ impl FpisaPipeline {
         ResourceReport::of(self.switch.program())
     }
 
-    /// Process an ADD packet: fold packed FP32 `bits` into `slot`.
+    /// Check a slot index against the spec, mirroring the switch's own
+    /// register-range runtime error for out-of-range packets.
+    fn check_slot(&self, slot: usize) -> Result<(), RuntimeError> {
+        if slot >= self.slots() {
+            return Err(RuntimeError::IndexOutOfRange {
+                detail: format!(
+                    "slot {slot} out of range for pipeline with {} slots",
+                    self.slots()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Process an ADD packet: fold a packed value of the spec's format
+    /// into `slot`. Bits above the format's width are ignored, exactly as
+    /// [`FpFormat::unpack`] masks them.
     ///
     /// Non-finite inputs are the caller's responsibility (see the crate
     /// docs); the switch will process their bit patterns like any others.
-    pub fn add_bits(&mut self, slot: usize, bits: u32) -> Result<(), RuntimeError> {
-        assert!(slot < self.slots, "slot {slot} out of range");
+    pub fn add_bits(&mut self, slot: usize, bits: u64) -> Result<(), RuntimeError> {
+        self.check_slot(slot)?;
         let mut phv = self.switch.phv();
         phv.set(self.fields.op, OP_ADD);
         phv.set(self.fields.slot, slot as u64);
-        phv.set(self.fields.value, bits as u64);
+        phv.set(self.fields.value, bits);
         self.switch.run(&mut phv)?;
         Ok(())
     }
 
-    /// Process an ADD packet carrying an `f32`.
+    /// Process an ADD packet carrying an `f32`. Panics on non-FP32 specs
+    /// — silently truncating 32 bits into a narrower value field would
+    /// aggregate garbage; use [`FpisaPipeline::add_value`] or
+    /// [`FpisaPipeline::add_bits`] there.
     pub fn add_f32(&mut self, slot: usize, x: f32) -> Result<(), RuntimeError> {
-        self.add_bits(slot, x.to_bits())
+        assert_eq!(
+            self.cfg.format,
+            FpFormat::FP32,
+            "add_f32 on a non-FP32 pipeline"
+        );
+        self.add_bits(slot, x.to_bits() as u64)
     }
 
-    /// Process a READ packet: renormalize `slot` into packed FP32 bits.
-    /// Reading does not modify the slot.
-    pub fn read_bits(&mut self, slot: usize) -> Result<u32, RuntimeError> {
-        assert!(slot < self.slots, "slot {slot} out of range");
+    /// Process an ADD packet carrying an `f64`, first encoding it into the
+    /// spec's format with round-to-nearest-even (models the host casting
+    /// to FP16/BF16 before transmission, §5.2.2).
+    ///
+    /// The input must stay within the format's finite range: a finite
+    /// `f64` beyond [`FpFormat::max_finite`] encodes to an infinity bit
+    /// pattern, which the switch folds in like any other bits (see the
+    /// crate docs) while the reference model would reject it — clamp at
+    /// the host first, as the paper's transports do.
+    pub fn add_value(&mut self, slot: usize, x: f64) -> Result<(), RuntimeError> {
+        self.add_bits(slot, self.cfg.format.encode(x))
+    }
+
+    /// Process a READ packet: renormalize `slot` into packed bits of the
+    /// spec's format. Reading does not modify the slot.
+    pub fn read_bits(&mut self, slot: usize) -> Result<u64, RuntimeError> {
+        self.check_slot(slot)?;
         let mut phv = self.switch.phv();
         phv.set(self.fields.op, OP_READ);
         phv.set(self.fields.slot, slot as u64);
         self.switch.run(&mut phv)?;
-        Ok(phv.get(self.fields.result) as u32)
+        Ok(phv.get(self.fields.result))
     }
 
-    /// Process a READ packet and decode the result.
+    /// Process a READ packet and decode the result. Panics on non-FP32
+    /// specs; use [`FpisaPipeline::read_f64`] or
+    /// [`FpisaPipeline::read_bits`] there.
     pub fn read_f32(&mut self, slot: usize) -> Result<f32, RuntimeError> {
-        Ok(f32::from_bits(self.read_bits(slot)?))
+        assert_eq!(
+            self.cfg.format,
+            FpFormat::FP32,
+            "read_f32 on a non-FP32 pipeline"
+        );
+        Ok(f32::from_bits(self.read_bits(slot)? as u32))
+    }
+
+    /// Process a READ packet and decode the result to `f64`, whatever the
+    /// format.
+    pub fn read_f64(&mut self, slot: usize) -> Result<f64, RuntimeError> {
+        let bits = self.read_bits(slot)?;
+        Ok(self.cfg.format.decode(bits))
     }
 
     /// Raw register state of a slot: `(biased exponent, signed mantissa)`.
@@ -151,6 +253,7 @@ impl FpisaPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fpisa_core::ReadRounding;
 
     #[test]
     fn fig4_worked_example_on_every_variant() {
@@ -192,6 +295,36 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_slots_error_instead_of_panicking() {
+        // Regression test: `add_bits`/`read_bits` used to `assert!` on a
+        // bad slot while every other failure returned `Result`.
+        let mut pipe = FpisaPipeline::new(PipelineVariant::TofinoA, 4).unwrap();
+        for bad in [4usize, 5, 1 << 16, usize::MAX] {
+            assert!(
+                matches!(
+                    pipe.add_bits(bad, 0x3F80_0000),
+                    Err(RuntimeError::IndexOutOfRange { .. })
+                ),
+                "add to slot {bad} must error"
+            );
+            assert!(
+                matches!(
+                    pipe.read_bits(bad),
+                    Err(RuntimeError::IndexOutOfRange { .. })
+                ),
+                "read of slot {bad} must error"
+            );
+        }
+        // The failed packets must not have disturbed any state.
+        for slot in 0..4 {
+            assert_eq!(pipe.register_state(slot), (0, 0));
+        }
+        // In-range packets still work afterwards.
+        pipe.add_f32(3, 2.5).unwrap();
+        assert_eq!(pipe.read_f32(3).unwrap(), 2.5);
+    }
+
+    #[test]
     fn overwrite_happens_on_tofino_but_not_full() {
         let mut a = FpisaPipeline::new(PipelineVariant::TofinoA, 1).unwrap();
         a.add_f32(0, 1.0).unwrap();
@@ -228,6 +361,43 @@ mod tests {
                 2f32.powi(-20),
                 "{v:?} cancellation"
             );
+        }
+    }
+
+    #[test]
+    fn fp16_and_bf16_pipelines_sum_exactly_representable_values() {
+        for format in [FpFormat::FP16, FpFormat::BF16] {
+            for v in PipelineVariant::all() {
+                let spec = PipelineSpec::new(v).format(format).slots(2);
+                let mut pipe = FpisaPipeline::from_spec(spec).unwrap();
+                for x in [1.0f64, 0.5, 2.0, -0.25, 3.0] {
+                    pipe.add_value(0, x).unwrap();
+                }
+                assert_eq!(pipe.read_f64(0).unwrap(), 6.25, "{v:?} {format:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_even_readout_rounds_ties_to_even() {
+        // Accumulate (2^24 + 3) * 2^-23 into an FP32 slot with guard bits:
+        // truncation keeps 2 + 2^-22, nearest-even rounds the half-ulp tie
+        // up to 2 + 2^-21 (the `rounding_modes_differ_on_dropped_bits`
+        // case of fpisa-core, now through the packet pipeline).
+        for v in PipelineVariant::all() {
+            for (rounding, expect) in [
+                (ReadRounding::TowardZero, 2.0 + 2.0 * f32::EPSILON),
+                (ReadRounding::NearestEven, 2.0 + 4.0 * f32::EPSILON),
+            ] {
+                let spec = PipelineSpec::new(v)
+                    .guard_bits(2)
+                    .read_rounding(rounding)
+                    .slots(1);
+                let mut pipe = FpisaPipeline::from_spec(spec).unwrap();
+                pipe.add_f32(0, 2.0).unwrap();
+                pipe.add_f32(0, 3.0 * 2f32.powi(-23)).unwrap();
+                assert_eq!(pipe.read_f32(0).unwrap(), expect, "{v:?} {rounding:?}");
+            }
         }
     }
 

@@ -2,12 +2,21 @@
 //!
 //! One program implements both FPISA packet operations:
 //!
-//! * **ADD** (`op = 0`): decompose the packed FP32 in `value`, align it to
+//! * **ADD** (`op = 0`): decompose the packed value in `value`, align it to
 //!   the slot's scale and fold it into the exponent/mantissa register
 //!   arrays — stages 0–5, mirroring MAU0–MAU4 of Fig. 2.
 //! * **READ** (`op = 1`): read the slot and renormalize it back to packed
-//!   IEEE bits in `result` — stages 6–10, mirroring MAU5–MAU8 (the
-//!   conversion-back path), with truncating (toward-zero) rounding.
+//!   IEEE bits in `result` — the remaining stages, mirroring MAU5–MAU8
+//!   (the conversion-back path).
+//!
+//! Programs are built from a [`crate::PipelineSpec`]: every field width,
+//! bias constant, shift-table entry count, headroom/overwrite threshold
+//! and the read-out renormalization path is computed from the spec's
+//! [`fpisa_core::FpFormat`], register width and guard bits — FP32 in
+//! 32-bit registers is just the default point of that space (§3.3). When
+//! the spec asks for [`fpisa_core::ReadRounding::NearestEven`], an extra
+//! guard-bit-inspection stage sequence (Appendix A.1) is emitted between
+//! the renormalization shift and the final pack.
 //!
 //! The three [`PipelineVariant`]s change *how* alignment shifts happen,
 //! which is exactly the paper's hardware argument:
@@ -23,11 +32,12 @@
 //!   the RSAW stateful unit, so the *stored* mantissa is aligned in place
 //!   and no overwrite ever happens.
 //!
-//! Every variant is differentially tested bit-for-bit against
-//! [`fpisa_core::FpisaAccumulator`] with the matching
-//! [`fpisa_core::FpisaMode`].
+//! Every `(variant × format × rounding)` combination is differentially
+//! tested bit-for-bit against [`fpisa_core::FpisaAccumulator`] with the
+//! matching [`fpisa_core::FpisaConfig`].
 
-use fpisa_core::{FpisaConfig, FpisaMode};
+use crate::spec::PipelineSpec;
+use fpisa_core::{FpFormat, FpisaConfig, FpisaMode, ReadRounding};
 use fpisa_pisa::{
     Action, AluOp, CmpOp, FieldId, KeyMatch, MatchKind, Operand, PhvLayout, RegArrayId,
     RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, Stage, StatefulCall, SwitchCaps,
@@ -91,15 +101,44 @@ impl PipelineVariant {
         }
     }
 
-    /// The `fpisa-core` configuration this variant reproduces
-    /// (FP32 in 32-bit registers, no guard bits, saturating overflow,
-    /// truncating read-out).
+    /// The `fpisa-core` configuration of the *default* spec for this
+    /// variant (FP32 in 32-bit registers, no guard bits, saturating
+    /// overflow, truncating read-out). Pipelines built from an explicit
+    /// [`crate::PipelineSpec`] report their own configuration via
+    /// [`crate::FpisaPipeline::core_config`].
     pub fn core_config(&self) -> FpisaConfig {
         match self.mode() {
             FpisaMode::Approximate => FpisaConfig::fp32_tofino(),
             FpisaMode::Full => FpisaConfig::fp32_extended(),
         }
     }
+}
+
+/// The PHV fields of the nearest-even read-out sequence (Appendix A.1),
+/// present only when the spec configures
+/// [`fpisa_core::ReadRounding::NearestEven`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RoundFields {
+    /// Mask covering the bits dropped by the renormalization shift.
+    pub(crate) mask: FieldId,
+    /// Half-ulp threshold (`2^(shift-1)`).
+    pub(crate) half: FieldId,
+    /// The dropped bits (`mag & mask`).
+    pub(crate) rem: FieldId,
+    /// `rem > half`.
+    pub(crate) gt: FieldId,
+    /// `rem == half` (the tie case).
+    pub(crate) eqh: FieldId,
+    /// Lowest kept bit (ties round to even).
+    pub(crate) odd: FieldId,
+    /// `rem != 0` (any information dropped at all).
+    pub(crate) rem_nz: FieldId,
+    /// The final +1 round-up decision.
+    pub(crate) rnd: FieldId,
+    /// Rounding carried past the normal significand width.
+    pub(crate) carry_n: FieldId,
+    /// Rounding carried a subnormal into the normal range.
+    pub(crate) carry_s: FieldId,
 }
 
 /// The PHV fields the program uses. Public so tests and the driver can
@@ -110,9 +149,9 @@ pub struct Fields {
     pub op: FieldId,
     /// Aggregation slot index.
     pub slot: FieldId,
-    /// Packed FP32 input (ADD).
+    /// Packed input value in the spec's format (ADD).
     pub value: FieldId,
-    /// Packed FP32 output (READ).
+    /// Packed output value in the spec's format (READ).
     pub result: FieldId,
     /// Set for ±0 inputs: the packet skips all state updates.
     pub skip: FieldId,
@@ -153,6 +192,9 @@ pub struct Fields {
     pub(crate) exp_out: FieldId,
     pub(crate) t1: FieldId,
     pub(crate) t2: FieldId,
+
+    // -- nearest-even rounding (Appendix A.1) --
+    pub(crate) round: Option<RoundFields>,
 }
 
 /// The two register arrays of Fig. 3.
@@ -164,14 +206,70 @@ pub struct Arrays {
     pub mantissa: RegArrayId,
 }
 
-const MAN_BITS: u64 = 23;
-const FRAC_MASK: u64 = 0x7F_FFFF;
-const IMPLIED_ONE: u64 = 0x80_0000;
-const EXP_MASK: u64 = 0xFF;
-const MAX_EXP_FIELD: i64 = 255;
-/// Largest meaningful arithmetic right shift for a 32-bit register: the
-/// core model clamps at `register_bits + 1`.
-const MAX_RSHIFT: u32 = 33;
+/// Every format/width-derived dimension the stage builders need, computed
+/// once from the spec's [`FpisaConfig`].
+#[derive(Debug, Clone, Copy)]
+struct Dims {
+    format: FpFormat,
+    /// Guard bits below the mantissa (Appendix A.1).
+    guard: u32,
+    /// Mantissa-register width in bits.
+    reg: u32,
+    /// Left-shift headroom of the denormalized representation (§3.3).
+    headroom: u32,
+    /// Approximate (FPISA-A) vs full (RSAW) dataflow.
+    approx: bool,
+    /// Whether the nearest-even read-out sequence is emitted.
+    nearest_even: bool,
+}
+
+impl Dims {
+    fn of(spec: &PipelineSpec, cfg: &FpisaConfig) -> Self {
+        Dims {
+            format: cfg.format,
+            guard: cfg.guard_bits,
+            reg: cfg.register_bits,
+            headroom: cfg.headroom_bits(),
+            approx: spec.variant().mode() == FpisaMode::Approximate,
+            nearest_even: cfg.read_rounding == ReadRounding::NearestEven,
+        }
+    }
+
+    /// Mantissa bits + guard bits: the bit position of the normalized
+    /// leading one inside the register.
+    fn man_g(&self) -> u32 {
+        self.format.man_bits + self.guard
+    }
+
+    /// Largest alignment right-shift worth an exact table entry: past the
+    /// reference model's `register_bits + 1` clamp every distance
+    /// collapses to the sign fill, and the exponent fields themselves
+    /// bound the difference at `max_exp_field - 2`.
+    fn align_rshift_max(&self) -> u32 {
+        (self.reg + 1).min(self.format.max_exp_field().saturating_sub(2))
+    }
+
+    /// Largest renormalization right-shift: the leading one sits at bit
+    /// `reg - 1` at most and must land on bit `man_bits`.
+    fn frac_rshift_max(&self) -> u32 {
+        self.reg - 1 - self.format.man_bits
+    }
+
+    /// Largest renormalization left-shift (small residuals after
+    /// cancellation): the leading one can sit as low as bit 0.
+    fn frac_lshift_max(&self) -> u32 {
+        self.man_g()
+    }
+
+    /// Mask covering the mantissa register's raw bits.
+    fn reg_mask(&self) -> u64 {
+        if self.reg >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.reg) - 1
+        }
+    }
+}
 
 fn f(id: FieldId) -> Operand {
     Operand::Field(id)
@@ -180,23 +278,40 @@ fn c(v: i64) -> Operand {
     Operand::Const(v)
 }
 
-/// Build the Fig. 2 program for a variant and a slot count. The returned
-/// program is guaranteed to validate against [`PipelineVariant::caps`].
+/// Build the Fig. 2 program for a variant and a slot count with the
+/// paper's default configuration (FP32 in 32-bit registers, no guard
+/// bits, truncating read-out) — a thin convenience over
+/// [`crate::PipelineSpec::build`]. Panics on slot counts outside the
+/// 16-bit slot field; use the spec API for fallible construction.
 pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, Fields, Arrays) {
-    assert!(
-        slots > 0 && slots <= 1 << 16,
-        "slot count must fit the 16-bit slot field"
-    );
+    PipelineSpec::new(variant)
+        .slots(slots)
+        .build()
+        .expect("slot count must fit the 16-bit slot field")
+}
+
+/// Build the program for a *validated* spec (callers go through
+/// [`crate::PipelineSpec::build`], which validates first). The returned
+/// program is guaranteed to validate against [`PipelineVariant::caps`].
+pub(crate) fn build_for_spec(
+    spec: &PipelineSpec,
+    cfg: &FpisaConfig,
+) -> (SwitchProgram, Fields, Arrays) {
+    let variant = spec.variant();
     let caps = variant.caps();
-    let approx = variant.mode() == FpisaMode::Approximate;
-    let headroom = variant.core_config().headroom_bits() as i64;
+    let d = Dims::of(spec, cfg);
+    let fmt = d.format;
+    let slots = spec.slot_count();
 
     let mut l = PhvLayout::new();
     let fields = Fields {
         op: l.field("op", 2),
         slot: l.field("slot", 16),
-        value: l.field("value", 32),
-        result: l.field("result", 32),
+        // The value/result containers are exactly as wide as the packed
+        // format, so out-of-format bits are dropped at parse time the way
+        // `FpFormat::unpack` masks them.
+        value: l.field("value", fmt.total_bits()),
+        result: l.field("result", fmt.total_bits()),
         skip: l.field("skip", 1),
         sign: l.field("sign", 1),
         e_in: l.field("e_in", 32),
@@ -208,9 +323,9 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
         d1: l.field("d1", 32),
         d2: l.field("d2", 32),
         bigger: l.field("bigger", 1),
-        p_empty: approx.then(|| l.field("p_empty", 1)),
-        p_far: approx.then(|| l.field("p_far", 1)),
-        wr: approx.then(|| l.field("wr", 1)),
+        p_empty: d.approx.then(|| l.field("p_empty", 1)),
+        p_far: d.approx.then(|| l.field("p_far", 1)),
+        wr: d.approx.then(|| l.field("wr", 1)),
         man_shifted: l.field("man_shifted", 32),
         man_r: l.field("man_r", 32),
         neg: l.field("neg", 1),
@@ -229,6 +344,18 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
         exp_out: l.field("exp_out", 32),
         t1: l.field("t1", 32),
         t2: l.field("t2", 32),
+        round: d.nearest_even.then(|| RoundFields {
+            mask: l.field("r_mask", 32),
+            half: l.field("r_half", 32),
+            rem: l.field("r_rem", 32),
+            gt: l.field("r_gt", 1),
+            eqh: l.field("r_eqh", 1),
+            odd: l.field("r_odd", 1),
+            rem_nz: l.field("r_rem_nz", 1),
+            rnd: l.field("r_rnd", 1),
+            carry_n: l.field("r_carry_n", 1),
+            carry_s: l.field("r_carry_s", 1),
+        }),
     };
     let fd = &fields;
 
@@ -239,13 +366,15 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
     let array_specs = vec![
         RegisterArraySpec {
             name: "exp_reg".into(),
-            width_bits: 9,
+            // One bit above the exponent field keeps the stored value
+            // non-negative under the SALU's sign-extending reads.
+            width_bits: fmt.exp_bits + 1,
             entries: slots,
             stage: 2,
         },
         RegisterArraySpec {
             name: "man_reg".into(),
-            width_bits: 32,
+            width_bits: d.reg,
             entries: slots,
             stage: 5,
         },
@@ -253,20 +382,45 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
 
     // ---------------- Stage 0: parse / extract (MAU0) ----------------
     let extract = Action::nop("extract")
-        .prim(fd.sign, AluOp::ShrLogic, f(fd.value), c(31))
-        .prim(fd.e_in, AluOp::ShrLogic, f(fd.value), c(MAN_BITS as i64))
-        .prim(fd.e_in, AluOp::And, f(fd.e_in), c(EXP_MASK as i64))
-        .prim(fd.frac, AluOp::And, f(fd.value), c(FRAC_MASK as i64));
+        .prim(
+            fd.sign,
+            AluOp::ShrLogic,
+            f(fd.value),
+            c(fmt.total_bits() as i64 - 1),
+        )
+        .prim(
+            fd.e_in,
+            AluOp::ShrLogic,
+            f(fd.value),
+            c(fmt.man_bits as i64),
+        )
+        .prim(
+            fd.e_in,
+            AluOp::And,
+            f(fd.e_in),
+            c(fmt.max_exp_field() as i64),
+        )
+        .prim(
+            fd.frac,
+            AluOp::And,
+            f(fd.value),
+            c(fmt.fraction_mask() as i64),
+        );
+    // Subnormals carry no implied one and live at exponent 1; guard bits
+    // shift every incoming significand left by `guard`.
+    let mut subnormal = Action::nop("subnormal")
+        .set(fd.sig, f(fd.frac))
+        .set(fd.e_in, c(1));
+    let mut normal =
+        Action::nop("normal").prim(fd.sig, AluOp::Or, f(fd.frac), c(fmt.implied_one() as i64));
+    if d.guard > 0 {
+        subnormal = subnormal.prim(fd.sig, AluOp::Shl, f(fd.sig), c(d.guard as i64));
+        normal = normal.prim(fd.sig, AluOp::Shl, f(fd.sig), c(d.guard as i64));
+    }
     let classify = Table::keyed(
         "classify",
         vec![(fd.e_in, MatchKind::Exact), (fd.frac, MatchKind::Exact)],
-        vec![
-            Action::nop("zero").set(fd.skip, c(1)),
-            Action::nop("subnormal")
-                .set(fd.sig, f(fd.frac))
-                .set(fd.e_in, c(1)),
-            Action::nop("normal").prim(fd.sig, AluOp::Or, f(fd.frac), c(IMPLIED_ONE as i64)),
-        ],
+        vec![Action::nop("zero").set(fd.skip, c(1)), subnormal, normal],
         Some(2),
     )
     .entry(vec![KeyMatch::Exact(0), KeyMatch::Exact(0)], 2, 0)
@@ -286,7 +440,8 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
         Some(1),
     )
     .entry(vec![KeyMatch::Exact(1)], 1, 0);
-    let prep = Action::nop("headroom").prim(fd.e_in_mh, AluOp::Sub, f(fd.e_in), c(headroom));
+    let prep =
+        Action::nop("headroom").prim(fd.e_in_mh, AluOp::Sub, f(fd.e_in), c(d.headroom as i64));
     let stage1 = Stage::new()
         .table(apply_sign)
         .table(Table::always("prep", prep));
@@ -294,7 +449,7 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
     // ---------------- Stage 2: exponent stateful ALU (MAU2) ----------
     // Stored exponent 0 means "slot empty": every real value has a biased
     // exponent >= 1 (subnormals are installed with exponent 1).
-    let exp_cond = if approx {
+    let exp_cond = if d.approx {
         // Install (empty) or overwrite (further than the headroom).
         SaluCond::Or(
             Box::new(SaluCond::RegCmp {
@@ -344,7 +499,7 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
         .prim(fd.d1, AluOp::Sub, f(fd.e_old), f(fd.e_in))
         .prim(fd.d2, AluOp::Sub, f(fd.e_in), f(fd.e_old))
         .prim(fd.bigger, AluOp::CmpGt, f(fd.e_in), f(fd.e_old));
-    if approx {
+    if d.approx {
         let (p_empty, p_far, wr) = (fd.p_empty.unwrap(), fd.p_far.unwrap(), fd.wr.unwrap());
         delta = delta
             .prim(p_empty, AluOp::CmpEq, f(fd.e_old), c(0))
@@ -361,10 +516,10 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
     let stage3 = Stage::new().table(delta_table);
 
     // ---------------- Stage 4: align the incoming mantissa (MAU3) ----
-    let stage4 = Stage::new().table(build_align_table(variant, fd));
+    let stage4 = Stage::new().table(build_align_table(variant, &d, fd));
 
     // ---------------- Stage 5: mantissa stateful ALU (MAU4) ----------
-    let man_update = if approx {
+    let man_update = if d.approx {
         StatefulCall {
             array: arrays.mantissa,
             index: f(fd.slot),
@@ -432,17 +587,18 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
     let stage6 = Stage::new().table(read_flags).table(absval);
 
     // ---------------- Stage 7: leading-one via TCAM LPM (MAU6) -------
-    // The Fig. 5 trick: 32 ternary entries, one per leading-one position.
+    // The Fig. 5 trick: one ternary entry per leading-one position of the
+    // register — `register_bits` entries instead of a priority encoder.
     let mut lpm = Table::keyed(
         "find_top",
         vec![(fd.op, MatchKind::Exact), (fd.mag, MatchKind::Ternary)],
-        (0..32u32)
+        (0..d.reg)
             .map(|t| Action::nop(format!("top{t}")).set(fd.top, c(t as i64)))
             .collect(),
         None,
     );
-    for t in 0..32u32 {
-        let mask = (!((1u64 << t) - 1)) & 0xFFFF_FFFF;
+    for t in 0..d.reg {
+        let mask = (!((1u64 << t) - 1)) & d.reg_mask();
         lpm = lpm.entry(
             vec![
                 KeyMatch::Exact(OP_READ),
@@ -462,24 +618,42 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
         "normalize",
         vec![(fd.op, MatchKind::Exact)],
         vec![Action::nop("norm")
-            .prim(fd.shift_amt, AluOp::Sub, f(fd.top), c(MAN_BITS as i64))
+            .prim(fd.shift_amt, AluOp::Sub, f(fd.top), c(d.man_g() as i64))
             .prim(fd.exp_field, AluOp::Add, f(fd.e_old), f(fd.shift_amt))
             .prim(fd.sub, AluOp::CmpLt, f(fd.exp_field), c(1))
-            .prim(fd.inf, AluOp::CmpGe, f(fd.exp_field), c(MAX_EXP_FIELD))
+            .prim(
+                fd.inf,
+                AluOp::CmpGe,
+                f(fd.exp_field),
+                c(fmt.max_exp_field() as i64),
+            )
             .prim(fd.extra, AluOp::Sub, c(1), f(fd.exp_field))],
         None,
     )
     .entry(vec![KeyMatch::Exact(OP_READ)], 1, 0);
+    // The total right-shift also drops the guard bits; subnormal outputs
+    // shift further so the value lines up with the fixed 1-bias scale.
     let subsel = Table::keyed(
         "subnormal_select",
         vec![(fd.op, MatchKind::Exact), (fd.sub, MatchKind::Exact)],
         vec![
             Action::nop("normal_out")
-                .set(fd.frac_shift, f(fd.shift_amt))
+                .prim(
+                    fd.frac_shift,
+                    AluOp::Add,
+                    f(fd.shift_amt),
+                    c(d.guard as i64),
+                )
                 .set(fd.exp_out, f(fd.exp_field))
                 .prim(fd.fs_neg, AluOp::CmpLt, f(fd.frac_shift), c(0)),
             Action::nop("subnormal_out")
                 .prim(fd.frac_shift, AluOp::Add, f(fd.shift_amt), f(fd.extra))
+                .prim(
+                    fd.frac_shift,
+                    AluOp::Add,
+                    f(fd.frac_shift),
+                    c(d.guard as i64),
+                )
                 .set(fd.exp_out, c(0))
                 .prim(fd.fs_neg, AluOp::CmpLt, f(fd.frac_shift), c(0)),
         ],
@@ -490,18 +664,30 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
     let stage8 = Stage::new().table(norm).table(subsel);
 
     // ---------------- Stage 9: final mantissa shift (MAU8) -----------
+    let mut stage9 = Stage::new().table(build_fracshift_table(variant, &d, fd));
     let mask_tbl = Table::keyed(
         "mask_frac",
         vec![(fd.op, MatchKind::Exact)],
-        vec![Action::nop("mask").prim(fd.frac, AluOp::And, f(fd.sig_out), c(FRAC_MASK as i64))],
+        vec![Action::nop("mask").prim(
+            fd.frac,
+            AluOp::And,
+            f(fd.sig_out),
+            c(fmt.fraction_mask() as i64),
+        )],
         None,
     )
     .entry(vec![KeyMatch::Exact(OP_READ)], 1, 0);
-    let stage9 = Stage::new()
-        .table(build_fracshift_table(variant, fd))
-        .table(mask_tbl);
 
-    // ---------------- Stage 10: pack (MAU8') --------------------------
+    // ---------------- Optional stage: nearest-even round (App. A.1) --
+    let round_stage = if d.nearest_even {
+        stage9 = stage9.table(build_round_prep_table(variant, &d, fd));
+        Some(build_round_stage(&d, fd, mask_tbl.clone()))
+    } else {
+        stage9 = stage9.table(mask_tbl);
+        None
+    };
+
+    // ---------------- Final stage: pack (MAU8') -----------------------
     let pack = Table::keyed(
         "pack",
         vec![
@@ -512,11 +698,16 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
         vec![
             Action::nop("pack_zero").set(fd.result, c(0)),
             Action::nop("pack_inf")
-                .prim(fd.t1, AluOp::Shl, f(fd.neg), c(31))
-                .prim(fd.result, AluOp::Or, f(fd.t1), c(0x7F80_0000)),
+                .prim(fd.t1, AluOp::Shl, f(fd.neg), c(fmt.total_bits() as i64 - 1))
+                .prim(
+                    fd.result,
+                    AluOp::Or,
+                    f(fd.t1),
+                    c(fmt.infinity_bits(false) as i64),
+                ),
             Action::nop("pack_value")
-                .prim(fd.t1, AluOp::Shl, f(fd.neg), c(31))
-                .prim(fd.t2, AluOp::Shl, f(fd.exp_out), c(MAN_BITS as i64))
+                .prim(fd.t1, AluOp::Shl, f(fd.neg), c(fmt.total_bits() as i64 - 1))
+                .prim(fd.t2, AluOp::Shl, f(fd.exp_out), c(fmt.man_bits as i64))
                 .prim(fd.t1, AluOp::Or, f(fd.t1), f(fd.t2))
                 .prim(fd.result, AluOp::Or, f(fd.t1), f(fd.frac)),
         ],
@@ -545,14 +736,20 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
         1,
         2,
     );
-    let stage10 = Stage::new().table(pack);
+    let pack_stage = Stage::new().table(pack);
+
+    let mut stages = vec![
+        stage0, stage1, stage2, stage3, stage4, stage5, stage6, stage7, stage8, stage9,
+    ];
+    if let Some(s) = round_stage {
+        stages.push(s);
+    }
+    stages.push(pack_stage);
 
     let program = SwitchProgram {
         caps,
         layout: l,
-        stages: vec![
-            stage0, stage1, stage2, stage3, stage4, stage5, stage6, stage7, stage8, stage9, stage10,
-        ],
+        stages,
         arrays: array_specs,
         recirc_field: None,
     };
@@ -562,13 +759,14 @@ pub fn build_program(variant: PipelineVariant, slots: usize) -> (SwitchProgram, 
 /// Stage-4 alignment of the incoming mantissa (MAU3). On extended
 /// hardware this is one action per path using metadata-distance shifts; on
 /// Tofino it is the paper's shift-offset match table keyed on the exponent
-/// difference, with one constant-shift action per distance.
-fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
-    let approx = variant.mode() == FpisaMode::Approximate;
+/// difference, with one constant-shift action per distance — so its entry
+/// count scales with the register width and headroom of the spec's
+/// format.
+fn build_align_table(variant: PipelineVariant, d: &Dims, fd: &Fields) -> Table {
     match variant {
         PipelineVariant::ExtendedA | PipelineVariant::ExtendedFull => {
             let mut keys = vec![(fd.op, MatchKind::Exact), (fd.skip, MatchKind::Exact)];
-            if approx {
+            if d.approx {
                 keys.push((fd.wr.unwrap(), MatchKind::Exact));
             }
             keys.push((fd.bigger, MatchKind::Exact));
@@ -580,7 +778,7 @@ fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
                 f(fd.d1),
             );
             let mut t;
-            if approx {
+            if d.approx {
                 let shl = Action::nop("shl_meta").prim(
                     fd.man_shifted,
                     AluOp::Shl,
@@ -648,7 +846,7 @@ fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
         PipelineVariant::TofinoA => {
             // No 2-operand shift: enumerate the shift distances as exact
             // matches on the (two's complement) exponent difference d2.
-            let headroom = variant.core_config().headroom_bits();
+            let rshift_max = d.align_rshift_max();
             let mut actions: Vec<Action> = Vec::new();
             let mut t = Table::keyed(
                 "align_shift_table",
@@ -663,7 +861,7 @@ fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
             );
             // Left shifts: d2 in 1..=headroom (past that, wr takes over and
             // the shifted value is unused).
-            for k in 1..=headroom {
+            for k in 1..=d.headroom {
                 actions.push(Action::nop(format!("shl{k}")).prim(
                     fd.man_shifted,
                     AluOp::Shl,
@@ -671,8 +869,8 @@ fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
                     c(k as i64),
                 ));
             }
-            // Right shifts: d2 = -k (mod 2^32) for k in 0..=MAX_RSHIFT.
-            for k in 0..=MAX_RSHIFT {
+            // Right shifts: d2 = -k (mod 2^32) for k in 0..=rshift_max.
+            for k in 0..=rshift_max {
                 actions.push(Action::nop(format!("shr{k}")).prim(
                     fd.man_shifted,
                     AluOp::ShrArith,
@@ -680,8 +878,9 @@ fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
                     c(k as i64),
                 ));
             }
-            // Distances past MAX_RSHIFT collapse to the sign fill, exactly
-            // like the reference model's clamped barrel shifter.
+            // Distances past the enumerated range collapse to the sign
+            // fill, exactly like the reference model's clamped barrel
+            // shifter.
             let default = actions.len();
             actions.push(Action::nop("shr_all").prim(
                 fd.man_shifted,
@@ -691,7 +890,7 @@ fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
             ));
             t.actions = actions;
             t.default_action = Some(default);
-            for k in 1..=headroom {
+            for k in 1..=d.headroom {
                 t = t.entry(
                     vec![
                         KeyMatch::Exact(OP_ADD),
@@ -703,7 +902,7 @@ fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
                     (k - 1) as usize,
                 );
             }
-            for k in 0..=MAX_RSHIFT {
+            for k in 0..=rshift_max {
                 let d2 = (k as i64).wrapping_neg() as u64 & 0xFFFF_FFFF;
                 t = t.entry(
                     vec![
@@ -713,7 +912,7 @@ fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
                         KeyMatch::Exact(d2),
                     ],
                     2,
-                    headroom as usize + k as usize,
+                    d.headroom as usize + k as usize,
                 );
             }
             t
@@ -722,8 +921,10 @@ fn build_align_table(variant: PipelineVariant, fd: &Fields) -> Table {
 }
 
 /// Stage-9 renormalization shift: `sig_out = mag >> frac_shift` (or `<<`
-/// for negative distances). Same table-vs-metadata split as stage 4.
-fn build_fracshift_table(variant: PipelineVariant, fd: &Fields) -> Table {
+/// for negative distances). Same table-vs-metadata split as stage 4; the
+/// enumerated distances are bounded by where the register's leading one
+/// can sit relative to the format's mantissa width.
+fn build_fracshift_table(variant: PipelineVariant, d: &Dims, fd: &Fields) -> Table {
     match variant {
         PipelineVariant::ExtendedA | PipelineVariant::ExtendedFull => {
             let nfs = fd.nfs.unwrap();
@@ -748,6 +949,7 @@ fn build_fracshift_table(variant: PipelineVariant, fd: &Fields) -> Table {
             .with_capacity(4)
         }
         PipelineVariant::TofinoA => {
+            let (rmax, lmax) = (d.frac_rshift_max(), d.frac_lshift_max());
             let mut actions: Vec<Action> = Vec::new();
             let mut t = Table::keyed(
                 "frac_shift_table",
@@ -755,9 +957,7 @@ fn build_fracshift_table(variant: PipelineVariant, fd: &Fields) -> Table {
                 Vec::new(),
                 None,
             );
-            // Right shifts 0..=33 and left shifts 1..=31; anything past the
-            // enumerated range shifts every bit out.
-            for k in 0..=MAX_RSHIFT {
+            for k in 0..=rmax {
                 actions.push(Action::nop(format!("shr{k}")).prim(
                     fd.sig_out,
                     AluOp::ShrLogic,
@@ -765,7 +965,7 @@ fn build_fracshift_table(variant: PipelineVariant, fd: &Fields) -> Table {
                     c(k as i64),
                 ));
             }
-            for k in 1..=31u32 {
+            for k in 1..=lmax {
                 actions.push(Action::nop(format!("shl{k}")).prim(
                     fd.sig_out,
                     AluOp::Shl,
@@ -773,28 +973,187 @@ fn build_fracshift_table(variant: PipelineVariant, fd: &Fields) -> Table {
                     c(k as i64),
                 ));
             }
+            // Unreachable for well-formed register states; provisioned so a
+            // miss cannot leak a stale container.
             let default = actions.len();
             actions.push(Action::nop("shift_out").set(fd.sig_out, c(0)));
             t.actions = actions;
             t.default_action = Some(default);
-            for k in 0..=MAX_RSHIFT {
+            for k in 0..=rmax {
                 t = t.entry(
                     vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(k as u64)],
                     1,
                     k as usize,
                 );
             }
-            for k in 1..=31u32 {
+            for k in 1..=lmax {
                 let v = (k as i64).wrapping_neg() as u64 & 0xFFFF_FFFF;
                 t = t.entry(
                     vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(v)],
                     1,
-                    MAX_RSHIFT as usize + k as usize,
+                    rmax as usize + k as usize,
                 );
             }
             t
         }
     }
+}
+
+/// The rounding-constant table of the nearest-even read-out (Appendix
+/// A.1): for each right-shift distance `s`, the mask covering the dropped
+/// bits and the half-way threshold. On Tofino this is one match entry per
+/// distance; with the FPISA ALU the constants are computed by two
+/// metadata shifts. Left shifts drop no bits — the fields stay zero and
+/// the guarded round decision is 0.
+fn build_round_prep_table(variant: PipelineVariant, d: &Dims, fd: &Fields) -> Table {
+    let r = fd.round.as_ref().unwrap();
+    match variant {
+        PipelineVariant::ExtendedA | PipelineVariant::ExtendedFull => Table::keyed(
+            "round_prep",
+            vec![(fd.op, MatchKind::Exact), (fd.fs_neg, MatchKind::Exact)],
+            vec![Action::nop("round_consts")
+                .prim(r.mask, AluOp::Shl, c(1), f(fd.frac_shift))
+                .prim(r.half, AluOp::ShrLogic, f(r.mask), c(1))
+                .prim(r.mask, AluOp::Sub, f(r.mask), c(1))],
+            None,
+        )
+        .entry(vec![KeyMatch::Exact(OP_READ), KeyMatch::Exact(0)], 1, 0)
+        .with_capacity(2),
+        PipelineVariant::TofinoA => {
+            let rmax = d.frac_rshift_max();
+            let mut actions: Vec<Action> = Vec::new();
+            let mut t = Table::keyed(
+                "round_prep_table",
+                vec![
+                    (fd.op, MatchKind::Exact),
+                    (fd.fs_neg, MatchKind::Exact),
+                    (fd.frac_shift, MatchKind::Exact),
+                ],
+                Vec::new(),
+                None,
+            );
+            for s in 1..=rmax {
+                actions.push(
+                    Action::nop(format!("consts{s}"))
+                        .set(r.mask, c(((1u64 << s) - 1) as i64))
+                        .set(r.half, c((1u64 << (s - 1)) as i64)),
+                );
+            }
+            t.actions = actions;
+            for s in 1..=rmax {
+                t = t.entry(
+                    vec![
+                        KeyMatch::Exact(OP_READ),
+                        KeyMatch::Exact(0),
+                        KeyMatch::Exact(s as u64),
+                    ],
+                    1,
+                    (s - 1) as usize,
+                );
+            }
+            t
+        }
+    }
+}
+
+/// The nearest-even rounding stage (Appendix A.1), inserted between the
+/// renormalization shift and the pack stage:
+///
+/// 1. inspect the dropped (guard) bits: `rem = mag & mask`, compare
+///    against the half-way threshold and the lowest kept bit;
+/// 2. add the round-up decision to the shifted significand;
+/// 3. handle the carry: a normal significand that overflows its binade
+///    shifts right and raises the exponent, a subnormal that reaches the
+///    implied-one position is promoted to exponent 1 — then the infinity
+///    flag is recomputed from the post-carry exponent.
+fn build_round_stage(d: &Dims, fd: &Fields, mask_tbl: Table) -> Stage {
+    let r = fd.round.as_ref().unwrap();
+    let fmt = d.format;
+    let apply = Table::keyed(
+        "round_apply",
+        vec![(fd.op, MatchKind::Exact)],
+        vec![Action::nop("round")
+            .prim(r.rem, AluOp::And, f(fd.mag), f(r.mask))
+            .prim(r.gt, AluOp::CmpGt, f(r.rem), f(r.half))
+            .prim(r.eqh, AluOp::CmpEq, f(r.rem), f(r.half))
+            .prim(r.odd, AluOp::And, f(fd.sig_out), c(1))
+            .prim(r.rem_nz, AluOp::CmpNe, f(r.rem), c(0))
+            .prim(r.rnd, AluOp::And, f(r.eqh), f(r.odd))
+            .prim(r.rnd, AluOp::Or, f(r.gt), f(r.rnd))
+            .prim(r.rnd, AluOp::And, f(r.rem_nz), f(r.rnd))
+            .prim(fd.sig_out, AluOp::Add, f(fd.sig_out), f(r.rnd))
+            .prim(
+                r.carry_n,
+                AluOp::CmpGe,
+                f(fd.sig_out),
+                c((fmt.implied_one() << 1) as i64),
+            )
+            .prim(
+                r.carry_s,
+                AluOp::CmpGe,
+                f(fd.sig_out),
+                c(fmt.implied_one() as i64),
+            )],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_READ)], 1, 0);
+
+    let max_exp = c(fmt.max_exp_field() as i64);
+    let carry = Table::keyed(
+        "round_carry",
+        vec![
+            (fd.op, MatchKind::Exact),
+            (fd.sub, MatchKind::Exact),
+            (r.carry_n, MatchKind::Exact),
+            (r.carry_s, MatchKind::Exact),
+        ],
+        vec![
+            Action::nop("carry_normal")
+                .prim(fd.sig_out, AluOp::ShrLogic, f(fd.sig_out), c(1))
+                .prim(fd.exp_out, AluOp::Add, f(fd.exp_out), c(1))
+                .prim(fd.inf, AluOp::CmpGe, f(fd.exp_out), max_exp),
+            Action::nop("promote_subnormal").set(fd.exp_out, c(1)).prim(
+                fd.inf,
+                AluOp::CmpGe,
+                f(fd.exp_out),
+                max_exp,
+            ),
+            Action::nop("no_carry").prim(fd.inf, AluOp::CmpGe, f(fd.exp_out), max_exp),
+        ],
+        None,
+    )
+    .entry(
+        vec![
+            KeyMatch::Exact(OP_READ),
+            KeyMatch::Exact(0),
+            KeyMatch::Exact(1),
+            KeyMatch::Any,
+        ],
+        3,
+        0,
+    )
+    .entry(
+        vec![
+            KeyMatch::Exact(OP_READ),
+            KeyMatch::Exact(1),
+            KeyMatch::Any,
+            KeyMatch::Exact(1),
+        ],
+        2,
+        1,
+    )
+    .entry(
+        vec![
+            KeyMatch::Exact(OP_READ),
+            KeyMatch::Any,
+            KeyMatch::Any,
+            KeyMatch::Any,
+        ],
+        1,
+        2,
+    );
+
+    Stage::new().table(apply).table(carry).table(mask_tbl)
 }
 
 #[cfg(test)]
@@ -808,6 +1167,48 @@ mod tests {
             program.validate().unwrap_or_else(|e| panic!("{v:?}: {e}"));
             assert_eq!(program.stages.len(), 11);
         }
+    }
+
+    #[test]
+    fn nearest_even_specs_emit_the_extra_round_stage() {
+        for v in PipelineVariant::all() {
+            let spec = PipelineSpec::new(v)
+                .guard_bits(2)
+                .read_rounding(ReadRounding::NearestEven)
+                .slots(4);
+            let (program, fields, _) = spec.build().unwrap();
+            program.validate().unwrap_or_else(|e| panic!("{v:?}: {e}"));
+            assert_eq!(program.stages.len(), 12, "{v:?}");
+            assert!(fields.round.is_some(), "{v:?} must carry round fields");
+            let names: Vec<&str> = program
+                .stages
+                .iter()
+                .flat_map(|s| &s.tables)
+                .map(|t| t.name.as_str())
+                .collect();
+            assert!(names.iter().any(|n| n.starts_with("round_prep")), "{v:?}");
+            assert!(names.contains(&"round_apply") && names.contains(&"round_carry"));
+        }
+    }
+
+    #[test]
+    fn register_arrays_follow_the_spec_widths() {
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+            .format(FpFormat::FP16)
+            .slots(8);
+        let (program, _, _) = spec.build().unwrap();
+        // FP16: 5 exponent bits (+1 for sign-safe compares), 16-bit
+        // native mantissa registers.
+        assert_eq!(program.arrays[0].width_bits, 6);
+        assert_eq!(program.arrays[1].width_bits, 16);
+        // The leading-one LPM table has one entry per register bit.
+        let lpm = program
+            .stages
+            .iter()
+            .flat_map(|s| &s.tables)
+            .find(|t| t.name == "find_top")
+            .unwrap();
+        assert_eq!(lpm.entries.len(), 16);
     }
 
     #[test]
@@ -848,6 +1249,29 @@ mod tests {
             "Tofino profile must pay for shifts in table entries ({} vs {})",
             entries(&tof),
             entries(&ext)
+        );
+    }
+
+    #[test]
+    fn narrow_formats_need_fewer_shift_entries_on_tofino() {
+        let shift_entries = |format: FpFormat| -> u64 {
+            let (program, _, _) = PipelineSpec::new(PipelineVariant::TofinoA)
+                .format(format)
+                .slots(4)
+                .build()
+                .unwrap();
+            crate::report::shift_table_entries(&program)
+        };
+        let fp32 = shift_entries(FpFormat::FP32);
+        let fp16 = shift_entries(FpFormat::FP16);
+        let bf16 = shift_entries(FpFormat::BF16);
+        assert!(
+            fp16 < fp32,
+            "FP16 shift tables must shrink ({fp16} vs {fp32})"
+        );
+        assert!(
+            bf16 < fp32,
+            "BF16 shift tables must shrink ({bf16} vs {fp32})"
         );
     }
 }

@@ -3,20 +3,28 @@
 //! Table 3 of the paper accounts what the FPISA pipeline costs on a real
 //! switch: stages, tables and their entries, SRAM, TCAM, stateful ALUs,
 //! action slots and PHV bits. [`table3`] builds every
-//! [`PipelineVariant`]'s program and runs it through the simulator's
-//! [`ResourceReport`]; rendering goes through the same column machinery as
-//! the Table 1 report in `fpisa-hw` ([`fpisa_hw::report::render_columns`]),
-//! so the two experiment reports print consistently.
+//! [`PipelineVariant`]'s default (FP32) program and runs it through the
+//! simulator's [`ResourceReport`]; [`table3_formats`] extends the table
+//! across the §3.3 format space — one row per `(variant × format)` —
+//! which makes the paper's sizing argument visible: on `TofinoA` the
+//! shift tables are keyed on exponent differences, so FP16/BF16 in their
+//! native 16-bit registers need strictly fewer entries than FP32.
+//! Rendering goes through the same column machinery as the Table 1 report
+//! in `fpisa-hw` ([`fpisa_hw::report::render_columns`]), so the two
+//! experiment reports print consistently.
 
-use crate::program::{build_program, PipelineVariant};
+use crate::program::PipelineVariant;
+use crate::spec::PipelineSpec;
+use fpisa_core::FpFormat;
 use fpisa_hw::report::render_columns;
-use fpisa_pisa::ResourceReport;
+use fpisa_pisa::{ResourceReport, SwitchProgram};
 use serde::{Deserialize, Serialize};
 
-/// One Table 3 row: a pipeline variant and its whole-program resources.
+/// One Table 3 row: a pipeline configuration and its whole-program
+/// resources.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table3Row {
-    /// Variant display name.
+    /// Configuration display name (variant, and format when not FP32).
     pub name: String,
     /// Match-action stages doing work.
     pub stages_used: u64,
@@ -24,6 +32,9 @@ pub struct Table3Row {
     pub tables: u64,
     /// Provisioned table entries.
     pub table_entries: u64,
+    /// Entries spent on the alignment/renormalization shift tables (the
+    /// cost the FPISA ALU extension removes; scales with the format).
+    pub shift_entries: u64,
     /// SRAM bits (table storage + register arrays).
     pub sram_bits: u64,
     /// TCAM bits (ternary/range keys).
@@ -39,14 +50,16 @@ pub struct Table3Row {
 }
 
 impl Table3Row {
-    /// Summarize a program's resource report under a display name.
-    pub fn from_report(name: impl Into<String>, r: &ResourceReport) -> Self {
+    /// Summarize a built program's resources under a display name.
+    pub fn from_program(name: impl Into<String>, program: &SwitchProgram) -> Self {
+        let r = ResourceReport::of(program);
         let t = r.totals();
         Table3Row {
             name: name.into(),
             stages_used: r.stages_used,
             tables: t.tables,
             table_entries: t.table_entries,
+            shift_entries: shift_table_entries(program),
             sram_bits: t.sram_bits,
             tcam_bits: t.tcam_bits,
             stateful_alus: t.stateful_alus,
@@ -55,19 +68,51 @@ impl Table3Row {
             phv_bits: r.phv_bits,
         }
     }
+
+    /// Build a spec's program and summarize it, labelled by the spec.
+    /// (`build` guarantees the program validates against its caps.)
+    pub fn from_spec(spec: &PipelineSpec) -> Self {
+        let (program, _, _) = spec.build().expect("report specs must validate");
+        Self::from_program(spec.label(), &program)
+    }
 }
 
-/// Build all three variants for `slots` aggregation slots and summarize
-/// them — the reproduction of Table 3.
+/// Installed entries across the alignment and renormalization shift
+/// tables (including the nearest-even rounding-constant table when one is
+/// emitted) — the match-table cost of not having a 2-operand shift.
+pub fn shift_table_entries(program: &SwitchProgram) -> u64 {
+    program
+        .stages
+        .iter()
+        .flat_map(|s| &s.tables)
+        .filter(|t| {
+            t.name.contains("shift") || t.name.contains("align") || t.name.contains("round_prep")
+        })
+        .map(|t| t.entries.len() as u64)
+        .sum()
+}
+
+/// Build all three variants with the paper's default FP32 configuration
+/// for `slots` aggregation slots and summarize them — the reproduction of
+/// Table 3.
 pub fn table3(slots: usize) -> Vec<Table3Row> {
     PipelineVariant::all()
         .iter()
-        .map(|&v| {
-            let (program, _, _) = build_program(v, slots);
-            program
-                .validate()
-                .expect("generated programs must validate");
-            Table3Row::from_report(v.name(), &ResourceReport::of(&program))
+        .map(|&v| Table3Row::from_spec(&PipelineSpec::new(v).slots(slots)))
+        .collect()
+}
+
+/// Table 3 extended across the §3.3 format space: for every variant, one
+/// row per format (FP32 in 32-bit registers, FP16 and BF16 in their
+/// native 16-bit registers).
+pub fn table3_formats(slots: usize) -> Vec<Table3Row> {
+    let formats = [FpFormat::FP32, FpFormat::FP16, FpFormat::BF16];
+    PipelineVariant::all()
+        .iter()
+        .flat_map(|&v| {
+            formats
+                .iter()
+                .map(move |&f| Table3Row::from_spec(&PipelineSpec::new(v).format(f).slots(slots)))
         })
         .collect()
 }
@@ -76,8 +121,17 @@ pub fn table3(slots: usize) -> Vec<Table3Row> {
 /// report machinery).
 pub fn render_table3(rows: &[Table3Row]) -> String {
     let headers = [
-        "Variant", "Stages", "Tables", "Entries", "SRAM (b)", "TCAM (b)", "SALUs", "Reg bits",
-        "Slots", "PHV bits",
+        "Configuration",
+        "Stages",
+        "Tables",
+        "Entries",
+        "Shift ent",
+        "SRAM (b)",
+        "TCAM (b)",
+        "SALUs",
+        "Reg bits",
+        "Slots",
+        "PHV bits",
     ];
     let cells: Vec<Vec<String>> = rows
         .iter()
@@ -87,6 +141,7 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
                 r.stages_used.to_string(),
                 r.tables.to_string(),
                 r.table_entries.to_string(),
+                r.shift_entries.to_string(),
                 r.sram_bits.to_string(),
                 r.tcam_bits.to_string(),
                 r.stateful_alus.to_string(),
@@ -99,9 +154,10 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
     render_columns(&headers, &cells)
 }
 
-/// Render one variant's per-stage breakdown (the long form of Table 3).
-pub fn render_stage_breakdown(variant: PipelineVariant, slots: usize) -> String {
-    let (program, _, _) = build_program(variant, slots);
+/// Render one configuration's per-stage breakdown (the long form of
+/// Table 3).
+pub fn render_stage_breakdown(spec: &PipelineSpec) -> String {
+    let (program, _, _) = spec.build().expect("report specs must validate");
     let report = ResourceReport::of(&program);
     let headers = [
         "Stage", "Tables", "Entries", "SRAM (b)", "TCAM (b)", "SALUs", "Reg bits", "Slots",
@@ -123,8 +179,9 @@ pub fn render_stage_breakdown(variant: PipelineVariant, slots: usize) -> String 
         })
         .collect();
     format!(
-        "{} ({slots} slots)\n{}",
-        variant.name(),
+        "{} ({} slots)\n{}",
+        spec.label(),
+        spec.slot_count(),
         render_columns(&headers, &cells)
     )
 }
@@ -165,7 +222,53 @@ mod tests {
             tof.table_entries,
             full.table_entries
         );
+        assert!(tof.shift_entries > full.shift_entries + 50);
         assert!(tof.sram_bits > full.sram_bits);
+    }
+
+    #[test]
+    fn format_rows_show_the_shift_table_shrink() {
+        let rows = table3_formats(256);
+        assert_eq!(rows.len(), 9, "3 variants x 3 formats");
+        // On TofinoA, FP16/BF16 in native 16-bit registers need strictly
+        // fewer shift-table entries than FP32 (the §3.3 sizing argument).
+        let tof: Vec<&Table3Row> = rows.iter().filter(|r| r.name.contains("Tofino")).collect();
+        assert_eq!(tof.len(), 3);
+        let by_fmt = |s: &str| {
+            tof.iter()
+                .find(|r| r.name.contains(s))
+                .unwrap_or_else(|| panic!("missing {s} row"))
+                .shift_entries
+        };
+        let (fp32, fp16, bf16) = (by_fmt("FP32"), by_fmt("FP16"), by_fmt("BF16"));
+        assert!(
+            fp16 < fp32,
+            "FP16 shift tables must shrink ({fp16} vs {fp32})"
+        );
+        assert!(
+            bf16 < fp32,
+            "BF16 shift tables must shrink ({bf16} vs {fp32})"
+        );
+        // Narrow formats also shrink the register file and the PHV.
+        let fp32_row = tof.iter().find(|r| r.name.contains("FP32")).unwrap();
+        let fp16_row = tof.iter().find(|r| r.name.contains("FP16")).unwrap();
+        assert!(fp16_row.register_bits < fp32_row.register_bits);
+        assert!(fp16_row.phv_bits < fp32_row.phv_bits);
+    }
+
+    #[test]
+    fn nearest_even_rounding_constants_count_as_shift_entries() {
+        use fpisa_core::ReadRounding;
+        let base = PipelineSpec::new(PipelineVariant::TofinoA).slots(4);
+        let tz = Table3Row::from_spec(&base);
+        let ne = Table3Row::from_spec(&base.guard_bits(2).read_rounding(ReadRounding::NearestEven));
+        assert!(
+            ne.shift_entries > tz.shift_entries,
+            "the Tofino round_prep table must be accounted ({} vs {})",
+            ne.shift_entries,
+            tz.shift_entries
+        );
+        assert_eq!(ne.stages_used, tz.stages_used + 1, "one extra round stage");
     }
 
     #[test]
@@ -177,7 +280,9 @@ mod tests {
         }
         assert!(text.contains("SRAM"));
         assert!(text.contains("PHV"));
-        let breakdown = render_stage_breakdown(PipelineVariant::TofinoA, 64);
+        assert!(text.contains("Shift ent"));
+        let breakdown =
+            render_stage_breakdown(&PipelineSpec::new(PipelineVariant::TofinoA).slots(64));
         assert!(breakdown.contains("MAU0"));
         assert!(breakdown.contains("MAU10"));
     }

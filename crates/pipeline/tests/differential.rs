@@ -1,10 +1,14 @@
 //! Packet-level differential test: the pipeline must agree with
-//! `fpisa_core::FpisaAccumulator` **bit for bit**.
+//! `fpisa_core::FpisaAccumulator` **bit for bit**, for every cell of the
+//! configuration space the spec API opens up:
 //!
-//! For every variant (FPISA-A on Tofino, FPISA-A with the shift ALU, full
-//! FPISA/RSAW) a stream of ≥ 10,000 random finite `f32` values — wide
-//! exponent spread, subnormals, zeros, sign flips — is pushed through both
-//! the packet pipeline and the reference accumulator of the matching mode:
+//! `(variant × {FP32, FP16, BF16} × {TowardZero, NearestEven+guard bits})`
+//!
+//! For each cell a stream of random finite values of the cell's format —
+//! wide exponent spread, subnormals, zeros, sign flips — is pushed through
+//! both the packet pipeline and the reference accumulator built from the
+//! *same* [`fpisa_core::FpisaConfig`] (the one
+//! [`FpisaPipeline::core_config`] reports):
 //!
 //! * after **every** ADD packet, the exponent/mantissa register state must
 //!   be identical, and both sides must have taken the same
@@ -12,103 +16,114 @@
 //! * periodically, and at the end, the packed READ result must be
 //!   bit-identical to the reference read-out.
 
-use fpisa_core::{FpisaAccumulator, SwitchValue};
-use fpisa_pipeline::{FpisaPipeline, PipelineVariant};
+use fpisa_core::{FpClass, FpFormat, FpisaAccumulator, ReadRounding, SwitchValue};
+use fpisa_pipeline::{FpisaPipeline, PipelineSpec, PipelineVariant};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
-const SLOTS: usize = 16;
-const ADDS_PER_VARIANT: usize = 12_000;
+const SLOTS: usize = 8;
+const ADDS_PER_CELL: usize = 2_500;
 
-/// A random finite f32 biased toward adversarial cases: wide exponent
-/// range, occasional zeros and subnormals, mixed signs.
-fn random_input(rng: &mut SmallRng) -> f32 {
+/// The format/rounding cells every variant is tested against. Guard bits
+/// ride along with nearest-even, exercising the Appendix A.1 read-out.
+fn cells() -> Vec<(FpFormat, u32, ReadRounding)> {
+    let mut out = Vec::new();
+    for format in [FpFormat::FP32, FpFormat::FP16, FpFormat::BF16] {
+        out.push((format, 0, ReadRounding::TowardZero));
+        out.push((format, 2, ReadRounding::NearestEven));
+    }
+    out
+}
+
+/// Random finite packed bits of `format`, biased toward adversarial
+/// cases: wide exponent range, occasional zeros and subnormals, mixed
+/// signs.
+fn random_bits(rng: &mut SmallRng, format: FpFormat) -> u64 {
+    let sign = rng.gen::<bool>();
+    let frac = rng.gen_range(0..format.fraction_mask() + 1);
+    let max_exp = format.max_exp_field();
+    let bias = format.bias() as u32;
     match rng.gen_range(0u32..100) {
         // Zeros (positive and negative) exercise the skip path.
-        0..=3 => {
-            if rng.gen::<bool>() {
-                0.0
-            } else {
-                -0.0
-            }
-        }
+        0..=3 => format.pack(sign, 0, 0),
         // Subnormals exercise the exponent-1 install path.
-        4..=8 => {
-            let bits = rng.gen_range(1u32..0x80_0000) | (u32::from(rng.gen::<bool>()) << 31);
-            f32::from_bits(bits)
-        }
-        // Narrow range: mostly exact sums and right shifts.
-        9..=40 => {
-            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-            sign * rng.gen_range(0.5f32..2.0)
-        }
-        // Wide range: left shifts, overwrites, RSAW shifts, saturation.
-        _ => {
-            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-            let mag = 2f32.powi(rng.gen_range(-40..40));
-            sign * mag * rng.gen_range(1.0f32..2.0)
-        }
+        4..=8 => format.pack(sign, 0, frac.max(1)),
+        // Narrow range around 1.0: mostly exact sums and right shifts.
+        9..=40 => format.pack(sign, rng.gen_range(bias - 1..bias + 2), frac),
+        // Full finite range: left shifts, overwrites, RSAW shifts,
+        // saturation, subnormal read-outs.
+        _ => format.pack(sign, rng.gen_range(1..max_exp), frac),
     }
 }
 
 fn run_differential(variant: PipelineVariant, seed: u64) {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut pipe = FpisaPipeline::new(variant, SLOTS).expect("program must validate");
-    let cfg = pipe.core_config();
-    let mut refs: Vec<FpisaAccumulator> = (0..SLOTS).map(|_| FpisaAccumulator::new(cfg)).collect();
+    for (format, guard, rounding) in cells() {
+        let spec = PipelineSpec::new(variant)
+            .format(format)
+            .guard_bits(guard)
+            .read_rounding(rounding)
+            .slots(SLOTS);
+        let mut rng = SmallRng::seed_from_u64(seed ^ u64::from(format.man_bits) ^ u64::from(guard));
+        let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+        let cfg = pipe.core_config();
+        let cell = format!("{variant:?}/{format:?}/g{guard}/{rounding:?}");
+        let mut refs: Vec<FpisaAccumulator> =
+            (0..SLOTS).map(|_| FpisaAccumulator::new(cfg)).collect();
 
-    for i in 0..ADDS_PER_VARIANT {
-        let slot = rng.gen_range(0usize..SLOTS);
-        let x = random_input(&mut rng);
+        for i in 0..ADDS_PER_CELL {
+            let slot = rng.gen_range(0usize..SLOTS);
+            let bits = random_bits(&mut rng, format);
 
-        // Both sides must plan the same alignment path (step-wise hook).
-        if x != 0.0 {
-            let incoming = SwitchValue::from_f32(x, 32, 0).unwrap();
-            let (pe, _pm) = pipe.register_state(slot);
-            let initialized = refs[slot].is_initialized();
-            assert_eq!(
-                fpisa_core::plan_add(&cfg, initialized, pe, incoming.exponent),
-                refs[slot].plan_for(incoming.exponent),
-                "{variant:?} add #{i}: decision diverged for {x} in slot {slot}"
-            );
+            // Both sides must plan the same alignment path (step-wise hook).
+            if format.unpack(bits).class != FpClass::Zero {
+                let incoming =
+                    SwitchValue::extract(format, cfg.register_bits, cfg.guard_bits, bits).unwrap();
+                let (pe, _pm) = pipe.register_state(slot);
+                let initialized = refs[slot].is_initialized();
+                assert_eq!(
+                    fpisa_core::plan_add(&cfg, initialized, pe, incoming.exponent),
+                    refs[slot].plan_for(incoming.exponent),
+                    "{cell} add #{i}: decision diverged for {bits:#x} in slot {slot}"
+                );
+            }
+
+            pipe.add_bits(slot, bits).unwrap();
+            refs[slot].add_bits(bits).unwrap();
+
+            // The register state must match after every single packet.
+            let (pe, pm) = pipe.register_state(slot);
+            if refs[slot].is_initialized() {
+                assert_eq!(
+                    (pe, pm),
+                    (refs[slot].exponent(), refs[slot].mantissa()),
+                    "{cell} add #{i}: register state diverged after {bits:#x} in slot {slot}"
+                );
+            } else {
+                assert_eq!((pe, pm), (0, 0), "{cell} add #{i}: phantom install");
+            }
+
+            // Periodic read-out comparison (bit-for-bit).
+            if i % 7 == 0 {
+                let got = pipe.read_bits(slot).unwrap();
+                let want = refs[slot].read_bits();
+                assert_eq!(
+                    got,
+                    want,
+                    "{cell} add #{i}: read {got:#010x} vs reference {want:#010x} \
+                     ({} vs {})",
+                    format.decode(got),
+                    format.decode(want)
+                );
+            }
         }
 
-        pipe.add_f32(slot, x).unwrap();
-        refs[slot].add_f32(x).unwrap();
-
-        // The register state must match after every single packet.
-        let (pe, pm) = pipe.register_state(slot);
-        if refs[slot].is_initialized() {
-            assert_eq!(
-                (pe, pm),
-                (refs[slot].exponent(), refs[slot].mantissa()),
-                "{variant:?} add #{i}: register state diverged after {x} in slot {slot}"
-            );
-        } else {
-            assert_eq!((pe, pm), (0, 0), "{variant:?} add #{i}: phantom install");
-        }
-
-        // Periodic read-out comparison (bit-for-bit).
-        if i % 7 == 0 {
+        // Final read-out of every slot.
+        for (slot, reference) in refs.iter().enumerate() {
             let got = pipe.read_bits(slot).unwrap();
-            let want = refs[slot].read_bits() as u32;
-            assert_eq!(
-                got,
-                want,
-                "{variant:?} add #{i}: read {got:#010x} vs reference {want:#010x} \
-                 ({} vs {})",
-                f32::from_bits(got),
-                f32::from_bits(want)
-            );
+            let want = reference.read_bits();
+            assert_eq!(got, want, "{cell} final read of slot {slot}");
+            // Reading must be non-destructive on both sides: repeat.
+            assert_eq!(pipe.read_bits(slot).unwrap(), got);
         }
-    }
-
-    // Final read-out of every slot.
-    for (slot, reference) in refs.iter().enumerate() {
-        let got = pipe.read_bits(slot).unwrap();
-        let want = reference.read_bits() as u32;
-        assert_eq!(got, want, "{variant:?} final read of slot {slot}");
-        // Reading must be non-destructive on both sides: repeat.
-        assert_eq!(pipe.read_bits(slot).unwrap(), got);
     }
 }
 
@@ -127,14 +142,15 @@ fn extended_full_matches_reference_bit_for_bit() {
     run_differential(PipelineVariant::ExtendedFull, 0xD1FF_0003);
 }
 
-/// Directed streams that historically break FP pipelines: pure
+/// Directed FP32 streams that historically break FP pipelines: pure
 /// cancellation, saturation pressure, exact powers of two at the headroom
-/// boundary, and denormal dust.
+/// boundary, and denormal dust — run through every format/rounding cell
+/// (values are re-encoded into each cell's format).
 #[test]
 fn directed_edge_streams_match_bit_for_bit() {
     let near_max_mantissa = f32::from_bits(0x3FFF_FFFF); // ~1.9999999
     let streams: Vec<Vec<f32>> = vec![
-        // Headroom boundary: delta == 7 shifts, delta == 8 overwrites.
+        // Headroom boundary: shifts just inside, overwrites just past.
         vec![1.0, 128.0, 1.0, 256.0, 1.0],
         // Saturation: 300 near-max values at one exponent.
         vec![near_max_mantissa; 300],
@@ -148,20 +164,37 @@ fn directed_edge_streams_match_bit_for_bit() {
             .collect(),
         // Subnormal-only arithmetic.
         (1..200u32).map(f32::from_bits).collect(),
+        // Half-ulp ties for the nearest-even read-out.
+        vec![2.0, 3.0 * 2f32.powi(-23), 2.0, 2f32.powi(-24), -4.0],
     ];
     for variant in PipelineVariant::all() {
-        for (si, stream) in streams.iter().enumerate() {
-            let mut pipe = FpisaPipeline::new(variant, 1).unwrap();
-            let mut reference = FpisaAccumulator::new(pipe.core_config());
-            for (i, &x) in stream.iter().enumerate() {
-                pipe.add_f32(0, x).unwrap();
-                reference.add_f32(x).unwrap();
-                let got = pipe.read_bits(0).unwrap();
-                let want = reference.read_bits() as u32;
-                assert_eq!(
-                    got, want,
-                    "{variant:?} stream {si} step {i} ({x}): {got:#010x} vs {want:#010x}"
-                );
+        for (format, guard, rounding) in cells() {
+            let spec = PipelineSpec::new(variant)
+                .format(format)
+                .guard_bits(guard)
+                .read_rounding(rounding)
+                .slots(1);
+            for (si, stream) in streams.iter().enumerate() {
+                let mut pipe = FpisaPipeline::from_spec(spec).unwrap();
+                let mut reference = FpisaAccumulator::new(pipe.core_config());
+                for (i, &x) in stream.iter().enumerate() {
+                    // Quantize to the cell's format (finite by construction:
+                    // every stream value is within BF16/FP16 range or maps
+                    // to zero/subnormal).
+                    let bits = format.encode(x as f64);
+                    if format.unpack(bits).class == FpClass::Infinity {
+                        continue; // 1e20 overflows FP16; skip, don't poison.
+                    }
+                    pipe.add_bits(0, bits).unwrap();
+                    reference.add_bits(bits).unwrap();
+                    let got = pipe.read_bits(0).unwrap();
+                    let want = reference.read_bits();
+                    assert_eq!(
+                        got, want,
+                        "{variant:?}/{format:?}/g{guard}/{rounding:?} stream {si} step {i} \
+                         ({x}): {got:#010x} vs {want:#010x}"
+                    );
+                }
             }
         }
     }

@@ -2,15 +2,19 @@
 //!
 //! Runs the same stream through every pipeline variant (FPISA-A on
 //! today's Tofino, FPISA-A with the proposed shift ALU, full FPISA with
-//! RSAW) and through the host-side reference accumulator, then prints the
-//! Table 3-style resource report.
+//! RSAW) and through the host-side reference accumulator — for FP32 and,
+//! via the `PipelineSpec` builder, for BF16 with guard bits and
+//! round-to-nearest-even read-out — then prints the Table 3-style
+//! resource report extended across the §3.3 formats.
 //!
 //! ```sh
 //! cargo run --example pipeline_sum
 //! ```
 
-use fpisa::core::{ExactAccumulator, FpisaAccumulator};
-use fpisa::pipeline::{render_table3, table3, FpisaPipeline, PipelineVariant};
+use fpisa::core::{ExactAccumulator, FpFormat, FpisaAccumulator, ReadRounding};
+use fpisa::pipeline::{
+    render_table3, table3_formats, FpisaPipeline, PipelineSpec, PipelineVariant,
+};
 
 fn main() {
     // A stream with a wide dynamic range: the interesting case, because it
@@ -29,28 +33,50 @@ fn main() {
     }
     println!("exact (f64) sum:          {:>14.7}", exact.value());
 
-    for variant in PipelineVariant::all() {
-        let mut pipe = FpisaPipeline::new(variant, 1).expect("program must validate");
+    // FP32 (the paper's deployed configuration) and, through the spec
+    // builder, BF16 with guard bits and nearest-even read-out (§3.3 /
+    // Appendix A.1) — each checked bit-for-bit against the reference
+    // model of the matching configuration.
+    let specs: Vec<PipelineSpec> = PipelineVariant::all()
+        .into_iter()
+        .flat_map(|v| {
+            [
+                PipelineSpec::new(v).slots(1),
+                PipelineSpec::new(v)
+                    .format(FpFormat::BF16)
+                    .guard_bits(2)
+                    .read_rounding(ReadRounding::NearestEven)
+                    .slots(1),
+            ]
+        })
+        .collect();
+
+    for spec in &specs {
+        let mut pipe = FpisaPipeline::from_spec(*spec).expect("spec must validate");
+        let format = pipe.core_config().format;
         let mut reference = FpisaAccumulator::new(pipe.core_config());
         for &x in &stream {
-            pipe.add_f32(0, x).expect("finite input");
-            reference.add_f32(x).expect("finite input");
+            // `add_value` quantizes to the wire format (a no-op for FP32).
+            pipe.add_value(0, x as f64).expect("finite input");
+            reference
+                .add_bits(format.encode(x as f64))
+                .expect("finite input");
         }
-        let got = pipe.read_f32(0).expect("read packet");
+        let got = pipe.read_f64(0).expect("read packet");
         assert_eq!(
-            got.to_bits(),
-            reference.read_f32().to_bits(),
+            pipe.read_bits(0).expect("read packet"),
+            reference.read_bits(),
             "pipeline and reference model must agree bit-for-bit"
         );
         println!(
-            "{:<25} {:>14.7}   (overwrites: {}, rounded: {})",
-            variant.name(),
+            "{:<36} {:>14.7}   (overwrites: {}, rounded: {})",
+            spec.label(),
             got,
             reference.stats().overwrites,
             reference.stats().rounded,
         );
     }
 
-    println!("\nTable 3 — switch resources for 1024 aggregation slots:\n");
-    println!("{}", render_table3(&table3(1024)));
+    println!("\nTable 3 — switch resources for 1024 slots, across formats:\n");
+    println!("{}", render_table3(&table3_formats(1024)));
 }
