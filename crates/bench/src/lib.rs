@@ -14,19 +14,25 @@
 //!
 //! Benchmarked hot paths:
 //!
-//! * `FpisaAccumulator::add_f32` in both modes — the per-element cost every
+//! * `FpisaAccumulator::add_f32_quiet` in both modes (plus the traced
+//!   `add_f32` for the allocation overhead) — the per-element cost every
 //!   host-side experiment pays;
-//! * the packet-level pipeline ADD and READ — the simulator cost that
-//!   bounds how big a differential test or aggregation experiment can be —
-//!   including the FP16/BF16 field widths of §3.3 and the nearest-even
-//!   read-out of Appendix A.1 (both built through `PipelineSpec`).
+//! * the packet-level pipeline ADD and READ on **both execution engines**
+//!   — the interpreted baselines carry an `_interp` suffix, the unsuffixed
+//!   names run the compiled fast path — including the FP16/BF16 field
+//!   widths of §3.3 and the nearest-even read-out of Appendix A.1;
+//! * the batch paths that feed million-packet experiments:
+//!   `pipeline/add_batch/*`, `pipeline/read_batch/*` and the raw
+//!   `pisa/run_batch` engine loop with no pipeline wrapping.
 
 use fpisa_core::{FpFormat, FpisaAccumulator, FpisaConfig, ReadRounding};
-use fpisa_pipeline::{FpisaPipeline, PipelineSpec, PipelineVariant};
+use fpisa_pipeline::{ExecEngine, FpisaPipeline, PipelineSpec, PipelineVariant, OP_ADD};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::time::Instant;
 
 /// Identifier of the JSON output shape, bumped on breaking changes.
+/// (`packets_per_sec` was added as a derived per-bench field; additive, so
+/// the schema id is unchanged.)
 pub const SCHEMA: &str = "fpisa-bench/v1";
 
 /// One benchmark's outcome.
@@ -42,6 +48,9 @@ pub struct BenchResult {
     pub median_batch_ns: u64,
     /// Nanoseconds per operation (median batch / batch size).
     pub ns_per_op: f64,
+    /// Operations per second (1e9 / `ns_per_op`) — packets per second for
+    /// the packet-level benches.
+    pub packets_per_sec: f64,
 }
 
 /// Time `op` (which must perform `batch_ops` operations per call): one
@@ -63,12 +72,18 @@ pub fn bench(
         .collect();
     times.sort_unstable();
     let median_batch_ns = times[times.len() / 2];
+    let ns_per_op = median_batch_ns as f64 / batch_ops as f64;
     BenchResult {
         name: name.into(),
         batch_ops,
         batches,
         median_batch_ns,
-        ns_per_op: median_batch_ns as f64 / batch_ops as f64,
+        ns_per_op,
+        packets_per_sec: if ns_per_op > 0.0 {
+            1e9 / ns_per_op
+        } else {
+            0.0
+        },
     }
 }
 
@@ -86,14 +101,16 @@ pub fn input_stream(n: usize, seed: u64) -> Vec<f32> {
 }
 
 /// Run the standard benchmark set. `scale` multiplies batch sizes (tests
-/// pass a small value; the binary passes 1).
+/// pass a small value; the binary passes 1, or a small value in `--quick`
+/// mode).
 pub fn run_all(scale: f64) -> Vec<BenchResult> {
     let ops = |n: u64| ((n as f64 * scale) as u64).max(1);
     let mut results = Vec::new();
 
     let stream = input_stream(4096, 0xBE7C);
 
-    // Accumulator hot path, both modes.
+    // Accumulator hot path, both modes, through the non-allocating quiet
+    // API (the traced API is metered separately below).
     for (name, cfg) in [
         ("core/add_f32/approximate", FpisaConfig::fp32_tofino()),
         ("core/add_f32/full", FpisaConfig::fp32_extended()),
@@ -103,23 +120,51 @@ pub fn run_all(scale: f64) -> Vec<BenchResult> {
         results.push(bench(name, batch, 15, || {
             for i in 0..batch {
                 let x = stream[i as usize % stream.len()];
+                let _ = acc.add_f32_quiet(x);
+            }
+            std::hint::black_box(acc.read_bits());
+        }));
+    }
+    {
+        let batch = ops(100_000);
+        let mut acc = FpisaAccumulator::new(FpisaConfig::fp32_tofino());
+        results.push(bench("core/add_f32/traced", batch, 15, || {
+            for i in 0..batch {
+                let x = stream[i as usize % stream.len()];
                 let _ = acc.add_f32(x);
             }
             std::hint::black_box(acc.read_bits());
         }));
     }
 
-    // Pipeline per-packet step (ADD) and read-out, cheapest and richest
-    // variants.
-    for (name, variant) in [
-        ("pipeline/add_packet/tofino_a", PipelineVariant::TofinoA),
+    // Pipeline per-packet ADD, cheapest and richest variants, on both
+    // engines: `_interp` is the interpreted baseline, the unsuffixed name
+    // is the compiled fast path.
+    for (name, variant, engine) in [
+        (
+            "pipeline/add_packet/tofino_a_interp",
+            PipelineVariant::TofinoA,
+            ExecEngine::Interpreted,
+        ),
+        (
+            "pipeline/add_packet/extended_full_interp",
+            PipelineVariant::ExtendedFull,
+            ExecEngine::Interpreted,
+        ),
+        (
+            "pipeline/add_packet/tofino_a",
+            PipelineVariant::TofinoA,
+            ExecEngine::Compiled,
+        ),
         (
             "pipeline/add_packet/extended_full",
             PipelineVariant::ExtendedFull,
+            ExecEngine::Compiled,
         ),
     ] {
         let batch = ops(2_000);
-        let mut pipe = FpisaPipeline::new(variant, 64).expect("program must validate");
+        let spec = PipelineSpec::new(variant).slots(64).engine(engine);
+        let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
         results.push(bench(name, batch, 10, || {
             for i in 0..batch {
                 let x = stream[i as usize % stream.len()];
@@ -127,23 +172,97 @@ pub fn run_all(scale: f64) -> Vec<BenchResult> {
             }
         }));
     }
+
+    // The batch ADD path: whole packet slices through the reusable PHV
+    // buffer — what the million-packet aggregation soaks run on.
+    for (name, variant) in [
+        ("pipeline/add_batch/tofino_a", PipelineVariant::TofinoA),
+        (
+            "pipeline/add_batch/extended_full",
+            PipelineVariant::ExtendedFull,
+        ),
+    ] {
+        let batch = ops(8_192);
+        let spec = PipelineSpec::new(variant).slots(64);
+        let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+        let packets: Vec<(usize, u64)> = (0..batch)
+            .map(|i| {
+                let x = stream[i as usize % stream.len()];
+                ((i % 64) as usize, u64::from(x.to_bits()))
+            })
+            .collect();
+        results.push(bench(name, batch, 10, || {
+            pipe.add_batch(&packets).expect("finite input");
+        }));
+    }
+
+    // The raw engine loop with no pipeline wrapping: pre-built ADD PHVs
+    // straight through `CompiledSwitch::run_batch`. The refill clears and
+    // rewrites the input fields in place — no allocation inside the timed
+    // loop, so the number is the engine, not the harness.
     {
+        let batch = ops(8_192);
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA).slots(64);
+        let (program, fields, _arrays) = spec.build().expect("spec must validate");
+        let mut engine = fpisa_pisa::CompiledSwitch::compile(&program).expect("program validates");
+        let inputs: Vec<(u64, u64)> = (0..batch)
+            .map(|i| {
+                (
+                    i % 64,
+                    u64::from(stream[i as usize % stream.len()].to_bits()),
+                )
+            })
+            .collect();
+        let mut phvs: Vec<fpisa_pisa::Phv> = (0..batch).map(|_| engine.phv()).collect();
+        results.push(bench("pisa/run_batch/tofino_a", batch, 10, || {
+            for (phv, &(slot, bits)) in phvs.iter_mut().zip(&inputs) {
+                phv.clear();
+                phv.set(fields.op, OP_ADD);
+                phv.set(fields.slot, slot);
+                phv.set(fields.value, bits);
+            }
+            std::hint::black_box(engine.run_batch(&mut phvs).expect("run"));
+        }));
+    }
+
+    // READ path on both engines, plus the batch READ.
+    for (name, engine) in [
+        (
+            "pipeline/read_packet/tofino_a_interp",
+            ExecEngine::Interpreted,
+        ),
+        ("pipeline/read_packet/tofino_a", ExecEngine::Compiled),
+    ] {
         let batch = ops(2_000);
-        let mut pipe =
-            FpisaPipeline::new(PipelineVariant::TofinoA, 64).expect("program must validate");
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+            .slots(64)
+            .engine(engine);
+        let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
         for (i, &x) in stream.iter().take(256).enumerate() {
             pipe.add_f32(i % 64, x).expect("finite input");
         }
-        results.push(bench("pipeline/read_packet/tofino_a", batch, 10, || {
+        results.push(bench(name, batch, 10, || {
             for i in 0..batch {
                 std::hint::black_box(pipe.read_bits((i % 64) as usize).expect("read"));
             }
         }));
     }
+    {
+        let batch = ops(8_192);
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA).slots(64);
+        let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+        for (i, &x) in stream.iter().take(256).enumerate() {
+            pipe.add_f32(i % 64, x).expect("finite input");
+        }
+        let slots: Vec<usize> = (0..batch as usize).map(|i| i % 64).collect();
+        results.push(bench("pipeline/read_batch/tofino_a", batch, 10, || {
+            std::hint::black_box(pipe.read_batch(&slots).expect("read"));
+        }));
+    }
 
     // Per-format pipeline throughput (§3.3): the same Tofino-profile
-    // program with FP16/BF16 field widths — fewer shift-table entries, so
-    // ADD packets traverse smaller tables.
+    // program with FP16/BF16 field widths — fewer shift-table entries
+    // (and, compiled, smaller match maps).
     for (name, format) in [
         ("pipeline/add_packet/tofino_a_fp16", FpFormat::FP16),
         ("pipeline/add_packet/tofino_a_bf16", FpFormat::BF16),
@@ -218,12 +337,13 @@ pub fn to_json(results: &[BenchResult]) -> String {
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"batch_ops\": {}, \"batches\": {}, \
-             \"median_batch_ns\": {}, \"ns_per_op\": {:.3}}}{}\n",
+             \"median_batch_ns\": {}, \"ns_per_op\": {:.3}, \"packets_per_sec\": {:.0}}}{}\n",
             json_escape(&r.name),
             r.batch_ops,
             r.batches,
             r.median_batch_ns,
             r.ns_per_op,
+            r.packets_per_sec,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
@@ -242,23 +362,38 @@ mod tests {
         assert_eq!(r.batch_ops, 10);
         assert_eq!(r.batches, 5);
         assert!(r.ns_per_op >= 0.0);
+        assert!(r.packets_per_sec >= 0.0);
         assert_eq!(count, 60, "1 warm-up + 5 timed batches");
     }
 
     #[test]
     fn run_all_covers_core_and_pipeline() {
         let results = run_all(0.01);
-        assert_eq!(results.len(), 8);
+        assert_eq!(results.len(), 16);
         assert!(results.iter().any(|r| r.name.contains("core/add_f32")));
+        assert!(results.iter().any(|r| r.name == "core/add_f32/traced"));
+        // Both engines: the interpreted baselines and the compiled paths.
         assert!(results
             .iter()
-            .any(|r| r.name.contains("pipeline/add_packet")));
+            .any(|r| r.name == "pipeline/add_packet/tofino_a_interp"));
+        assert!(results
+            .iter()
+            .any(|r| r.name == "pipeline/add_packet/tofino_a"));
+        // The batch paths the million-packet soaks run on.
+        assert!(results
+            .iter()
+            .any(|r| r.name == "pipeline/add_batch/tofino_a"));
+        assert!(results
+            .iter()
+            .any(|r| r.name == "pipeline/read_batch/tofino_a"));
+        assert!(results.iter().any(|r| r.name == "pisa/run_batch/tofino_a"));
         assert!(results.iter().any(|r| r.name.contains("read_packet")));
         assert!(results.iter().any(|r| r.name.contains("fp16")));
         assert!(results.iter().any(|r| r.name.contains("bf16")));
         assert!(results.iter().any(|r| r.name.contains("nearest_even")));
         for r in &results {
             assert!(r.median_batch_ns > 0, "{} measured nothing", r.name);
+            assert!(r.packets_per_sec > 0.0, "{} has no rate", r.name);
         }
     }
 
@@ -270,11 +405,13 @@ mod tests {
             batches: 1,
             median_batch_ns: 42,
             ns_per_op: 42.0,
+            packets_per_sec: 1e9 / 42.0,
         }];
         let j = to_json(&results);
         assert!(j.starts_with("{\n"));
         assert!(j.contains("\"schema\": \"fpisa-bench/v1\""));
         assert!(j.contains("\"ns_per_op\": 42.000"));
+        assert!(j.contains("\"packets_per_sec\": 23809524"));
         assert!(j.trim_end().ends_with('}'));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
@@ -287,6 +424,7 @@ mod tests {
             batches: 1,
             median_batch_ns: 1,
             ns_per_op: 1.0,
+            packets_per_sec: 1e9,
         }];
         let j = to_json(&results);
         assert!(j.contains(r#"weird \"name\"\\path"#));

@@ -2,16 +2,33 @@
 //!
 //! ```sh
 //! cargo run --release -p fpisa-bench [output-path]
+//! cargo run -p fpisa-bench -- --quick   # CI smoke: tiny batches, no file
 //! ```
+//!
+//! `--quick` exercises every bench (including the compiled engine and the
+//! batch paths) with tiny batch sizes and writes nothing — timing-flake
+//!-proof coverage for CI, not a measurement.
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_accumulator.json".into());
-    eprintln!("running FPISA benchmarks (release profile recommended)...");
-    let results = fpisa_bench::run_all(1.0);
+    if quick {
+        eprintln!("running FPISA benchmarks in --quick smoke mode (no file output)...");
+    } else {
+        eprintln!("running FPISA benchmarks (release profile recommended)...");
+    }
+    let results = fpisa_bench::run_all(if quick { 0.02 } else { 1.0 });
     for r in &results {
-        println!("{:<36} {:>10.1} ns/op", r.name, r.ns_per_op);
+        println!("{:<44} {:>10.1} ns/op", r.name, r.ns_per_op);
+    }
+    if quick {
+        eprintln!("--quick: skipped writing {out_path}");
+        return;
     }
     let json = fpisa_bench::to_json(&results);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

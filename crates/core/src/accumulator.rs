@@ -298,8 +298,33 @@ impl FpisaAccumulator {
     /// Add a packed value of the configured format to the slot.
     ///
     /// Returns the list of numerical events the addition caused (also folded
-    /// into [`FpisaAccumulator::stats`]).
+    /// into [`FpisaAccumulator::stats`]). This is the *traced* API: it
+    /// allocates one `Vec` per call to carry the events out. Hot loops that
+    /// only need the statistics should use
+    /// [`FpisaAccumulator::add_bits_quiet`].
     pub fn add_bits(&mut self, bits: u64) -> Result<Vec<AddEvent>, FpisaError> {
+        let mut events = Vec::with_capacity(2);
+        self.add_bits_sink(bits, |ev| events.push(ev))?;
+        Ok(events)
+    }
+
+    /// Add a packed value without allocating: identical state transitions
+    /// and statistics to [`FpisaAccumulator::add_bits`], but the per-call
+    /// `Vec<AddEvent>` is skipped. The bulk-aggregation hot path (the
+    /// differential suites, the benches, million-packet soaks).
+    #[inline]
+    pub fn add_bits_quiet(&mut self, bits: u64) -> Result<(), FpisaError> {
+        self.add_bits_sink(bits, |_| {})
+    }
+
+    /// The single implementation behind the traced and quiet adds: events
+    /// are streamed into `sink` (and into [`FpisaAccumulator::stats`]) as
+    /// they happen.
+    fn add_bits_sink(
+        &mut self,
+        bits: u64,
+        mut sink: impl FnMut(AddEvent),
+    ) -> Result<(), FpisaError> {
         let f = self.cfg.format;
         let u = f.unpack(bits);
         // Infinity / NaN cannot be decomposed; surface the error.
@@ -310,10 +335,17 @@ impl FpisaAccumulator {
         }
         if matches!(u.class, FpClass::Zero) {
             self.stats.record(AddEvent::Zero);
-            return Ok(vec![AddEvent::Zero]);
+            sink(AddEvent::Zero);
+            return Ok(());
         }
         let incoming = SwitchValue::extract(f, self.cfg.register_bits, self.cfg.guard_bits, bits)?;
-        let mut events = Vec::with_capacity(2);
+        // Count the addition once; each event then updates its category
+        // (the streaming equivalent of `AddStats::record_all`).
+        self.stats.additions += 1;
+        let mut emit = |stats: &mut AddStats, ev: AddEvent| {
+            stats.record_category(ev);
+            sink(ev);
+        };
 
         let e_in = incoming.exponent;
         let e_acc = self.exponent;
@@ -325,7 +357,7 @@ impl FpisaAccumulator {
                 self.exponent = e_in;
                 self.mantissa = incoming.mantissa;
                 self.initialized = true;
-                events.push(AddEvent::Exact);
+                emit(&mut self.stats, AddEvent::Exact);
             }
             AddDecision::RightShiftIncoming { shift } => {
                 // The incoming value is the smaller one: right-shift its
@@ -341,11 +373,11 @@ impl FpisaAccumulator {
                                 - self.cfg.guard_bits as i32
                                 - shift as i32,
                         );
-                    events.push(AddEvent::Rounded { lost: lost.abs() });
+                    emit(&mut self.stats, AddEvent::Rounded { lost: lost.abs() });
                 } else {
-                    events.push(AddEvent::Exact);
+                    emit(&mut self.stats, AddEvent::Exact);
                 }
-                self.apply_add(shifted, &mut events)?;
+                self.apply_add(shifted, &mut emit)?;
             }
             AddDecision::ShiftStored { shift } => {
                 // RSAW: right-shift the *stored* mantissa, raise the
@@ -359,32 +391,31 @@ impl FpisaAccumulator {
                                 - f.man_bits as i32
                                 - self.cfg.guard_bits as i32,
                         );
-                    events.push(AddEvent::Rounded { lost: lost.abs() });
+                    emit(&mut self.stats, AddEvent::Rounded { lost: lost.abs() });
                 } else {
-                    events.push(AddEvent::Exact);
+                    emit(&mut self.stats, AddEvent::Exact);
                 }
                 self.mantissa = shifted_acc;
                 self.exponent = e_in;
-                self.apply_add(incoming.mantissa, &mut events)?;
+                self.apply_add(incoming.mantissa, &mut emit)?;
             }
             AddDecision::LeftShiftIncoming { shift } => {
                 // FPISA-A: the stored mantissa cannot be shifted, so the
                 // incoming one is left-shifted into the register headroom.
-                events.push(AddEvent::LeftShifted { by: shift });
+                emit(&mut self.stats, AddEvent::LeftShifted { by: shift });
                 let shifted_in = incoming.mantissa << shift;
-                self.apply_add(shifted_in, &mut events)?;
+                self.apply_add(shifted_in, &mut emit)?;
             }
             AddDecision::Overwrite => {
                 // FPISA-A: the exponent difference exceeds the headroom, so
                 // the stored value is discarded.
                 let lost = self.value_f64();
-                events.push(AddEvent::Overwrote { lost: lost.abs() });
+                emit(&mut self.stats, AddEvent::Overwrote { lost: lost.abs() });
                 self.exponent = e_in;
                 self.mantissa = incoming.mantissa;
             }
         }
-        self.stats.record_all(&events);
-        Ok(events)
+        Ok(())
     }
 
     /// Add an `f32` to an FP32-configured slot.
@@ -397,6 +428,17 @@ impl FpisaAccumulator {
         self.add_bits(x.to_bits() as u64)
     }
 
+    /// Non-allocating [`FpisaAccumulator::add_f32`].
+    #[inline]
+    pub fn add_f32_quiet(&mut self, x: f32) -> Result<(), FpisaError> {
+        debug_assert_eq!(
+            self.cfg.format,
+            FpFormat::FP32,
+            "add_f32_quiet on a non-FP32 slot"
+        );
+        self.add_bits_quiet(x.to_bits() as u64)
+    }
+
     /// Add an `f64`, first converting it to the slot's format with
     /// round-to-nearest-even (models the host casting to FP16/BF16/etc.).
     pub fn add_converted(&mut self, x: f64) -> Result<Vec<AddEvent>, FpisaError> {
@@ -404,10 +446,14 @@ impl FpisaAccumulator {
     }
 
     /// Perform the stateful mantissa addition with overflow handling.
-    fn apply_add(&mut self, addend: i64, events: &mut Vec<AddEvent>) -> Result<(), FpisaError> {
+    fn apply_add(
+        &mut self,
+        addend: i64,
+        emit: &mut impl FnMut(&mut AddStats, AddEvent),
+    ) -> Result<(), FpisaError> {
         let sum = self.mantissa + addend; // cannot overflow i64 (registers <= 63 bits)
         if sum > self.cfg.register_max() || sum < self.cfg.register_min() {
-            events.push(AddEvent::Overflowed);
+            emit(&mut self.stats, AddEvent::Overflowed);
             match self.cfg.overflow {
                 OverflowPolicy::Saturate => {
                     self.mantissa = if sum > 0 {
@@ -428,7 +474,6 @@ impl FpisaAccumulator {
                     };
                 }
                 OverflowPolicy::Error => {
-                    self.stats.record_all(events);
                     return Err(FpisaError::RegisterOverflow {
                         exponent: self.exponent,
                     });
@@ -757,6 +802,52 @@ mod tests {
             acc.add_bits(f.encode(x)).unwrap();
         }
         assert_eq!(acc.read_f64(), 7.0);
+    }
+
+    #[test]
+    fn quiet_add_matches_traced_add_bit_for_bit() {
+        use rand::{Rng, SeedableRng};
+        // Same stream, one traced slot, one quiet slot: identical register
+        // state and identical statistics after every add, in both modes
+        // and under every overflow policy.
+        for mode in [FpisaMode::Approximate, FpisaMode::Full] {
+            for overflow in [
+                OverflowPolicy::Saturate,
+                OverflowPolicy::Wrap,
+                OverflowPolicy::Error,
+            ] {
+                let cfg = FpisaConfig::new(FpFormat::FP32, 32, mode).with_overflow(overflow);
+                let mut traced = FpisaAccumulator::new(cfg);
+                let mut quiet = FpisaAccumulator::new(cfg);
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(0x9A1E7);
+                for i in 0..4000 {
+                    let x = if rng.gen_range(0u32..50) == 0 {
+                        0.0
+                    } else {
+                        let mag = 2f32.powi(rng.gen_range(-30..30));
+                        mag * rng.gen_range(1.0f32..2.0) * if rng.gen() { 1.0 } else { -1.0 }
+                    };
+                    let t = traced.add_f32(x).map(|_| ());
+                    let q = quiet.add_f32_quiet(x);
+                    assert_eq!(t, q, "{mode:?}/{overflow:?} add #{i}");
+                    assert_eq!(
+                        (
+                            traced.exponent(),
+                            traced.mantissa(),
+                            traced.is_initialized()
+                        ),
+                        (quiet.exponent(), quiet.mantissa(), quiet.is_initialized()),
+                        "{mode:?}/{overflow:?} add #{i}: register diverged"
+                    );
+                    assert_eq!(
+                        traced.stats(),
+                        quiet.stats(),
+                        "{mode:?}/{overflow:?} add #{i}: stats diverged"
+                    );
+                }
+                assert_eq!(traced.read_bits(), quiet.read_bits());
+            }
+        }
     }
 
     #[test]

@@ -63,9 +63,11 @@ pub struct AddStats {
 }
 
 impl AddStats {
-    /// Record one event.
-    pub fn record(&mut self, ev: AddEvent) {
-        self.additions += 1;
+    /// Apply one event's per-category counters *without* counting a new
+    /// addition — the streaming half of [`AddStats::record`], used by the
+    /// accumulator's non-allocating hot path which counts the addition
+    /// once and then emits events one at a time.
+    pub(crate) fn record_category(&mut self, ev: AddEvent) {
         match ev {
             AddEvent::Exact => self.exact += 1,
             AddEvent::Rounded { lost } => {
@@ -82,6 +84,12 @@ impl AddStats {
         }
     }
 
+    /// Record one event.
+    pub fn record(&mut self, ev: AddEvent) {
+        self.additions += 1;
+        self.record_category(ev);
+    }
+
     /// Record a composite addition that produced several events (e.g. a
     /// left shift *and* rounding).
     pub fn record_all(&mut self, events: &[AddEvent]) {
@@ -91,20 +99,7 @@ impl AddStats {
         // Count the addition once, then apply the per-category counters.
         self.additions += 1;
         for &ev in events {
-            match ev {
-                AddEvent::Exact => self.exact += 1,
-                AddEvent::Rounded { lost } => {
-                    self.rounded += 1;
-                    self.rounding_loss += lost;
-                }
-                AddEvent::Overwrote { lost } => {
-                    self.overwrites += 1;
-                    self.overwrite_loss += lost;
-                }
-                AddEvent::LeftShifted { .. } => self.left_shifts += 1,
-                AddEvent::Overflowed => self.overflows += 1,
-                AddEvent::Zero => self.zeros += 1,
-            }
+            self.record_category(ev);
         }
     }
 

@@ -24,6 +24,14 @@
 //! format, showing how the Tofino shift tables shrink for FP16/BF16 —
 //! rendered through the shared `fpisa-hw` report machinery.
 //!
+//! Packets execute on one of two engines selected by
+//! [`PipelineSpec::engine`] — the pre-resolved
+//! [`fpisa_pisa::CompiledSwitch`] fast path by default, or the
+//! interpreting [`fpisa_pisa::Switch`] reference — with bit-for-bit
+//! identical results; [`FpisaPipeline::add_batch`] and
+//! [`FpisaPipeline::read_batch`] push whole packet slices through a
+//! reusable PHV buffer for million-packet aggregation runs.
+//!
 //! ## Example
 //!
 //! ```
@@ -66,16 +74,40 @@ pub mod spec;
 
 pub use program::{build_program, Arrays, Fields, PipelineVariant, OP_ADD, OP_READ};
 pub use report::{render_stage_breakdown, render_table3, table3, table3_formats, Table3Row};
-pub use spec::{format_name, PipelineSpec, SpecError, MAX_SLOTS};
+pub use spec::{format_name, ExecEngine, PipelineSpec, SpecError, MAX_SLOTS};
 
 use fpisa_core::{FpFormat, FpisaConfig};
-use fpisa_pisa::{ProgramError, ResourceReport, RuntimeError, Switch, SwitchProgram};
+use fpisa_pisa::{
+    CompiledSwitch, Phv, ProgramError, ResourceReport, RuntimeError, Switch, SwitchProgram,
+};
+
+/// Packets per internal batch chunk: small enough that the whole PHV
+/// buffer stays L1-resident (64 packets × ~50 containers × 8 B ≈ 26 KiB),
+/// large enough to amortize the per-call overhead of the batch APIs.
+const BATCH_CHUNK: usize = 64;
 
 /// A running FPISA pipeline: the Fig. 2 program instantiated on the switch
 /// simulator for one [`PipelineSpec`].
+///
+/// Packets run on the spec's [`ExecEngine`] — the pre-resolved
+/// [`CompiledSwitch`] by default, the interpreting [`Switch`] when the
+/// spec asks for it — with bit-for-bit identical results (the differential
+/// suite runs every configuration on both). One PHV is reused across
+/// scalar packets, and [`FpisaPipeline::add_batch`] /
+/// [`FpisaPipeline::read_batch`] push whole slices of packets through a
+/// reusable buffer for bulk aggregation.
 #[derive(Debug, Clone)]
 pub struct FpisaPipeline {
+    /// The interpreter: program holder, and the execution engine when the
+    /// spec selects [`ExecEngine::Interpreted`].
     switch: Switch,
+    /// The fast path; `Some` iff the spec selects [`ExecEngine::Compiled`]
+    /// (register state then lives here, not in `switch`).
+    compiled: Option<CompiledSwitch>,
+    /// Scratch PHV reused by the scalar packet APIs.
+    scratch: Phv,
+    /// PHV buffer reused by the batch APIs, grown on first use.
+    batch_buf: Vec<Phv>,
     fields: Fields,
     arrays: Arrays,
     spec: PipelineSpec,
@@ -91,9 +123,17 @@ impl FpisaPipeline {
         // directly without a second validation pass.
         let cfg = spec.core_config()?;
         let (program, fields, arrays) = program::build_for_spec(&spec, &cfg);
+        let compiled = match spec.execution_engine() {
+            ExecEngine::Compiled => Some(CompiledSwitch::compile(&program)?),
+            ExecEngine::Interpreted => None,
+        };
         let switch = Switch::new(program)?;
+        let scratch = switch.phv();
         Ok(FpisaPipeline {
             switch,
+            compiled,
+            scratch,
+            batch_buf: Vec::new(),
             fields,
             arrays,
             spec,
@@ -153,18 +193,31 @@ impl FpisaPipeline {
         ResourceReport::of(self.switch.program())
     }
 
-    /// Check a slot index against the spec, mirroring the switch's own
-    /// register-range runtime error for out-of-range packets.
+    /// The runtime error an out-of-range slot produces, mirroring the
+    /// switch's own register-range error.
+    fn slot_error(&self, slot: usize) -> RuntimeError {
+        RuntimeError::IndexOutOfRange {
+            detail: format!(
+                "slot {slot} out of range for pipeline with {} slots",
+                self.slots()
+            ),
+        }
+    }
+
+    /// Check a slot index against the spec.
     fn check_slot(&self, slot: usize) -> Result<(), RuntimeError> {
         if slot >= self.slots() {
-            return Err(RuntimeError::IndexOutOfRange {
-                detail: format!(
-                    "slot {slot} out of range for pipeline with {} slots",
-                    self.slots()
-                ),
-            });
+            return Err(self.slot_error(slot));
         }
         Ok(())
+    }
+
+    /// Grow the reusable batch buffer to one chunk of PHVs.
+    fn ensure_batch_buf(&mut self) {
+        if self.batch_buf.len() < BATCH_CHUNK {
+            let proto = self.switch.phv();
+            self.batch_buf.resize(BATCH_CHUNK, proto);
+        }
     }
 
     /// Process an ADD packet: fold a packed value of the spec's format
@@ -175,12 +228,58 @@ impl FpisaPipeline {
     /// docs); the switch will process their bit patterns like any others.
     pub fn add_bits(&mut self, slot: usize, bits: u64) -> Result<(), RuntimeError> {
         self.check_slot(slot)?;
-        let mut phv = self.switch.phv();
-        phv.set(self.fields.op, OP_ADD);
-        phv.set(self.fields.slot, slot as u64);
-        phv.set(self.fields.value, bits);
-        self.switch.run(&mut phv)?;
+        self.scratch.clear();
+        self.scratch.set(self.fields.op, OP_ADD);
+        self.scratch.set(self.fields.slot, slot as u64);
+        self.scratch.set(self.fields.value, bits);
+        match &mut self.compiled {
+            Some(c) => c.run(&mut self.scratch)?,
+            None => self.switch.run(&mut self.scratch)?,
+        };
         Ok(())
+    }
+
+    /// Process a slice of ADD packets — `(slot, packed bits)` pairs —
+    /// through a reusable PHV buffer: the bulk-aggregation hot path, with
+    /// no per-packet construction work at all.
+    ///
+    /// Slot indices are validated up front: on an out-of-range slot the
+    /// call errors **before any packet runs**. (A mid-batch runtime fault,
+    /// impossible for in-range FPISA packets, would leave the prior
+    /// packets applied, like the equivalent scalar loop.)
+    pub fn add_batch(&mut self, packets: &[(usize, u64)]) -> Result<(), RuntimeError> {
+        self.validate_slots(packets.iter().map(|&(s, _)| s))?;
+        self.run_batch_impl(
+            packets.len(),
+            |phv, i, f| {
+                let (slot, bits) = packets[i];
+                phv.set(f.op, OP_ADD);
+                phv.set(f.slot, slot as u64);
+                phv.set(f.value, bits);
+            },
+            None,
+        )
+    }
+
+    /// [`FpisaPipeline::add_batch`] over `f32` values (FP32 specs only,
+    /// like [`FpisaPipeline::add_f32`]).
+    pub fn add_batch_f32(&mut self, packets: &[(usize, f32)]) -> Result<(), RuntimeError> {
+        assert_eq!(
+            self.cfg.format,
+            FpFormat::FP32,
+            "add_batch_f32 on a non-FP32 pipeline"
+        );
+        self.validate_slots(packets.iter().map(|&(s, _)| s))?;
+        self.run_batch_impl(
+            packets.len(),
+            |phv, i, f| {
+                let (slot, x) = packets[i];
+                phv.set(f.op, OP_ADD);
+                phv.set(f.slot, slot as u64);
+                phv.set(f.value, u64::from(x.to_bits()));
+            },
+            None,
+        )
     }
 
     /// Process an ADD packet carrying an `f32`. Panics on non-FP32 specs
@@ -213,11 +312,71 @@ impl FpisaPipeline {
     /// spec's format. Reading does not modify the slot.
     pub fn read_bits(&mut self, slot: usize) -> Result<u64, RuntimeError> {
         self.check_slot(slot)?;
-        let mut phv = self.switch.phv();
-        phv.set(self.fields.op, OP_READ);
-        phv.set(self.fields.slot, slot as u64);
-        self.switch.run(&mut phv)?;
-        Ok(phv.get(self.fields.result))
+        self.scratch.clear();
+        self.scratch.set(self.fields.op, OP_READ);
+        self.scratch.set(self.fields.slot, slot as u64);
+        match &mut self.compiled {
+            Some(c) => c.run(&mut self.scratch)?,
+            None => self.switch.run(&mut self.scratch)?,
+        };
+        Ok(self.scratch.get(self.fields.result))
+    }
+
+    /// Process a READ packet per requested slot through the reusable PHV
+    /// buffer, returning the packed read-outs in order. Slot indices are
+    /// validated up front, like [`FpisaPipeline::add_batch`]; reading does
+    /// not modify any slot.
+    pub fn read_batch(&mut self, slots: &[usize]) -> Result<Vec<u64>, RuntimeError> {
+        self.validate_slots(slots.iter().copied())?;
+        let mut out = Vec::with_capacity(slots.len());
+        self.run_batch_impl(
+            slots.len(),
+            |phv, i, f| {
+                phv.set(f.op, OP_READ);
+                phv.set(f.slot, slots[i] as u64);
+            },
+            Some(&mut out),
+        )?;
+        Ok(out)
+    }
+
+    /// The shared batch loop: stream `n` packets through the engine in
+    /// L1-resident chunks of the reusable PHV buffer. `fill` writes packet
+    /// `i`'s input fields into a freshly cleared PHV; when `collect` is
+    /// given, every processed PHV's `result` field is appended to it.
+    fn run_batch_impl(
+        &mut self,
+        n: usize,
+        fill: impl Fn(&mut Phv, usize, &Fields),
+        mut collect: Option<&mut Vec<u64>>,
+    ) -> Result<(), RuntimeError> {
+        self.ensure_batch_buf();
+        let fields = self.fields.clone();
+        for start in (0..n).step_by(BATCH_CHUNK) {
+            let len = BATCH_CHUNK.min(n - start);
+            for (k, phv) in self.batch_buf[..len].iter_mut().enumerate() {
+                phv.clear();
+                fill(phv, start + k, &fields);
+            }
+            match &mut self.compiled {
+                Some(c) => c.run_batch(&mut self.batch_buf[..len])?,
+                None => self.switch.run_batch(&mut self.batch_buf[..len])?,
+            };
+            if let Some(out) = collect.as_deref_mut() {
+                out.extend(self.batch_buf[..len].iter().map(|p| p.get(fields.result)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Up-front slot validation for the batch APIs: error before any
+    /// packet runs.
+    fn validate_slots(&self, mut slots: impl Iterator<Item = usize>) -> Result<(), RuntimeError> {
+        let n = self.spec.slot_count();
+        match slots.find(|&s| s >= n) {
+            Some(bad) => Err(self.slot_error(bad)),
+            None => Ok(()),
+        }
     }
 
     /// Process a READ packet and decode the result. Panics on non-FP32
@@ -241,12 +400,19 @@ impl FpisaPipeline {
 
     /// Raw register state of a slot: `(biased exponent, signed mantissa)`.
     /// `(0, 0)` is an empty slot. Control-plane access used by the
-    /// differential tests to compare against the reference model.
+    /// differential tests to compare against the reference model. Reads
+    /// from whichever engine holds the live state.
     pub fn register_state(&self, slot: usize) -> (u32, i64) {
-        (
-            self.switch.register(self.arrays.exponent, slot) as u32,
-            self.switch.register(self.arrays.mantissa, slot),
-        )
+        match &self.compiled {
+            Some(c) => (
+                c.register(self.arrays.exponent, slot) as u32,
+                c.register(self.arrays.mantissa, slot),
+            ),
+            None => (
+                self.switch.register(self.arrays.exponent, slot) as u32,
+                self.switch.register(self.arrays.mantissa, slot),
+            ),
+        }
     }
 }
 
@@ -399,6 +565,92 @@ mod tests {
                 assert_eq!(pipe.read_f32(0).unwrap(), expect, "{v:?} {rounding:?}");
             }
         }
+    }
+
+    #[test]
+    fn both_engines_agree_scalar_and_batch() {
+        for v in PipelineVariant::all() {
+            let mut interp = FpisaPipeline::from_spec(
+                PipelineSpec::new(v)
+                    .slots(8)
+                    .engine(ExecEngine::Interpreted),
+            )
+            .unwrap();
+            let mut comp = FpisaPipeline::from_spec(
+                PipelineSpec::new(v).slots(8).engine(ExecEngine::Compiled),
+            )
+            .unwrap();
+            let stream: Vec<(usize, f32)> = (0..64)
+                .map(|i| ((i * 7) % 8, (i as f32 - 30.5) * 1.25))
+                .collect();
+            // Scalar on the interpreter, batch on the compiled engine.
+            for &(slot, x) in &stream {
+                interp.add_f32(slot, x).unwrap();
+            }
+            comp.add_batch_f32(&stream).unwrap();
+            for slot in 0..8 {
+                assert_eq!(
+                    interp.register_state(slot),
+                    comp.register_state(slot),
+                    "{v:?} slot {slot}"
+                );
+            }
+            let slots: Vec<usize> = (0..8).collect();
+            let batch_reads = comp.read_batch(&slots).unwrap();
+            for (slot, &batch_read) in batch_reads.iter().enumerate() {
+                let want = interp.read_bits(slot).unwrap();
+                assert_eq!(batch_read, want, "{v:?} slot {slot}");
+                assert_eq!(comp.read_bits(slot).unwrap(), want, "{v:?} slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_batch_equals_scalar_adds() {
+        let mut scalar = FpisaPipeline::new(PipelineVariant::TofinoA, 16).unwrap();
+        let mut batched = FpisaPipeline::new(PipelineVariant::TofinoA, 16).unwrap();
+        let packets: Vec<(usize, u64)> = (0..2000u32)
+            .map(|i| {
+                let x = ((i as f32).sin() * 2f32.powi((i % 40) as i32 - 20)).to_bits();
+                ((i as usize * 13) % 16, u64::from(x))
+            })
+            .collect();
+        for &(slot, bits) in &packets {
+            scalar.add_bits(slot, bits).unwrap();
+        }
+        batched.add_batch(&packets).unwrap();
+        for slot in 0..16 {
+            assert_eq!(
+                scalar.register_state(slot),
+                batched.register_state(slot),
+                "slot {slot}"
+            );
+        }
+        assert_eq!(
+            batched.read_batch(&(0..16).collect::<Vec<_>>()).unwrap(),
+            (0..16)
+                .map(|s| scalar.read_bits(s).unwrap())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn batch_rejects_bad_slots_before_applying_anything() {
+        let mut pipe = FpisaPipeline::new(PipelineVariant::TofinoA, 4).unwrap();
+        let packets = [
+            (0usize, 1.0f32.to_bits() as u64),
+            (9, 2.0f32.to_bits() as u64),
+        ];
+        assert!(matches!(
+            pipe.add_batch(&packets),
+            Err(RuntimeError::IndexOutOfRange { .. })
+        ));
+        // Up-front validation: the in-range packet must NOT have run.
+        assert_eq!(pipe.register_state(0), (0, 0));
+        assert!(matches!(
+            pipe.read_batch(&[0, 4]),
+            Err(RuntimeError::IndexOutOfRange { .. })
+        ));
     }
 
     #[test]

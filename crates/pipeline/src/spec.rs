@@ -115,9 +115,25 @@ impl From<ProgramError> for SpecError {
     }
 }
 
+/// Which execution engine [`crate::FpisaPipeline::from_spec`] instantiates
+/// for the generated program. Both produce bit-for-bit identical packets
+/// (enforced by the differential suite); they differ only in speed and
+/// introspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecEngine {
+    /// The interpreting [`fpisa_pisa::Switch`]: the readable reference
+    /// engine, the only one that can trace per-table execution.
+    Interpreted,
+    /// The pre-resolved [`fpisa_pisa::CompiledSwitch`] fast path
+    /// (default): hash/dense match dispatch, flat op tapes, zero
+    /// per-packet allocation.
+    Compiled,
+}
+
 /// A validated, builder-style description of one FPISA pipeline: variant,
-/// floating-point format, register width, guard bits, read-out rounding
-/// and slot count. See the [module docs](self) for the paper mapping.
+/// floating-point format, register width, guard bits, read-out rounding,
+/// slot count and execution engine. See the [module docs](self) for the
+/// paper mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineSpec {
     variant: PipelineVariant,
@@ -128,6 +144,7 @@ pub struct PipelineSpec {
     guard_bits: u32,
     read_rounding: ReadRounding,
     slots: usize,
+    engine: ExecEngine,
 }
 
 impl PipelineSpec {
@@ -141,6 +158,7 @@ impl PipelineSpec {
             guard_bits: 0,
             read_rounding: ReadRounding::TowardZero,
             slots: 16,
+            engine: ExecEngine::Compiled,
         }
     }
 
@@ -178,6 +196,14 @@ impl PipelineSpec {
         self
     }
 
+    /// Builder: pick the execution engine ([`ExecEngine::Compiled`] by
+    /// default). [`ExecEngine::Interpreted`] keeps the reference engine,
+    /// e.g. as a differential baseline or for traced debugging.
+    pub fn engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -205,6 +231,11 @@ impl PipelineSpec {
     /// The aggregation slot count.
     pub fn slot_count(&self) -> usize {
         self.slots
+    }
+
+    /// The execution engine the pipeline will run on.
+    pub fn execution_engine(&self) -> ExecEngine {
+        self.engine
     }
 
     /// The mantissa-register width this spec resolves to: the explicit

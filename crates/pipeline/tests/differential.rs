@@ -6,18 +6,23 @@
 //!
 //! For each cell a stream of random finite values of the cell's format —
 //! wide exponent spread, subnormals, zeros, sign flips — is pushed through
-//! both the packet pipeline and the reference accumulator built from the
-//! *same* [`fpisa_core::FpisaConfig`] (the one
-//! [`FpisaPipeline::core_config`] reports):
+//! **both execution engines** (the interpreting `Switch` and the compiled
+//! fast path) and the reference accumulator built from the *same*
+//! [`fpisa_core::FpisaConfig`] (the one [`FpisaPipeline::core_config`]
+//! reports):
 //!
-//! * after **every** ADD packet, the exponent/mantissa register state must
-//!   be identical, and both sides must have taken the same
-//!   [`fpisa_core::AddDecision`];
-//! * periodically, and at the end, the packed READ result must be
-//!   bit-identical to the reference read-out.
+//! * after **every** ADD packet, the exponent/mantissa register state of
+//!   both engines must be identical to the reference, and all sides must
+//!   have taken the same [`fpisa_core::AddDecision`];
+//! * periodically, and at the end, the packed READ result of both engines
+//!   must be bit-identical to the reference read-out.
+//!
+//! This is the compiled engine's 18-cell bit-for-bit guarantee: register
+//! state after every ADD, every READ result, on every
+//! `(variant × format × rounding)` configuration.
 
 use fpisa_core::{FpClass, FpFormat, FpisaAccumulator, ReadRounding, SwitchValue};
-use fpisa_pipeline::{FpisaPipeline, PipelineSpec, PipelineVariant};
+use fpisa_pipeline::{ExecEngine, FpisaPipeline, PipelineSpec, PipelineVariant};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 const SLOTS: usize = 8;
@@ -63,8 +68,11 @@ fn run_differential(variant: PipelineVariant, seed: u64) {
             .read_rounding(rounding)
             .slots(SLOTS);
         let mut rng = SmallRng::seed_from_u64(seed ^ u64::from(format.man_bits) ^ u64::from(guard));
-        let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
-        let cfg = pipe.core_config();
+        let mut interp = FpisaPipeline::from_spec(spec.engine(ExecEngine::Interpreted))
+            .expect("spec must validate");
+        let mut comp = FpisaPipeline::from_spec(spec.engine(ExecEngine::Compiled))
+            .expect("spec must validate");
+        let cfg = interp.core_config();
         let cell = format!("{variant:?}/{format:?}/g{guard}/{rounding:?}");
         let mut refs: Vec<FpisaAccumulator> =
             (0..SLOTS).map(|_| FpisaAccumulator::new(cfg)).collect();
@@ -73,11 +81,11 @@ fn run_differential(variant: PipelineVariant, seed: u64) {
             let slot = rng.gen_range(0usize..SLOTS);
             let bits = random_bits(&mut rng, format);
 
-            // Both sides must plan the same alignment path (step-wise hook).
+            // All sides must plan the same alignment path (step-wise hook).
             if format.unpack(bits).class != FpClass::Zero {
                 let incoming =
                     SwitchValue::extract(format, cfg.register_bits, cfg.guard_bits, bits).unwrap();
-                let (pe, _pm) = pipe.register_state(slot);
+                let (pe, _pm) = interp.register_state(slot);
                 let initialized = refs[slot].is_initialized();
                 assert_eq!(
                     fpisa_core::plan_add(&cfg, initialized, pe, incoming.exponent),
@@ -86,43 +94,56 @@ fn run_differential(variant: PipelineVariant, seed: u64) {
                 );
             }
 
-            pipe.add_bits(slot, bits).unwrap();
-            refs[slot].add_bits(bits).unwrap();
+            interp.add_bits(slot, bits).unwrap();
+            comp.add_bits(slot, bits).unwrap();
+            refs[slot].add_bits_quiet(bits).unwrap();
 
-            // The register state must match after every single packet.
-            let (pe, pm) = pipe.register_state(slot);
-            if refs[slot].is_initialized() {
-                assert_eq!(
-                    (pe, pm),
-                    (refs[slot].exponent(), refs[slot].mantissa()),
-                    "{cell} add #{i}: register state diverged after {bits:#x} in slot {slot}"
-                );
+            // The register state of both engines must match the reference
+            // after every single packet.
+            let want = if refs[slot].is_initialized() {
+                (refs[slot].exponent(), refs[slot].mantissa())
             } else {
-                assert_eq!((pe, pm), (0, 0), "{cell} add #{i}: phantom install");
-            }
+                (0, 0)
+            };
+            assert_eq!(
+                interp.register_state(slot),
+                want,
+                "{cell} add #{i}: interpreter register state diverged after {bits:#x} in slot {slot}"
+            );
+            assert_eq!(
+                comp.register_state(slot),
+                want,
+                "{cell} add #{i}: compiled register state diverged after {bits:#x} in slot {slot}"
+            );
 
             // Periodic read-out comparison (bit-for-bit).
             if i % 7 == 0 {
-                let got = pipe.read_bits(slot).unwrap();
                 let want = refs[slot].read_bits();
-                assert_eq!(
-                    got,
-                    want,
-                    "{cell} add #{i}: read {got:#010x} vs reference {want:#010x} \
-                     ({} vs {})",
-                    format.decode(got),
-                    format.decode(want)
-                );
+                for (engine, pipe) in [("interpreter", &mut interp), ("compiled", &mut comp)] {
+                    let got = pipe.read_bits(slot).unwrap();
+                    assert_eq!(
+                        got,
+                        want,
+                        "{cell} add #{i}: {engine} read {got:#010x} vs reference {want:#010x} \
+                         ({} vs {})",
+                        format.decode(got),
+                        format.decode(want)
+                    );
+                }
             }
         }
 
-        // Final read-out of every slot.
+        // Final read-out of every slot, on both engines — including the
+        // batch READ path on the compiled one.
+        let batch = comp.read_batch(&(0..SLOTS).collect::<Vec<_>>()).unwrap();
         for (slot, reference) in refs.iter().enumerate() {
-            let got = pipe.read_bits(slot).unwrap();
             let want = reference.read_bits();
+            let got = interp.read_bits(slot).unwrap();
             assert_eq!(got, want, "{cell} final read of slot {slot}");
-            // Reading must be non-destructive on both sides: repeat.
-            assert_eq!(pipe.read_bits(slot).unwrap(), got);
+            assert_eq!(batch[slot], want, "{cell} final batch read of slot {slot}");
+            // Reading must be non-destructive on every side: repeat.
+            assert_eq!(interp.read_bits(slot).unwrap(), got);
+            assert_eq!(comp.read_bits(slot).unwrap(), got);
         }
     }
 }

@@ -1,0 +1,73 @@
+//! Million-packet aggregation soak: the experiment scale the compiled
+//! engine exists for. One million ADD packets stream through
+//! [`FpisaPipeline::add_batch`] into 256 slots, and the final register
+//! state and read-out of every slot is verified bit-for-bit against
+//! `fpisa_core::FpisaAccumulator` references fed the same stream.
+//!
+//! Ignored by default (it is a release-profile workload); run it with
+//!
+//! ```sh
+//! cargo test --release -p fpisa-pipeline --test soak -- --ignored
+//! ```
+
+use fpisa_core::FpisaAccumulator;
+use fpisa_pipeline::{FpisaPipeline, PipelineSpec, PipelineVariant};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+const PACKETS: usize = 1_000_000;
+const SLOTS: usize = 256;
+const CHUNK: usize = 8192;
+
+fn soak(variant: PipelineVariant, seed: u64) {
+    let spec = PipelineSpec::new(variant).slots(SLOTS);
+    let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+    let cfg = pipe.core_config();
+    let mut refs: Vec<FpisaAccumulator> = (0..SLOTS).map(|_| FpisaAccumulator::new(cfg)).collect();
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sent = 0usize;
+    let mut chunk: Vec<(usize, u64)> = Vec::with_capacity(CHUNK);
+    while sent < PACKETS {
+        chunk.clear();
+        for _ in 0..CHUNK.min(PACKETS - sent) {
+            let slot = rng.gen_range(0usize..SLOTS);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let x = sign * 2f32.powi(rng.gen_range(-20..20)) * rng.gen_range(1.0f32..2.0);
+            chunk.push((slot, u64::from(x.to_bits())));
+        }
+        pipe.add_batch(&chunk).expect("finite in-range packets");
+        for &(slot, bits) in &chunk {
+            refs[slot].add_bits_quiet(bits).expect("finite packets");
+        }
+        sent += chunk.len();
+    }
+
+    // Bit-for-bit verification: register state and read-out per slot.
+    let reads = pipe.read_batch(&(0..SLOTS).collect::<Vec<_>>()).unwrap();
+    for (slot, reference) in refs.iter().enumerate() {
+        assert_eq!(
+            pipe.register_state(slot),
+            (reference.exponent(), reference.mantissa()),
+            "{variant:?}: register state diverged in slot {slot} after 1M packets"
+        );
+        assert_eq!(
+            reads[slot],
+            reference.read_bits(),
+            "{variant:?}: read-out diverged in slot {slot} after 1M packets"
+        );
+    }
+    let total: u64 = refs.iter().map(|r| r.stats().additions).sum();
+    assert_eq!(total as usize, PACKETS);
+}
+
+#[test]
+#[ignore = "1M-packet soak; run with --release -- --ignored"]
+fn million_packet_soak_tofino_a() {
+    soak(PipelineVariant::TofinoA, 0x50AC_0001);
+}
+
+#[test]
+#[ignore = "1M-packet soak; run with --release -- --ignored"]
+fn million_packet_soak_extended_full() {
+    soak(PipelineVariant::ExtendedFull, 0x50AC_0002);
+}

@@ -1,0 +1,1361 @@
+//! The compiled fast-path execution engine.
+//!
+//! [`crate::Switch`] interprets a program one table at a time: every lookup
+//! is a linear scan over the installed entries, and every pass allocates
+//! bookkeeping. That is fine for debugging but bounds how many packets an
+//! experiment can afford. [`CompiledSwitch`] lowers a validated
+//! [`SwitchProgram`] once, ahead of any packet, into a form where the
+//! per-packet loop is a branch-light walk over flat slices with **zero
+//! allocation** — the same move the paper's hardware target makes (every
+//! decision pre-resolved into match tables before traffic arrives) and that
+//! Packet Transactions makes in reverse (compile the program so the
+//! per-packet path does no interpretation).
+//!
+//! The lowering:
+//!
+//! * **exact-match tables** become either a *dense direct-index* array
+//!   (every key pattern exact, total key width small enough to enumerate)
+//!   or a *hash lookup* — packed into a single `u64` key when the key tuple
+//!   fits 64 bits, a `Box<[u64]>` tuple otherwise — instead of a scan;
+//! * **ternary / LPM / range / wildcard entries** are pre-sorted by
+//!   `(priority desc, installation order asc)` into a scan-ready array, so
+//!   the first hit *is* the winner;
+//! * **keyless tables** resolve their winning action at compile time;
+//! * every action's primitives and stateful calls are flattened into
+//!   contiguous **op tapes** shared across the whole program, with
+//!   pre-resolved register-array bindings;
+//! * the per-pass `touched` bookkeeping and hash key buffer live in the
+//!   engine and are reused across packets.
+//!
+//! Match semantics are bit-for-bit those of the interpreter (highest
+//! priority wins, ties to the earliest installed entry, default action on
+//! miss), as is the execution order (tables in stage order, primitives
+//! before stateful calls, the dynamic RAW check before each register
+//! access) — property-tested over random programs and differentially tested
+//! against the interpreter by the FPISA pipeline suite.
+
+use crate::action::{AluOp, Operand, Primitive};
+use crate::phv::{FieldId, Phv, PhvLayout};
+use crate::register::{CmpOp, RegArrayId, RegisterArray, SaluCond, SaluOutput, SaluUpdate};
+use crate::switch::{ProgramError, RuntimeError, Switch, SwitchProgram};
+use crate::table::{KeyMatch, Table};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Largest total key width (in bits) lowered to a dense direct-index
+/// array: 2^16 slots of 4 bytes = 256 KiB per table, at most.
+const DENSE_MAX_BITS: u32 = 16;
+
+/// Sentinel in dense tables: no entry installed for this key value.
+const MISS: u32 = u32::MAX;
+
+/// A minimal Fx-style hasher for the match-key maps: one multiply-xor per
+/// `u64`, instead of SipHash's per-lookup setup. Match keys are
+/// attacker-free simulator state, so DoS hardening buys nothing here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let x = (self.0 ^ v).wrapping_mul(0xa076_1d64_78bd_642f);
+        self.0 = x ^ (x >> 32);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type KeyMap<K> = HashMap<K, Cand, BuildHasherDefault<KeyHasher>>;
+
+/// A candidate winner: enough to run the interpreter's tie-break
+/// (`priority` desc, then `install` asc) against another candidate.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    priority: u32,
+    install: u32,
+    /// Index into the global action table.
+    action: u32,
+}
+
+impl Cand {
+    /// Whether this candidate beats `other` under the interpreter's rule:
+    /// strictly higher priority, or same priority but installed earlier.
+    #[inline]
+    fn beats(&self, other: &Cand) -> bool {
+        self.priority > other.priority
+            || (self.priority == other.priority && self.install < other.install)
+    }
+}
+
+/// One pre-sorted non-exact entry: patterns aligned with the table's key
+/// fields.
+#[derive(Debug, Clone)]
+struct ScanEntry {
+    cand: Cand,
+    pats: Box<[KeyMatch]>,
+}
+
+/// One match-gate check: `vals[field] & mask == val` must hold for any
+/// entry of the table to be able to match.
+#[derive(Debug, Clone, Copy)]
+struct GateCheck {
+    field: u32,
+    mask: u64,
+    val: u64,
+}
+
+/// How a compiled table resolves a PHV to a candidate action.
+#[derive(Debug, Clone)]
+enum Matcher {
+    /// Keyless table: the winner (if any entry is installed) is a
+    /// compile-time constant.
+    Const(Option<u32>),
+    /// Single-`u64`-indexable exact table: `slots[packed key]`.
+    Dense(Box<[u32]>),
+    /// Exact table whose packed keys are too wide to enumerate but are
+    /// *injective in their low `mask` bits*: a direct-index load on the
+    /// prefix, verified against the stored full key — a perfect hash with
+    /// no hashing.
+    DenseKeyed {
+        mask: u64,
+        /// `(full packed key, action)`, [`MISS`] action = empty slot.
+        slots: Box<[(u64, u32)]>,
+    },
+    /// Exact entries whose packed key fits one `u64`, plus (optionally)
+    /// non-exact entries to scan.
+    PackedHash {
+        map: KeyMap<u64>,
+        scan: Box<[ScanEntry]>,
+    },
+    /// Exact entries over a key tuple wider than 64 bits.
+    WideHash {
+        map: KeyMap<Box<[u64]>>,
+        scan: Box<[ScanEntry]>,
+    },
+    /// No exact entries at all: just the pre-sorted scan.
+    Scan(Box<[ScanEntry]>),
+}
+
+/// One lowered table: key fields (with pre-computed packing shifts), the
+/// match gate, the matcher, and the default action.
+#[derive(Debug, Clone)]
+struct CompiledTable {
+    /// PHV indices of the key fields.
+    key_fields: Box<[u16]>,
+    /// Left-shift of each key field inside the packed `u64` key (valid
+    /// when the total key width ≤ 64).
+    key_shifts: Box<[u32]>,
+    /// The match gate: per key field, the bits **every** installed entry
+    /// requires exactly (computed at compile time by intersecting the
+    /// entries' exact/ternary constraints; fields nothing is pinned on are
+    /// absent). A packet failing `vals[field] & mask == val` on any check
+    /// cannot match any entry and short-circuits to the default without
+    /// touching the matcher — this is what makes op-dispatched programs
+    /// cheap, where most tables only ever match one opcode.
+    gate: Box<[GateCheck]>,
+    matcher: Matcher,
+    /// Index into the global action table run on a miss.
+    default_action: Option<u32>,
+}
+
+impl CompiledTable {
+    /// The key tuple packed into one `u64` (total key width ≤ 64 bits).
+    #[inline]
+    fn packed_key(&self, vals: &[u64]) -> u64 {
+        let mut key = 0u64;
+        for (&f, &s) in self.key_fields.iter().zip(self.key_shifts.iter()) {
+            key |= vals[f as usize] << s;
+        }
+        key
+    }
+
+    /// First (= best, thanks to the pre-sort) matching scan entry.
+    #[inline]
+    fn scan_hit<'a>(&self, scan: &'a [ScanEntry], vals: &[u64]) -> Option<&'a Cand> {
+        scan.iter()
+            .find(|e| {
+                e.pats
+                    .iter()
+                    .zip(self.key_fields.iter())
+                    .all(|(pat, &f)| pat.matches(vals[f as usize]))
+            })
+            .map(|e| &e.cand)
+    }
+
+    /// The interpreter's `Table::lookup`, against the lowered form.
+    #[inline]
+    fn lookup(&self, vals: &[u64], keybuf: &mut Vec<u64>) -> Option<u32> {
+        for g in self.gate.iter() {
+            if vals[g.field as usize] & g.mask != g.val {
+                return self.default_action;
+            }
+        }
+        let hit = match &self.matcher {
+            Matcher::Const(a) => *a,
+            Matcher::Dense(slots) => {
+                // The packed key is `< slots.len()` by construction: every
+                // component is masked to its field width and the widths sum
+                // to `slots.len().ilog2()`.
+                let a = slots[self.packed_key(vals) as usize];
+                (a != MISS).then_some(a)
+            }
+            Matcher::DenseKeyed { mask, slots } => {
+                let key = self.packed_key(vals);
+                let (k, a) = slots[(key & mask) as usize];
+                (a != MISS && k == key).then_some(a)
+            }
+            Matcher::PackedHash { map, scan } => {
+                let exact = map.get(&self.packed_key(vals));
+                match (exact, self.scan_hit(scan, vals)) {
+                    (None, None) => None,
+                    (Some(c), None) | (None, Some(c)) => Some(c.action),
+                    (Some(e), Some(s)) => Some(if s.beats(e) { s.action } else { e.action }),
+                }
+            }
+            Matcher::WideHash { map, scan } => {
+                keybuf.clear();
+                keybuf.extend(self.key_fields.iter().map(|&f| vals[f as usize]));
+                let exact = map.get(keybuf.as_slice());
+                match (exact, self.scan_hit(scan, vals)) {
+                    (None, None) => None,
+                    (Some(c), None) | (None, Some(c)) => Some(c.action),
+                    (Some(e), Some(s)) => Some(if s.beats(e) { s.action } else { e.action }),
+                }
+            }
+            Matcher::Scan(scan) => self.scan_hit(scan, vals).map(|c| c.action),
+        };
+        hit.or(self.default_action)
+    }
+}
+
+/// One lowered action: ranges into the shared primitive and stateful op
+/// tapes.
+#[derive(Debug, Clone, Copy)]
+struct CompiledAction {
+    prims: (u32, u32),
+    stateful: (u32, u32),
+}
+
+/// A pre-resolved operand: the PHV value offset plus the sign-extension
+/// shift (64 − field width), so evaluation is pure slice arithmetic.
+#[derive(Debug, Clone, Copy)]
+enum CompiledOperand {
+    Field {
+        idx: u32,
+        /// `64 - width`: shifting left then arithmetically right by this
+        /// sign-extends the container value.
+        sx: u32,
+    },
+    Const(i64),
+}
+
+impl CompiledOperand {
+    #[inline]
+    fn raw(&self, vals: &[u64]) -> u64 {
+        match *self {
+            CompiledOperand::Field { idx, .. } => vals[idx as usize],
+            CompiledOperand::Const(c) => c as u64,
+        }
+    }
+
+    #[inline]
+    fn signed(&self, vals: &[u64]) -> i64 {
+        match *self {
+            CompiledOperand::Field { idx, sx } => ((vals[idx as usize] << sx) as i64) >> sx,
+            CompiledOperand::Const(c) => c,
+        }
+    }
+}
+
+/// One op-tape entry: [`Primitive`] with the destination offset/mask and
+/// both operands pre-resolved, executing on the raw PHV value slice.
+#[derive(Debug, Clone, Copy)]
+struct CompiledPrim {
+    dst: u32,
+    dst_mask: u64,
+    op: AluOp,
+    a: CompiledOperand,
+    b: CompiledOperand,
+}
+
+impl CompiledPrim {
+    /// Mirror of [`Primitive::execute`] over pre-resolved offsets.
+    #[inline]
+    fn execute(&self, vals: &mut [u64]) {
+        let out: u64 = match self.op {
+            AluOp::Set => self.a.raw(vals),
+            AluOp::Add => self.a.raw(vals).wrapping_add(self.b.raw(vals)),
+            AluOp::Sub => self.a.raw(vals).wrapping_sub(self.b.raw(vals)),
+            AluOp::And => self.a.raw(vals) & self.b.raw(vals),
+            AluOp::Or => self.a.raw(vals) | self.b.raw(vals),
+            AluOp::Xor => self.a.raw(vals) ^ self.b.raw(vals),
+            AluOp::Shl => {
+                let d = self.b.raw(vals);
+                if d >= 64 {
+                    0
+                } else {
+                    self.a.raw(vals) << d
+                }
+            }
+            AluOp::ShrLogic => {
+                let d = self.b.raw(vals);
+                if d >= 64 {
+                    0
+                } else {
+                    self.a.raw(vals) >> d
+                }
+            }
+            AluOp::ShrArith => {
+                let d = self.b.raw(vals).min(63);
+                (self.a.signed(vals) >> d) as u64
+            }
+            AluOp::CmpEq => (self.a.raw(vals) == self.b.raw(vals)) as u64,
+            AluOp::CmpNe => (self.a.raw(vals) != self.b.raw(vals)) as u64,
+            AluOp::CmpLt => (self.a.signed(vals) < self.b.signed(vals)) as u64,
+            AluOp::CmpLe => (self.a.signed(vals) <= self.b.signed(vals)) as u64,
+            AluOp::CmpGt => (self.a.signed(vals) > self.b.signed(vals)) as u64,
+            AluOp::CmpGe => (self.a.signed(vals) >= self.b.signed(vals)) as u64,
+        };
+        vals[self.dst as usize] = out & self.dst_mask;
+    }
+}
+
+/// A lowered SALU condition: [`SaluCond`] with every operand pre-resolved.
+#[derive(Debug, Clone)]
+enum CompiledCond {
+    Always,
+    MetaNonZero(u32),
+    RegCmp { cmp: CmpOp, rhs: CompiledOperand },
+    Or(Box<(CompiledCond, CompiledCond)>),
+    And(Box<(CompiledCond, CompiledCond)>),
+}
+
+impl CompiledCond {
+    fn lower(cond: &SaluCond, layout: &PhvLayout) -> Self {
+        match cond {
+            SaluCond::Always => CompiledCond::Always,
+            SaluCond::MetaNonZero(f) => CompiledCond::MetaNonZero(u32::from(f.0)),
+            SaluCond::RegCmp { cmp, rhs } => CompiledCond::RegCmp {
+                cmp: *cmp,
+                rhs: lower_operand(*rhs, layout),
+            },
+            SaluCond::Or(a, b) => {
+                CompiledCond::Or(Box::new((Self::lower(a, layout), Self::lower(b, layout))))
+            }
+            SaluCond::And(a, b) => {
+                CompiledCond::And(Box::new((Self::lower(a, layout), Self::lower(b, layout))))
+            }
+        }
+    }
+
+    #[inline]
+    fn eval(&self, stored: i64, vals: &[u64]) -> bool {
+        match self {
+            CompiledCond::Always => true,
+            CompiledCond::MetaNonZero(f) => vals[*f as usize] != 0,
+            CompiledCond::RegCmp { cmp, rhs } => {
+                let rhs = rhs.signed(vals);
+                match cmp {
+                    CmpOp::Eq => stored == rhs,
+                    CmpOp::Ne => stored != rhs,
+                    CmpOp::Lt => stored < rhs,
+                    CmpOp::Le => stored <= rhs,
+                    CmpOp::Gt => stored > rhs,
+                    CmpOp::Ge => stored >= rhs,
+                }
+            }
+            CompiledCond::Or(p) => p.0.eval(stored, vals) || p.1.eval(stored, vals),
+            CompiledCond::And(p) => p.0.eval(stored, vals) && p.1.eval(stored, vals),
+        }
+    }
+}
+
+/// A lowered SALU update: [`SaluUpdate`] with pre-resolved operands,
+/// applied against the flat register file with precomputed width bounds.
+#[derive(Debug, Clone, Copy)]
+enum CompiledUpdate {
+    Keep,
+    Write(CompiledOperand),
+    AddSat(CompiledOperand),
+    AddWrap(CompiledOperand),
+    ShiftRightAddSat {
+        shift: CompiledOperand,
+        addend: CompiledOperand,
+    },
+    MaxSigned(CompiledOperand),
+    MinSigned(CompiledOperand),
+}
+
+impl CompiledUpdate {
+    fn lower(update: &SaluUpdate, layout: &PhvLayout) -> Self {
+        match update {
+            SaluUpdate::Keep => CompiledUpdate::Keep,
+            SaluUpdate::Write(op) => CompiledUpdate::Write(lower_operand(*op, layout)),
+            SaluUpdate::AddSat(op) => CompiledUpdate::AddSat(lower_operand(*op, layout)),
+            SaluUpdate::AddWrap(op) => CompiledUpdate::AddWrap(lower_operand(*op, layout)),
+            SaluUpdate::ShiftRightAddSat { shift, addend } => CompiledUpdate::ShiftRightAddSat {
+                shift: lower_operand(*shift, layout),
+                addend: lower_operand(*addend, layout),
+            },
+            SaluUpdate::MaxSigned(op) => CompiledUpdate::MaxSigned(lower_operand(*op, layout)),
+            SaluUpdate::MinSigned(op) => CompiledUpdate::MinSigned(lower_operand(*op, layout)),
+        }
+    }
+
+    /// Mirror of [`SaluUpdate::apply`] over the lowered form.
+    #[inline]
+    fn apply(&self, stored: i64, meta: &ArrayMeta, vals: &[u64]) -> i64 {
+        match *self {
+            CompiledUpdate::Keep => stored,
+            CompiledUpdate::Write(op) => crate::register::truncate(op.signed(vals), meta.width),
+            CompiledUpdate::AddSat(op) => crate::register::saturating(
+                stored as i128 + op.signed(vals) as i128,
+                meta.min,
+                meta.max,
+            ),
+            CompiledUpdate::AddWrap(op) => {
+                crate::register::truncate(stored.wrapping_add(op.signed(vals)), meta.width)
+            }
+            CompiledUpdate::ShiftRightAddSat { shift, addend } => {
+                let d = shift.raw(vals).min(63) as u32;
+                let shifted = stored >> d;
+                crate::register::saturating(
+                    shifted as i128 + addend.signed(vals) as i128,
+                    meta.min,
+                    meta.max,
+                )
+            }
+            CompiledUpdate::MaxSigned(op) => {
+                stored.max(crate::register::truncate(op.signed(vals), meta.width))
+            }
+            CompiledUpdate::MinSigned(op) => {
+                stored.min(crate::register::truncate(op.signed(vals), meta.width))
+            }
+        }
+    }
+}
+
+/// A lowered stateful call: pre-resolved array binding, index, condition,
+/// updates and output.
+#[derive(Debug, Clone)]
+struct CompiledStateful {
+    array: u32,
+    index: CompiledOperand,
+    cond: CompiledCond,
+    on_true: CompiledUpdate,
+    on_false: CompiledUpdate,
+    /// `(PHV value offset, output mask, which value)`.
+    output: Option<(u32, u64, SaluOutput)>,
+}
+
+/// One register array's slice of the flat register file, with the width
+/// bounds pre-computed.
+#[derive(Debug, Clone)]
+struct ArrayMeta {
+    offset: usize,
+    entries: usize,
+    width: u32,
+    min: i64,
+    max: i64,
+    /// For runtime error messages only.
+    name: String,
+}
+
+/// A running compiled switch: the lowered program plus register state.
+///
+/// Compiled from a validated [`SwitchProgram`] by
+/// [`CompiledSwitch::compile`] (or [`Switch::compiled`], which also copies
+/// the interpreter's current register state). Executes packets bit-for-bit
+/// identically to [`Switch::run`], several times faster, with zero
+/// per-packet allocation; [`CompiledSwitch::run_batch`] amortizes the call
+/// overhead over a PHV buffer.
+#[derive(Debug, Clone)]
+pub struct CompiledSwitch {
+    layout: PhvLayout,
+    recirc_field: Option<FieldId>,
+    recirc_limit: u32,
+    /// Tables flattened across stages, in execution order.
+    tables: Box<[CompiledTable]>,
+    actions: Box<[CompiledAction]>,
+    /// The contiguous primitive op tape.
+    prims: Box<[CompiledPrim]>,
+    /// The contiguous stateful op tape.
+    stateful: Box<[CompiledStateful]>,
+    /// The flat register file: every array's entries, back to back.
+    regs: Vec<i64>,
+    /// Per-array slice bounds and width metadata.
+    array_meta: Box<[ArrayMeta]>,
+    /// Per-pass RAW bookkeeping, reused across packets.
+    touched: Vec<bool>,
+    /// Wide hash key scratch, reused across lookups.
+    keybuf: Vec<u64>,
+}
+
+impl CompiledSwitch {
+    /// Validate a program and lower it, with zeroed registers.
+    pub fn compile(program: &SwitchProgram) -> Result<Self, ProgramError> {
+        program.validate()?;
+        let mut tables = Vec::new();
+        let mut actions = Vec::new();
+        let mut prims = Vec::new();
+        let mut stateful = Vec::new();
+        for stage in &program.stages {
+            for table in &stage.tables {
+                let base = actions.len() as u32;
+                for action in &table.actions {
+                    let p0 = prims.len() as u32;
+                    prims.extend(
+                        action
+                            .primitives
+                            .iter()
+                            .map(|p| lower_prim(p, &program.layout)),
+                    );
+                    let s0 = stateful.len() as u32;
+                    stateful.extend(action.stateful.iter().map(|call| CompiledStateful {
+                        array: u32::from(call.array.0),
+                        index: lower_operand(call.index, &program.layout),
+                        cond: CompiledCond::lower(&call.cond, &program.layout),
+                        on_true: CompiledUpdate::lower(&call.on_true, &program.layout),
+                        on_false: CompiledUpdate::lower(&call.on_false, &program.layout),
+                        output: call.output.map(|(f, out)| {
+                            (
+                                u32::from(f.0),
+                                PhvLayout::mask(program.layout.spec(f).bits),
+                                out,
+                            )
+                        }),
+                    }));
+                    actions.push(CompiledAction {
+                        prims: (p0, prims.len() as u32),
+                        stateful: (s0, stateful.len() as u32),
+                    });
+                }
+                tables.push(compile_table(table, base, &program.layout));
+            }
+        }
+        let mut array_meta = Vec::with_capacity(program.arrays.len());
+        let mut total_entries = 0usize;
+        for spec in &program.arrays {
+            let (min, max) = crate::register::width_bounds(spec.width_bits);
+            array_meta.push(ArrayMeta {
+                offset: total_entries,
+                entries: spec.entries,
+                width: spec.width_bits,
+                min,
+                max,
+                name: spec.name.clone(),
+            });
+            total_entries += spec.entries;
+        }
+        let touched = vec![false; array_meta.len()];
+        Ok(CompiledSwitch {
+            layout: program.layout.clone(),
+            recirc_field: program.recirc_field,
+            recirc_limit: program.caps.recirc_limit,
+            tables: tables.into_boxed_slice(),
+            actions: actions.into_boxed_slice(),
+            prims: prims.into_boxed_slice(),
+            stateful: stateful.into_boxed_slice(),
+            regs: vec![0; total_entries],
+            array_meta: array_meta.into_boxed_slice(),
+            touched,
+            keybuf: Vec::new(),
+        })
+    }
+
+    /// The PHV layout of the compiled program.
+    pub fn layout(&self) -> &PhvLayout {
+        &self.layout
+    }
+
+    /// A fresh PHV for the compiled program's layout.
+    pub fn phv(&self) -> Phv {
+        Phv::new(&self.layout)
+    }
+
+    /// Control-plane read of a register entry.
+    pub fn register(&self, id: RegArrayId, index: usize) -> i64 {
+        let meta = &self.array_meta[id.0 as usize];
+        assert!(index < meta.entries, "index out of range");
+        self.regs[meta.offset + index]
+    }
+
+    /// Control-plane write of a register entry.
+    pub fn set_register(&mut self, id: RegArrayId, index: usize, value: i64) {
+        let meta = &self.array_meta[id.0 as usize];
+        assert!(index < meta.entries, "index out of range");
+        self.regs[meta.offset + index] = crate::register::truncate(value, meta.width);
+    }
+
+    /// Copy register state from another engine's arrays (same program).
+    pub(crate) fn copy_registers_from(&mut self, arrays: &[RegisterArray]) {
+        assert_eq!(self.array_meta.len(), arrays.len(), "program mismatch");
+        for (meta, src) in self.array_meta.iter().zip(arrays) {
+            for i in 0..src.spec().entries {
+                self.regs[meta.offset + i] = src.get(i);
+            }
+        }
+    }
+
+    /// Process one packet, exactly as [`Switch::run`] would — same table
+    /// order, same RAW enforcement, same recirculation semantics, same
+    /// errors — via the pre-resolved dispatch structures.
+    pub fn run(&mut self, phv: &mut Phv) -> Result<u32, RuntimeError> {
+        let CompiledSwitch {
+            tables,
+            actions,
+            prims,
+            stateful,
+            regs,
+            array_meta,
+            touched,
+            keybuf,
+            recirc_field,
+            recirc_limit,
+            ..
+        } = self;
+        let limit = (*recirc_limit).max(1);
+        let recirc_idx = recirc_field.map(|rf| rf.0 as usize);
+        let vals = phv.values_mut();
+        let mut passes = 0u32;
+        loop {
+            let pass = passes;
+            if pass >= limit {
+                return Err(RuntimeError::RecircLimit { limit });
+            }
+            if let Some(rf) = recirc_idx {
+                vals[rf] = 0;
+            }
+            touched.fill(false);
+            for t in tables.iter() {
+                let Some(ai) = t.lookup(vals, keybuf) else {
+                    continue;
+                };
+                let action = actions[ai as usize];
+                for p in &prims[action.prims.0 as usize..action.prims.1 as usize] {
+                    p.execute(vals);
+                }
+                for cs in &stateful[action.stateful.0 as usize..action.stateful.1 as usize] {
+                    let a = cs.array as usize;
+                    if touched[a] {
+                        return Err(RuntimeError::RawViolation {
+                            array: array_meta[a].name.clone(),
+                            pass,
+                        });
+                    }
+                    touched[a] = true;
+                    let meta = &array_meta[a];
+                    let idx = cs.index.raw(vals) as usize;
+                    if idx >= meta.entries {
+                        return Err(RuntimeError::IndexOutOfRange {
+                            detail: format!(
+                                "index {idx} out of range for register array `{}` ({} entries)",
+                                meta.name, meta.entries
+                            ),
+                        });
+                    }
+                    let slot = meta.offset + idx;
+                    let old = regs[slot];
+                    let taken = cs.cond.eval(old, vals);
+                    let update = if taken { &cs.on_true } else { &cs.on_false };
+                    let new = update.apply(old, meta, vals);
+                    regs[slot] = new;
+                    if let Some((dst, mask, out)) = cs.output {
+                        let v = match out {
+                            SaluOutput::Old => old as u64,
+                            SaluOutput::New => new as u64,
+                            SaluOutput::Predicate => u64::from(taken),
+                        };
+                        vals[dst as usize] = v & mask;
+                    }
+                }
+            }
+            passes += 1;
+            let again = recirc_idx.map(|rf| vals[rf] != 0).unwrap_or(false);
+            if !again {
+                return Ok(passes);
+            }
+        }
+    }
+
+    /// Process a buffer of packets back to back, returning the total pass
+    /// count. Stops at the first faulting packet (packets before it have
+    /// been applied; the faulting PHV is left as the fault found it).
+    pub fn run_batch(&mut self, phvs: &mut [Phv]) -> Result<u64, RuntimeError> {
+        let mut total = 0u64;
+        for phv in phvs {
+            total += u64::from(self.run(phv)?);
+        }
+        Ok(total)
+    }
+}
+
+impl Switch {
+    /// Lower this switch's program into a [`CompiledSwitch`], copying the
+    /// current register state, so execution can continue on the fast path
+    /// mid-stream.
+    pub fn compiled(&self) -> CompiledSwitch {
+        let mut c = CompiledSwitch::compile(self.program()).expect("program was validated");
+        c.copy_registers_from(self.arrays());
+        c
+    }
+}
+
+/// Pre-resolve one operand against the layout.
+fn lower_operand(op: Operand, layout: &PhvLayout) -> CompiledOperand {
+    match op {
+        Operand::Field(f) => CompiledOperand::Field {
+            idx: u32::from(f.0),
+            sx: 64 - layout.spec(f).bits,
+        },
+        Operand::Const(c) => CompiledOperand::Const(c),
+    }
+}
+
+/// Pre-resolve one primitive: destination offset + mask, operand offsets +
+/// sign-extension shifts.
+fn lower_prim(p: &Primitive, layout: &PhvLayout) -> CompiledPrim {
+    CompiledPrim {
+        dst: u32::from(p.dst.0),
+        dst_mask: PhvLayout::mask(layout.spec(p.dst).bits),
+        op: p.op,
+        a: lower_operand(p.a, layout),
+        b: lower_operand(p.b, layout),
+    }
+}
+
+/// Lower one table. `action_base` is the global index of the table's first
+/// action.
+fn compile_table(table: &Table, action_base: u32, layout: &PhvLayout) -> CompiledTable {
+    let key_fields: Box<[u16]> = table.keys.iter().map(|(f, _)| f.0).collect();
+    let widths: Vec<u32> = table
+        .keys
+        .iter()
+        .map(|(f, _)| layout.spec(*f).bits)
+        .collect();
+    // Packing shifts for a single-u64 key, lowest field first.
+    let total_bits: u32 = widths.iter().sum();
+    let mut key_shifts = Vec::with_capacity(widths.len());
+    let mut acc = 0u32;
+    for w in &widths {
+        key_shifts.push(acc);
+        acc += w;
+    }
+    let default_action = table.default_action.map(|d| action_base + d as u32);
+
+    // Split entries: all-exact tuples vs. everything else (any pattern
+    // that is Ternary/Range/Any). Entries with an exact value that cannot
+    // fit its field width can never match a (masked) PHV value — drop
+    // them, exactly as the interpreter's scan never selects them.
+    let mut exact: Vec<(Vec<u64>, Cand)> = Vec::new();
+    let mut scan: Vec<ScanEntry> = Vec::new();
+    // The match gate: per key field, intersect across all live entries the
+    // bits each entry constrains to an exact value (exact patterns pin
+    // their whole field, ternary patterns their mask). `None` until the
+    // first live entry.
+    let mut gate: Option<Vec<(u64, u64)>> = None;
+    'entries: for (install, e) in table.entries.iter().enumerate() {
+        let cand = Cand {
+            priority: e.priority,
+            install: install as u32,
+            action: action_base + e.action as u32,
+        };
+        let mut all_exact = true;
+        // This entry's per-field pinned bits.
+        let mut pins: Vec<(u64, u64)> = Vec::with_capacity(e.key.len());
+        for (pat, w) in e.key.iter().zip(widths.iter()) {
+            let fmask = PhvLayout::mask(*w);
+            match pat {
+                KeyMatch::Exact(v) => {
+                    if *v & !fmask != 0 {
+                        continue 'entries; // unmatchable: value exceeds field width
+                    }
+                    pins.push((fmask, *v));
+                }
+                KeyMatch::Ternary { value, mask } => {
+                    all_exact = false;
+                    pins.push((mask & fmask, value & mask & fmask));
+                }
+                KeyMatch::Range { .. } | KeyMatch::Any => {
+                    all_exact = false;
+                    pins.push((0, 0));
+                }
+            }
+        }
+        gate = Some(match gate {
+            None => pins,
+            Some(acc) => acc
+                .iter()
+                .zip(&pins)
+                .map(|(&(gm, gv), &(em, ev))| {
+                    // Keep only bits both pin, to agreeing values.
+                    let m = gm & em & !(gv ^ ev);
+                    (m, gv & m)
+                })
+                .collect(),
+        });
+        if all_exact {
+            exact.push((
+                e.key
+                    .iter()
+                    .map(|pat| match pat {
+                        KeyMatch::Exact(v) => *v,
+                        _ => unreachable!("all_exact checked"),
+                    })
+                    .collect(),
+                cand,
+            ));
+        } else {
+            scan.push(ScanEntry {
+                cand,
+                pats: e.key.clone().into_boxed_slice(),
+            });
+        }
+    }
+    let gate: Box<[GateCheck]> = gate
+        .unwrap_or_default()
+        .into_iter()
+        .zip(key_fields.iter())
+        .filter(|((m, _), _)| *m != 0)
+        .map(|((mask, val), &field)| GateCheck {
+            field: u32::from(field),
+            mask,
+            val,
+        })
+        .collect();
+    // Pre-sort the scan so the first match is the interpreter's winner.
+    scan.sort_by(|a, b| {
+        b.cand
+            .priority
+            .cmp(&a.cand.priority)
+            .then(a.cand.install.cmp(&b.cand.install))
+    });
+    let scan = scan.into_boxed_slice();
+
+    let matcher = if key_fields.is_empty() {
+        // Keyless: every entry matches every packet; resolve now.
+        let mut best: Option<Cand> = None;
+        for (_, cand) in exact {
+            // (scan is empty: zero-arity keys have all-exact — vacuous —
+            // tuples.)
+            if best.is_none_or(|b| cand.beats(&b)) {
+                best = Some(cand);
+            }
+        }
+        Matcher::Const(best.map(|c| c.action))
+    } else if exact.is_empty() {
+        Matcher::Scan(scan)
+    } else if total_bits <= DENSE_MAX_BITS && scan.is_empty() {
+        let mut slots: Vec<u32> = vec![MISS; 1usize << total_bits];
+        let mut winners: Vec<Option<Cand>> = vec![None; slots.len()];
+        for (tuple, cand) in exact {
+            let key = tuple
+                .iter()
+                .zip(key_shifts.iter())
+                .fold(0u64, |k, (v, s)| k | (v << s)) as usize;
+            if winners[key].is_none_or(|w| cand.beats(&w)) {
+                winners[key] = Some(cand);
+                slots[key] = cand.action;
+            }
+        }
+        Matcher::Dense(slots.into_boxed_slice())
+    } else if total_bits <= 64 {
+        let mut packed: Vec<(u64, Cand)> = Vec::with_capacity(exact.len());
+        for (tuple, cand) in exact {
+            let key = tuple
+                .iter()
+                .zip(key_shifts.iter())
+                .fold(0u64, |k, (v, s)| k | (v << s));
+            // Resolve duplicate keys to their winner at compile time.
+            match packed.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, cur)) => {
+                    if cand.beats(cur) {
+                        *cur = cand;
+                    }
+                }
+                None => packed.push((key, cand)),
+            }
+        }
+        match injective_prefix_bits(&packed, DENSE_MAX_BITS) {
+            Some(w) if scan.is_empty() => {
+                let mask = (1u64 << w) - 1;
+                let mut slots: Vec<(u64, u32)> = vec![(0, MISS); 1usize << w];
+                for (key, cand) in packed {
+                    slots[(key & mask) as usize] = (key, cand.action);
+                }
+                Matcher::DenseKeyed {
+                    mask,
+                    slots: slots.into_boxed_slice(),
+                }
+            }
+            _ => {
+                let mut map: KeyMap<u64> = KeyMap::default();
+                for (key, cand) in packed {
+                    map.insert(key, cand);
+                }
+                Matcher::PackedHash { map, scan }
+            }
+        }
+    } else {
+        let mut map: KeyMap<Box<[u64]>> = KeyMap::default();
+        for (tuple, cand) in exact {
+            insert_best(&mut map, tuple.into_boxed_slice(), cand);
+        }
+        Matcher::WideHash { map, scan }
+    };
+
+    // Const resolution and dense loads are already as cheap as the gate;
+    // keep gates only where they skip real matching work.
+    let gate = match &matcher {
+        Matcher::Const(_) | Matcher::Dense(_) => Box::default(),
+        _ => gate,
+    };
+
+    CompiledTable {
+        key_fields,
+        key_shifts: key_shifts.into_boxed_slice(),
+        gate,
+        matcher,
+        default_action,
+    }
+}
+
+/// Smallest low-bit prefix width (≤ `max_bits`) under which the packed
+/// keys are pairwise distinct, making a verify-on-load direct index
+/// possible. Duplicate keys were already resolved to one winner.
+fn injective_prefix_bits(packed: &[(u64, Cand)], max_bits: u32) -> Option<u32> {
+    let floor = packed.len().next_power_of_two().trailing_zeros().max(1);
+    'widths: for w in floor..=max_bits {
+        let mask = (1u64 << w) - 1;
+        let mut seen = std::collections::HashSet::with_capacity(packed.len());
+        for (key, _) in packed {
+            if !seen.insert(key & mask) {
+                continue 'widths;
+            }
+        }
+        return Some(w);
+    }
+    None
+}
+
+/// Keep the winning candidate per key (duplicate exact entries resolve at
+/// compile time, not per packet).
+fn insert_best<K: std::hash::Hash + Eq>(map: &mut KeyMap<K>, key: K, cand: Cand) {
+    map.entry(key)
+        .and_modify(|cur| {
+            if cand.beats(cur) {
+                *cur = cand;
+            }
+        })
+        .or_insert(cand);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, AluOp, Operand};
+    use crate::register::{RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, StatefulCall};
+    use crate::stage::Stage;
+    use crate::switch::SwitchCaps;
+    use crate::table::MatchKind;
+
+    fn set_const(out: FieldId, v: i64) -> Action {
+        Action::nop(format!("set{v}")).prim(out, AluOp::Set, Operand::Const(v), Operand::Const(0))
+    }
+
+    /// Run the same PHV through interpreter and compiled engine, assert
+    /// identical results, return the compiled PHV.
+    fn run_both(program: &SwitchProgram, init: impl Fn(&mut Phv)) -> Phv {
+        let mut sw = Switch::new(program.clone()).unwrap();
+        let mut cs = CompiledSwitch::compile(program).unwrap();
+        let mut pi = sw.phv();
+        init(&mut pi);
+        let mut pc = pi.clone();
+        let ri = sw.run(&mut pi);
+        let rc = cs.run(&mut pc);
+        assert_eq!(ri, rc, "pass counts / errors diverged");
+        assert_eq!(pi, pc, "PHV diverged");
+        for (id, spec) in program
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RegArrayId(i as u16), s))
+        {
+            for idx in 0..spec.entries {
+                assert_eq!(
+                    sw.register(id, idx),
+                    cs.register(id, idx),
+                    "register {}[{idx}] diverged",
+                    spec.name
+                );
+            }
+        }
+        pc
+    }
+
+    #[test]
+    fn dense_lowering_matches_interpreter_including_priorities() {
+        let mut l = PhvLayout::new();
+        let k = l.field("k", 8);
+        let out = l.field("out", 8);
+        // Duplicate keys with different priorities and a default.
+        let t = Table::keyed(
+            "t",
+            vec![(k, MatchKind::Exact)],
+            vec![set_const(out, 1), set_const(out, 2), set_const(out, 9)],
+            Some(2),
+        )
+        .entry(vec![KeyMatch::Exact(5)], 1, 0)
+        .entry(vec![KeyMatch::Exact(5)], 2, 1) // higher priority wins
+        .entry(vec![KeyMatch::Exact(7)], 0, 0)
+        .entry(vec![KeyMatch::Exact(7)], 0, 1); // tie: earlier install wins
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(t)],
+            arrays: vec![],
+            recirc_field: None,
+        };
+        let cs = CompiledSwitch::compile(&program).unwrap();
+        assert!(
+            matches!(cs.tables[0].matcher, Matcher::Dense(_)),
+            "single 8-bit exact key must lower to a dense table"
+        );
+        for key in [5u64, 7, 0, 255] {
+            let p = run_both(&program, |p| p.set(k, key));
+            let expect = match key {
+                5 => 2,
+                7 => 1,
+                _ => 9,
+            };
+            assert_eq!(p.get(out), expect, "key {key}");
+        }
+    }
+
+    #[test]
+    fn packed_hash_lowering_for_wide_exact_keys_with_wildcards() {
+        let mut l = PhvLayout::new();
+        let a = l.field("a", 32);
+        let b = l.field("b", 2);
+        let out = l.field("out", 8);
+        // 34-bit key: too wide for dense, fits a packed u64. The Any
+        // entry forces a scan half next to the hash half.
+        let t = Table::keyed(
+            "t",
+            vec![(a, MatchKind::Exact), (b, MatchKind::Exact)],
+            vec![set_const(out, 1), set_const(out, 2), set_const(out, 3)],
+            None,
+        )
+        .entry(vec![KeyMatch::Exact(0xDEAD_BEEF), KeyMatch::Exact(3)], 1, 0)
+        .entry(vec![KeyMatch::Exact(0xDEAD_BEEF), KeyMatch::Any], 2, 1)
+        .entry(vec![KeyMatch::Any, KeyMatch::Exact(1)], 0, 2);
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(t)],
+            arrays: vec![],
+            recirc_field: None,
+        };
+        let cs = CompiledSwitch::compile(&program).unwrap();
+        assert!(matches!(cs.tables[0].matcher, Matcher::PackedHash { .. }));
+        for (av, bv, expect) in [
+            (0xDEAD_BEEFu64, 3u64, 2u64), // wildcard entry outranks the exact one
+            (0xDEAD_BEEF, 0, 2),
+            (0x1234, 1, 3),
+            (0x1234, 0, 0), // miss, no default
+        ] {
+            let p = run_both(&program, |p| {
+                p.set(a, av);
+                p.set(b, bv);
+            });
+            assert_eq!(p.get(out), expect, "({av:#x}, {bv})");
+        }
+    }
+
+    #[test]
+    fn unmatchable_exact_values_are_dropped_not_misindexed() {
+        let mut l = PhvLayout::new();
+        let k = l.field("k", 4);
+        let out = l.field("out", 8);
+        // Exact(0x1F) can never match a 4-bit field; the interpreter scans
+        // past it, the compiler must drop it (not index slot 31).
+        let t = Table::keyed(
+            "t",
+            vec![(k, MatchKind::Exact)],
+            vec![set_const(out, 1)],
+            None,
+        )
+        .entry(vec![KeyMatch::Exact(0x1F)], 0, 0);
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(t)],
+            arrays: vec![],
+            recirc_field: None,
+        };
+        for key in 0..16u64 {
+            let p = run_both(&program, |p| p.set(k, key));
+            assert_eq!(p.get(out), 0, "key {key} must miss");
+        }
+    }
+
+    #[test]
+    fn match_gate_short_circuits_without_changing_semantics() {
+        let mut l = PhvLayout::new();
+        let op = l.field("op", 2);
+        let mag = l.field("mag", 32);
+        let out = l.field("out", 8);
+        // Every entry pins op = 1 (an LPM-style table that only READ
+        // packets hit): the compiler must gate on those bits, and packets
+        // with op != 1 must still take the default.
+        let mut t = Table::keyed(
+            "lpm",
+            vec![(op, MatchKind::Exact), (mag, MatchKind::Ternary)],
+            vec![set_const(out, 1), set_const(out, 9)],
+            Some(1),
+        );
+        for k in 0..16u32 {
+            let mask = !0u64 << k & 0xFFFF_FFFF;
+            t = t.entry(
+                vec![
+                    KeyMatch::Exact(1),
+                    KeyMatch::Ternary {
+                        value: 1u64 << k,
+                        mask,
+                    },
+                ],
+                k,
+                0,
+            );
+        }
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(t)],
+            arrays: vec![],
+            recirc_field: None,
+        };
+        let cs = CompiledSwitch::compile(&program).unwrap();
+        // The gate must pin at least the op field (it may legitimately
+        // also pin high mag bits every ternary mask agrees on).
+        let op_gate = cs.tables[0]
+            .gate
+            .iter()
+            .find(|g| g.field == u32::from(op.0))
+            .expect("op field must be gated");
+        assert_eq!(op_gate.mask, 0b11);
+        assert_eq!(op_gate.val, 0b01);
+        for opv in 0..4u64 {
+            for magv in [0u64, 1, 0x80, 0xFFFF_FFFF] {
+                let p = run_both(&program, |p| {
+                    p.set(op, opv);
+                    p.set(mag, magv);
+                });
+                if opv != 1 {
+                    assert_eq!(p.get(out), 9, "gated packet takes the default");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_priority_scan_matches_interpreter_lpm() {
+        let mut l = PhvLayout::new();
+        let k = l.field("k", 8);
+        let out = l.field("out", 8);
+        let t = Table::keyed(
+            "lpm",
+            vec![(k, MatchKind::Ternary)],
+            vec![set_const(out, 1), set_const(out, 2)],
+            None,
+        )
+        .entry(
+            vec![KeyMatch::Ternary {
+                value: 0x80,
+                mask: 0x80,
+            }],
+            1,
+            0,
+        )
+        .entry(
+            vec![KeyMatch::Ternary {
+                value: 0x80,
+                mask: 0xC0,
+            }],
+            2,
+            1,
+        );
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(t)],
+            arrays: vec![],
+            recirc_field: None,
+        };
+        for key in 0..=255u64 {
+            run_both(&program, |p| p.set(k, key));
+        }
+    }
+
+    #[test]
+    fn stateful_recirculation_and_raw_semantics_are_preserved() {
+        // The counter program from the switch tests, plus recirculation.
+        let mut l = PhvLayout::new();
+        let port = l.field("port", 4);
+        let count = l.field("count", 32);
+        let recirc = l.field("recirc", 1);
+        let bump = Action::nop("bump").call(StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Field(port),
+            cond: SaluCond::Always,
+            on_true: SaluUpdate::AddSat(Operand::Const(1)),
+            on_false: SaluUpdate::Keep,
+            output: Some((count, SaluOutput::New)),
+        });
+        let decide = Action::nop("decide").prim(
+            recirc,
+            AluOp::CmpLt,
+            Operand::Field(count),
+            Operand::Const(3),
+        );
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![
+                Stage::new().table(Table::always("count", bump)),
+                Stage::new().table(Table::always("decide", decide)),
+            ],
+            arrays: vec![RegisterArraySpec {
+                name: "pkt_count".into(),
+                width_bits: 32,
+                entries: 16,
+                stage: 0,
+            }],
+            recirc_field: Some(recirc),
+        };
+        // One packet recirculates until the counter reaches 3: the
+        // register array is NOT re-touched illegally because each pass
+        // resets the RAW bookkeeping.
+        let p = run_both(&program, |p| p.set(port, 7));
+        assert_eq!(p.get(count), 3);
+        // Push the recirculation past the limit: identical error.
+        let mut program2 = program;
+        program2.caps.recirc_limit = 2;
+        run_both(&program2, |p| p.set(port, 2));
+    }
+
+    #[test]
+    fn compiled_from_switch_carries_register_state() {
+        let mut l = PhvLayout::new();
+        let x = l.field("x", 32);
+        let offer = Action::nop("offer").call(StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Const(0),
+            cond: SaluCond::Always,
+            on_true: SaluUpdate::AddSat(Operand::Field(x)),
+            on_false: SaluUpdate::Keep,
+            output: None,
+        });
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(Table::always("offer", offer))],
+            arrays: vec![RegisterArraySpec {
+                name: "acc".into(),
+                width_bits: 32,
+                entries: 2,
+                stage: 0,
+            }],
+            recirc_field: None,
+        };
+        let mut sw = Switch::new(program).unwrap();
+        let mut phv = sw.phv();
+        phv.set(x, 41);
+        sw.run(&mut phv).unwrap();
+        let mut cs = sw.compiled();
+        assert_eq!(cs.register(RegArrayId(0), 0), 41);
+        let mut phv = cs.phv();
+        phv.set(x, 1);
+        cs.run(&mut phv).unwrap();
+        assert_eq!(cs.register(RegArrayId(0), 0), 42);
+        assert_eq!(sw.register(RegArrayId(0), 0), 41, "interpreter unaffected");
+    }
+
+    #[test]
+    fn run_batch_equals_scalar_runs() {
+        let mut l = PhvLayout::new();
+        let port = l.field("port", 4);
+        let count = l.field("count", 32);
+        let bump = Action::nop("bump").call(StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Field(port),
+            cond: SaluCond::Always,
+            on_true: SaluUpdate::AddSat(Operand::Const(1)),
+            on_false: SaluUpdate::Keep,
+            output: Some((count, SaluOutput::New)),
+        });
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(Table::always("count", bump))],
+            arrays: vec![RegisterArraySpec {
+                name: "pkt_count".into(),
+                width_bits: 32,
+                entries: 16,
+                stage: 0,
+            }],
+            recirc_field: None,
+        };
+        let mut scalar = CompiledSwitch::compile(&program).unwrap();
+        let mut batch = scalar.clone();
+        let mut phvs: Vec<Phv> = (0..64)
+            .map(|i| {
+                let mut p = batch.phv();
+                p.set(port, i % 16);
+                p
+            })
+            .collect();
+        let total = batch.run_batch(&mut phvs).unwrap();
+        assert_eq!(total, 64);
+        for i in 0..64u64 {
+            let mut p = scalar.phv();
+            p.set(port, i % 16);
+            scalar.run(&mut p).unwrap();
+            assert_eq!(p, phvs[i as usize], "packet {i}");
+        }
+        for idx in 0..16 {
+            assert_eq!(
+                batch.register(RegArrayId(0), idx),
+                scalar.register(RegArrayId(0), idx)
+            );
+        }
+    }
+
+    #[test]
+    fn compile_rejects_invalid_programs_like_the_interpreter() {
+        let mut l = PhvLayout::new();
+        let x = l.field("x", 32);
+        let shl = Action::nop("shl").prim(x, AluOp::Shl, Operand::Field(x), Operand::Field(x));
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(Table::always("shl", shl))],
+            arrays: vec![],
+            recirc_field: None,
+        };
+        let want = program.validate().unwrap_err();
+        let got = CompiledSwitch::compile(&program).unwrap_err();
+        assert_eq!(got, want);
+        assert!(matches!(got, ProgramError::MetadataShiftUnsupported { .. }));
+    }
+}

@@ -31,8 +31,30 @@
 //! extensions. Capability violations are construction-time errors, not
 //! silent emulation — that distinction *is* the paper's Table 1/Table 3
 //! argument.
+//!
+//! ## Two execution engines
+//!
+//! A validated program can run on either of two engines with bit-for-bit
+//! identical results:
+//!
+//! * **the interpreter** ([`switch::Switch`]) walks the program structures
+//!   directly — linear entry scans, per-pass bookkeeping allocations. It
+//!   is the readable reference implementation and the only engine that can
+//!   trace per-table execution ([`switch::Switch::run_traced`]);
+//! * **the compiled engine** ([`compile::CompiledSwitch`]) lowers the
+//!   program once into pre-resolved dispatch structures — dense
+//!   direct-index and hash lookups for exact tables, priority-pre-sorted
+//!   scans for ternary/range entries, contiguous op tapes for actions —
+//!   and processes packets (or whole batches via
+//!   [`compile::CompiledSwitch::run_batch`]) with zero per-packet
+//!   allocation, several times faster.
+//!
+//! Equivalence is enforced by property tests over random programs (PHV,
+//! register state, pass counts and errors must agree packet by packet) and
+//! by the FPISA pipeline's differential suite.
 
 pub mod action;
+pub mod compile;
 pub mod phv;
 pub mod register;
 pub mod resources;
@@ -41,6 +63,7 @@ pub mod switch;
 pub mod table;
 
 pub use action::{Action, AluOp, Operand, Primitive};
+pub use compile::CompiledSwitch;
 pub use phv::{FieldId, FieldSpec, Phv, PhvLayout};
 pub use register::{
     CmpOp, RegArrayId, RegisterArray, RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate,

@@ -31,6 +31,10 @@ pub struct FieldSpec {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhvLayout {
     fields: Vec<FieldSpec>,
+    /// Field indices sorted by field name — the precomputed name→id index
+    /// behind [`PhvLayout::lookup`], maintained on every insertion so a
+    /// lookup is a binary search instead of an O(n) string scan.
+    by_name: Vec<u16>,
 }
 
 impl PhvLayout {
@@ -47,13 +51,18 @@ impl PhvLayout {
             (1..=64).contains(&bits),
             "field `{name}`: width {bits} out of range"
         );
-        assert!(
-            self.fields.iter().all(|f| f.name != name),
-            "duplicate PHV field name `{name}`"
-        );
         assert!(self.fields.len() < u16::MAX as usize, "too many PHV fields");
+        let slot = match self
+            .by_name
+            .binary_search_by(|&i| self.fields[i as usize].name.as_str().cmp(&name))
+        {
+            Ok(_) => panic!("duplicate PHV field name `{name}`"),
+            Err(slot) => slot,
+        };
         self.fields.push(FieldSpec { name, bits });
-        FieldId(self.fields.len() as u16 - 1)
+        let id = self.fields.len() as u16 - 1;
+        self.by_name.insert(slot, id);
+        FieldId(id)
     }
 
     /// Specification of a field.
@@ -61,12 +70,13 @@ impl PhvLayout {
         &self.fields[id.0 as usize]
     }
 
-    /// Look a field up by name (diagnostics and tests).
+    /// Look a field up by name (binary search over the precomputed name
+    /// index).
     pub fn lookup(&self, name: &str) -> Option<FieldId> {
-        self.fields
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FieldId(i as u16))
+        self.by_name
+            .binary_search_by(|&i| self.fields[i as usize].name.as_str().cmp(name))
+            .ok()
+            .map(|slot| FieldId(self.by_name[slot]))
     }
 
     /// Number of declared fields.
@@ -149,6 +159,21 @@ impl Phv {
     pub fn width(&self, id: FieldId) -> u32 {
         self.widths[id.0 as usize]
     }
+
+    /// Reset every field to zero, keeping the layout. Lets a hot loop
+    /// reuse one PHV per packet instead of allocating a fresh one — a
+    /// freshly cleared PHV is indistinguishable from [`Phv::new`].
+    #[inline]
+    pub fn clear(&mut self) {
+        self.values.fill(0);
+    }
+
+    /// Raw container values, for the compiled engine's op tape (which has
+    /// pre-resolved every width and mask at compile time).
+    #[inline]
+    pub(crate) fn values_mut(&mut self) -> &mut [u64] {
+        &mut self.values
+    }
 }
 
 /// Sign-extend the low `bits` bits of `value` into an `i64`.
@@ -183,6 +208,53 @@ mod tests {
         let mut l = PhvLayout::new();
         l.field("x", 8);
         l.field("x", 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate PHV field name `m5`")]
+    fn duplicate_rejection_survives_the_name_index() {
+        // Regression test for the precomputed name→id index: duplicates
+        // must still be rejected at build time, wherever they land in the
+        // sorted order.
+        let mut l = PhvLayout::new();
+        for i in 0..10 {
+            l.field(format!("m{i}"), 8);
+        }
+        l.field("m5", 8);
+    }
+
+    #[test]
+    fn name_index_resolves_every_field_in_a_large_layout() {
+        let mut l = PhvLayout::new();
+        // Deliberately unsorted insertion order.
+        let ids: Vec<(String, FieldId)> = [7, 3, 9, 0, 12, 5, 1, 8, 2, 11]
+            .iter()
+            .map(|i| {
+                let name = format!("field_{i}");
+                let id = l.field(&name, 16);
+                (name, id)
+            })
+            .collect();
+        for (name, id) in &ids {
+            assert_eq!(l.lookup(name), Some(*id), "{name}");
+        }
+        assert_eq!(l.lookup("field_4"), None);
+        assert_eq!(l.lookup(""), None);
+    }
+
+    #[test]
+    fn clear_resets_values_like_a_fresh_phv() {
+        let mut l = PhvLayout::new();
+        let a = l.field("a", 8);
+        let b = l.field("b", 32);
+        let mut p = Phv::new(&l);
+        p.set(a, 0xAB);
+        p.set(b, 0xDEAD_BEEF);
+        p.clear();
+        assert_eq!(p, Phv::new(&l));
+        assert_eq!(p.get(a), 0);
+        assert_eq!(p.get(b), 0);
+        assert_eq!(p.width(b), 32, "layout survives clear");
     }
 
     #[test]

@@ -156,16 +156,7 @@ impl SaluUpdate {
     }
 
     fn apply(&self, stored: i64, width: u32, phv: &Phv) -> i64 {
-        let max = if width >= 64 {
-            i64::MAX
-        } else {
-            (1i64 << (width - 1)) - 1
-        };
-        let min = if width >= 64 {
-            i64::MIN
-        } else {
-            -(1i64 << (width - 1))
-        };
+        let (min, max) = width_bounds(width);
         match *self {
             SaluUpdate::Keep => stored,
             SaluUpdate::Write(op) => truncate(op.signed(phv), width),
@@ -182,11 +173,21 @@ impl SaluUpdate {
     }
 }
 
-fn truncate(v: i64, width: u32) -> i64 {
+pub(crate) fn truncate(v: i64, width: u32) -> i64 {
     sign_extend(v as u64 & crate::phv::PhvLayout::mask(width), width)
 }
 
-fn saturating(v: i128, min: i64, max: i64) -> i64 {
+/// Signed `(min, max)` representable at `width` bits — the saturation
+/// bounds every execution engine must share.
+pub(crate) fn width_bounds(width: u32) -> (i64, i64) {
+    if width >= 64 {
+        (i64::MIN, i64::MAX)
+    } else {
+        (-(1i64 << (width - 1)), (1i64 << (width - 1)) - 1)
+    }
+}
+
+pub(crate) fn saturating(v: i128, min: i64, max: i64) -> i64 {
     if v > max as i128 {
         max
     } else if v < min as i128 {

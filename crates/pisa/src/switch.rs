@@ -357,6 +357,11 @@ impl Switch {
         &self.program
     }
 
+    /// The register arrays (for engines that need to copy state).
+    pub(crate) fn arrays(&self) -> &[RegisterArray] {
+        &self.arrays
+    }
+
     /// Control-plane read of a register entry.
     pub fn register(&self, id: RegArrayId, index: usize) -> i64 {
         self.arrays[id.0 as usize].get(index)
@@ -379,6 +384,17 @@ impl Switch {
     /// actions fired.
     pub fn run(&mut self, phv: &mut Phv) -> Result<u32, RuntimeError> {
         self.run_impl(phv, None)
+    }
+
+    /// Process a buffer of packets back to back (the interpreted
+    /// counterpart of [`crate::CompiledSwitch::run_batch`]), returning the
+    /// total pass count. Stops at the first faulting packet.
+    pub fn run_batch(&mut self, phvs: &mut [Phv]) -> Result<u64, RuntimeError> {
+        let mut total = 0u64;
+        for phv in phvs {
+            total += u64::from(self.run(phv)?);
+        }
+        Ok(total)
     }
 
     /// Like [`Switch::run`], but records every table execution. Costs one

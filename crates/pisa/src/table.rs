@@ -49,7 +49,9 @@ pub enum KeyMatch {
 }
 
 impl KeyMatch {
-    fn matches(&self, v: u64) -> bool {
+    /// Whether a (width-masked) field value satisfies this pattern.
+    #[inline]
+    pub fn matches(&self, v: u64) -> bool {
         match *self {
             KeyMatch::Exact(x) => v == x,
             KeyMatch::Ternary { value, mask } => v & mask == value & mask,

@@ -1,0 +1,374 @@
+//! Property test: [`CompiledSwitch`] must be observationally identical to
+//! the interpreting [`Switch`] on *random programs* — random layouts,
+//! match kinds, priorities, actions, stateful calls and recirculation —
+//! packet by packet: same output PHV, same register state, same pass
+//! counts, and the same `RuntimeError` at the same point when a packet
+//! faults (RAW violations, out-of-range indices, recirculation limits).
+
+use fpisa_pisa::{
+    Action, AluOp, CmpOp, CompiledSwitch, FieldId, KeyMatch, MatchKind, Operand, Phv, PhvLayout,
+    RegArrayId, RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, Stage, StatefulCall, Switch,
+    SwitchCaps, SwitchProgram, Table,
+};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+const PROGRAMS: usize = 120;
+const PACKETS_PER_PROGRAM: usize = 60;
+
+struct Gen {
+    rng: SmallRng,
+    fields: Vec<FieldId>,
+    widths: Vec<u32>,
+}
+
+impl Gen {
+    fn operand(&mut self) -> Operand {
+        if self.rng.gen::<bool>() {
+            let i = self.rng.gen_range(0..self.fields.len());
+            Operand::Field(self.fields[i])
+        } else {
+            Operand::Const(self.rng.gen_range(-64i64..64))
+        }
+    }
+
+    fn field(&mut self) -> FieldId {
+        self.fields[self.rng.gen_range(0..self.fields.len())]
+    }
+
+    fn alu_op(&mut self) -> AluOp {
+        const OPS: [AluOp; 15] = [
+            AluOp::Set,
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::ShrLogic,
+            AluOp::ShrArith,
+            AluOp::CmpEq,
+            AluOp::CmpNe,
+            AluOp::CmpLt,
+            AluOp::CmpLe,
+            AluOp::CmpGt,
+            AluOp::CmpGe,
+        ];
+        OPS[self.rng.gen_range(0..OPS.len())]
+    }
+
+    fn key_match(&mut self, kind: MatchKind, width: u32) -> KeyMatch {
+        let max = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        match kind {
+            MatchKind::Exact => {
+                if self.rng.gen_range(0u32..10) == 0 {
+                    KeyMatch::Any
+                } else if self.rng.gen_range(0u32..12) == 0 {
+                    // Occasionally unmatchable: value beyond the field width.
+                    KeyMatch::Exact(max.wrapping_add(1 + self.rng.gen_range(0u64..4)))
+                } else {
+                    KeyMatch::Exact(self.rng.gen_range(0..=max.min(1 << 16)))
+                }
+            }
+            MatchKind::Ternary => KeyMatch::Ternary {
+                value: self.rng.gen_range(0..=max),
+                mask: self.rng.gen_range(0..=max),
+            },
+            MatchKind::Range => {
+                let lo = self.rng.gen_range(0..=max);
+                let hi = self.rng.gen_range(lo..=max);
+                KeyMatch::Range { lo, hi }
+            }
+        }
+    }
+
+    fn action(&mut self, name: String, stage_array: Option<(RegArrayId, usize)>) -> Action {
+        let mut a = Action::nop(name);
+        for _ in 0..self.rng.gen_range(0usize..4) {
+            let dst = self.field();
+            let op = self.alu_op();
+            let x = self.operand();
+            let y = self.operand();
+            a = a.prim(dst, op, x, y);
+        }
+        if let Some((array, entries)) = stage_array {
+            if self.rng.gen_range(0u32..3) == 0 {
+                let index = if self.rng.gen_range(0u32..8) == 0 {
+                    // Occasionally out of range → IndexOutOfRange at runtime.
+                    Operand::Const(entries as i64 + self.rng.gen_range(0i64..4))
+                } else if self.rng.gen::<bool>() {
+                    Operand::Const(self.rng.gen_range(0..entries as i64))
+                } else {
+                    Operand::Field(self.field()) // may be out of range too
+                };
+                let cond = match self.rng.gen_range(0u32..4) {
+                    0 => SaluCond::Always,
+                    1 => SaluCond::MetaNonZero(self.field()),
+                    2 => SaluCond::RegCmp {
+                        cmp: CmpOp::Lt,
+                        rhs: self.operand(),
+                    },
+                    _ => SaluCond::Or(
+                        Box::new(SaluCond::RegCmp {
+                            cmp: CmpOp::Eq,
+                            rhs: Operand::Const(0),
+                        }),
+                        Box::new(SaluCond::MetaNonZero(self.field())),
+                    ),
+                };
+                let update = |g: &mut Gen| match g.rng.gen_range(0u32..6) {
+                    0 => SaluUpdate::Keep,
+                    1 => SaluUpdate::Write(g.operand()),
+                    2 => SaluUpdate::AddSat(g.operand()),
+                    3 => SaluUpdate::AddWrap(g.operand()),
+                    4 => SaluUpdate::MaxSigned(g.operand()),
+                    _ => SaluUpdate::ShiftRightAddSat {
+                        shift: g.operand(),
+                        addend: g.operand(),
+                    },
+                };
+                let on_true = update(self);
+                let on_false = update(self);
+                let output = if self.rng.gen::<bool>() {
+                    let out = match self.rng.gen_range(0u32..3) {
+                        0 => SaluOutput::Old,
+                        1 => SaluOutput::New,
+                        _ => SaluOutput::Predicate,
+                    };
+                    Some((self.field(), out))
+                } else {
+                    None
+                };
+                a = a.call(StatefulCall {
+                    array,
+                    index,
+                    cond,
+                    on_true,
+                    on_false,
+                    output,
+                });
+            }
+        }
+        a
+    }
+
+    fn table(&mut self, name: String, stage_array: Option<(RegArrayId, usize)>) -> Table {
+        let n_actions = self.rng.gen_range(1usize..4);
+        let actions: Vec<Action> = (0..n_actions)
+            .map(|i| self.action(format!("{name}_a{i}"), stage_array))
+            .collect();
+        match self.rng.gen_range(0u32..5) {
+            0 => Table::always(name, actions.into_iter().next().unwrap()),
+            _ => {
+                let n_keys = self.rng.gen_range(1usize..3);
+                let keys: Vec<(FieldId, MatchKind)> = (0..n_keys)
+                    .map(|_| {
+                        let f = self.field();
+                        let kind = match self.rng.gen_range(0u32..4) {
+                            0 => MatchKind::Ternary,
+                            1 => MatchKind::Range,
+                            _ => MatchKind::Exact,
+                        };
+                        (f, kind)
+                    })
+                    .collect();
+                let default = if self.rng.gen::<bool>() {
+                    Some(self.rng.gen_range(0..n_actions))
+                } else {
+                    None
+                };
+                let mut t = Table::keyed(name, keys.clone(), actions, default);
+                for _ in 0..self.rng.gen_range(0usize..16) {
+                    let key: Vec<KeyMatch> = keys
+                        .iter()
+                        .map(|(f, kind)| {
+                            let w = self.widths[f.0 as usize];
+                            self.key_match(*kind, w)
+                        })
+                        .collect();
+                    let prio = self.rng.gen_range(0u32..4);
+                    let action = self.rng.gen_range(0..n_actions);
+                    t = t.entry(key, prio, action);
+                }
+                t
+            }
+        }
+    }
+}
+
+fn random_program(seed: u64) -> (SwitchProgram, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut layout = PhvLayout::new();
+    let n_fields = rng.gen_range(4usize..9);
+    let mut fields = Vec::new();
+    let mut widths = Vec::new();
+    for i in 0..n_fields {
+        let bits = *[1u32, 4, 8, 12, 16, 32][..]
+            .get(rng.gen_range(0..6))
+            .unwrap();
+        fields.push(layout.field(format!("f{i}"), bits));
+        widths.push(bits);
+    }
+    // Sometimes recirculate on a 1-bit flag field; random programs may
+    // then hit the recirculation limit — both engines must fault alike.
+    let recirc_field = if rng.gen_range(0u32..3) == 0 {
+        Some(layout.field("recirc", 1))
+    } else {
+        None
+    };
+    if let Some(rf) = recirc_field {
+        fields.push(rf);
+        widths.push(1);
+    }
+
+    let n_stages = rng.gen_range(1usize..5);
+    let mut arrays = Vec::new();
+    let mut gen = Gen {
+        rng,
+        fields,
+        widths,
+    };
+    let mut stages = Vec::new();
+    for si in 0..n_stages {
+        // At most one array per stage, bound to it.
+        let stage_array = if gen.rng.gen::<bool>() {
+            let entries = gen.rng.gen_range(4usize..16);
+            let id = RegArrayId(arrays.len() as u16);
+            arrays.push(RegisterArraySpec {
+                name: format!("r{si}"),
+                width_bits: *[8u32, 16, 32][..].get(gen.rng.gen_range(0..3)).unwrap(),
+                entries,
+                stage: si,
+            });
+            Some((id, entries))
+        } else {
+            None
+        };
+        let mut stage = Stage::new();
+        for ti in 0..gen.rng.gen_range(1usize..4) {
+            stage = stage.table(gen.table(format!("s{si}t{ti}"), stage_array));
+        }
+        stages.push(stage);
+    }
+    let program = SwitchProgram {
+        caps: SwitchCaps::fpisa_extended(), // admits every generated op
+        layout,
+        stages,
+        arrays,
+        recirc_field,
+    };
+    (program, gen.rng)
+}
+
+#[test]
+fn compiled_engine_matches_interpreter_on_random_programs() {
+    let mut checked = 0usize;
+    let mut faults = 0usize;
+    let mut recirculated = 0usize;
+    for seed in 0..PROGRAMS as u64 {
+        let (program, mut rng) = random_program(0xC0DE_0000 + seed);
+        match program.validate() {
+            Ok(()) => {}
+            Err(want) => {
+                // Both engines must reject identically; nothing to run.
+                assert_eq!(CompiledSwitch::compile(&program).unwrap_err(), want);
+                continue;
+            }
+        }
+        let mut sw = Switch::new(program.clone()).unwrap();
+        let mut cs = CompiledSwitch::compile(&program).unwrap();
+        for pkt in 0..PACKETS_PER_PROGRAM {
+            let mut pi = sw.phv();
+            for (id, spec) in program.layout.iter() {
+                let max = if spec.bits >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << spec.bits) - 1
+                };
+                pi.set(id, rng.gen_range(0..=max));
+            }
+            let mut pc = pi.clone();
+            let ri = sw.run(&mut pi);
+            let rc = cs.run(&mut pc);
+            assert_eq!(ri, rc, "seed {seed} packet {pkt}: result diverged");
+            assert_eq!(pi, pc, "seed {seed} packet {pkt}: PHV diverged");
+            match ri {
+                Err(_) => faults += 1,
+                Ok(passes) if passes > 1 => recirculated += 1,
+                Ok(_) => {}
+            }
+            for (ai, spec) in program.arrays.iter().enumerate() {
+                let id = RegArrayId(ai as u16);
+                for idx in 0..spec.entries {
+                    assert_eq!(
+                        sw.register(id, idx),
+                        cs.register(id, idx),
+                        "seed {seed} packet {pkt}: register {}[{idx}] diverged",
+                        spec.name
+                    );
+                }
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > PROGRAMS * PACKETS_PER_PROGRAM / 2, "too few runs");
+    // The generator must actually exercise the interesting paths.
+    assert!(faults > 0, "no runtime faults generated");
+    assert!(recirculated > 0, "no recirculation generated");
+}
+
+/// The same equivalence through the batch API: running a whole buffer
+/// through `run_batch` must leave PHVs and registers exactly as the
+/// interpreter's packet-at-a-time loop does.
+#[test]
+fn compiled_batches_match_interpreter_streams() {
+    for seed in 0..24u64 {
+        let (program, mut rng) = random_program(0xBA7C_0000 + seed);
+        if program.validate().is_err() {
+            continue;
+        }
+        let mut sw = Switch::new(program.clone()).unwrap();
+        let mut cs = CompiledSwitch::compile(&program).unwrap();
+        let mut phvs: Vec<Phv> = (0..32)
+            .map(|_| {
+                let mut p = sw.phv();
+                for (id, spec) in program.layout.iter() {
+                    let max = if spec.bits >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << spec.bits) - 1
+                    };
+                    p.set(id, rng.gen_range(0..=max));
+                }
+                p
+            })
+            .collect();
+        let mut interp_phvs = phvs.clone();
+        let batch_result = cs.run_batch(&mut phvs);
+        let mut interp_total = 0u64;
+        let mut interp_err = None;
+        for p in &mut interp_phvs {
+            match sw.run(p) {
+                Ok(n) => interp_total += u64::from(n),
+                Err(e) => {
+                    interp_err = Some(e);
+                    break;
+                }
+            }
+        }
+        match (batch_result, interp_err) {
+            (Ok(total), None) => assert_eq!(total, interp_total, "seed {seed}"),
+            (Err(ce), Some(ie)) => assert_eq!(ce, ie, "seed {seed}"),
+            (got, want) => panic!("seed {seed}: batch {got:?} vs interpreter {want:?}"),
+        }
+        for (ai, spec) in program.arrays.iter().enumerate() {
+            let id = RegArrayId(ai as u16);
+            for idx in 0..spec.entries {
+                assert_eq!(sw.register(id, idx), cs.register(id, idx), "seed {seed}");
+            }
+        }
+    }
+}

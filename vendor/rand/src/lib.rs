@@ -166,6 +166,20 @@ impl SampleRange<usize> for RangeInclusive<usize> {
     }
 }
 
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> u64 {
+        let (lo, hi) = self.into_inner();
+        let span = hi
+            .checked_sub(lo)
+            .unwrap_or_else(|| panic!("gen_range: low > high"));
+        match span.checked_add(1) {
+            Some(span) => lo + rng.next_u64() % span,
+            // Full-width range: every u64 is in it.
+            None => rng.next_u64(),
+        }
+    }
+}
+
 /// Named generators, mirroring `rand::rngs`.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
