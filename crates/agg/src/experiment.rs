@@ -1,0 +1,311 @@
+//! The Fig. 10 experiment: aggregation accuracy vs gradient dynamic range.
+//!
+//! §5.2 of the paper compares end-to-end gradient aggregation error of the
+//! SwitchML-style fixed-point baseline against FPISA: with a **global**
+//! scaling factor, fixed point serves small-magnitude elements terribly as
+//! the gradient's dynamic range widens, while floating point keeps a
+//! uniform relative error — and full FPISA is exact whenever the sums are
+//! representable. [`run_fig10`] replays that comparison end to end through
+//! the packet protocol: every backend receives the same per-worker packet
+//! stream through an [`AggregationSwitch`], and per-element relative error
+//! is measured against the [`ExactF64`] reference.
+//!
+//! The synthetic gradients follow the structure that makes the comparison
+//! meaningful (and matches real gradient tensors): magnitudes vary wildly
+//! **across** elements — `dynamic_range_bits` binades of spread — while
+//! the same element is similar **across workers** (one binade of jitter).
+//! A global scaling factor must cover the whole cross-element range;
+//! per-element exponents only ever see the cross-worker jitter.
+
+use crate::backend::{AggError, AggStats, Aggregator, ExactF64};
+use crate::fpisa::FpisaAggregator;
+use crate::pool::AggregationSwitch;
+use crate::protocol::JobSpec;
+use crate::switchml::SwitchMlFixedPoint;
+use fpisa_core::format::pow2;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shape of one synthetic gradient workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GradientWorkload {
+    /// Worker fan-in.
+    pub workers: u32,
+    /// Gradient elements (= aggregation slots).
+    pub elements: usize,
+    /// Elements per packet.
+    pub elements_per_packet: usize,
+    /// Cross-element magnitude spread in binades: element base exponents
+    /// are drawn uniformly from `-range/2 .. range/2`.
+    pub dynamic_range_bits: u32,
+    /// Significand bits of each generated value (kept small enough that
+    /// per-element sums stay exactly representable in FP32 — so the full
+    /// FPISA backend can be checked for bit-exactness).
+    pub frac_bits: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GradientWorkload {
+    /// The Fig. 10 defaults at a given dynamic range: 8 workers, 256
+    /// elements, 64-element packets, 16-bit significands.
+    pub fn fig10(dynamic_range_bits: u32) -> Self {
+        GradientWorkload {
+            workers: 8,
+            elements: 256,
+            elements_per_packet: 64,
+            dynamic_range_bits,
+            frac_bits: 16,
+            seed: 0xF1610,
+        }
+    }
+
+    /// The job this workload aggregates under.
+    pub fn job_spec(&self) -> JobSpec {
+        JobSpec {
+            job: 10,
+            workers: self.workers,
+            elements: self.elements,
+            elements_per_packet: self.elements_per_packet,
+        }
+    }
+
+    /// Generate the per-worker gradients (`workers × elements`).
+    ///
+    /// Element `i` gets a base exponent `e_i` uniform over the dynamic
+    /// range; worker `w`'s value is `± (1 + frac) · 2^(e_i + jitter)` with
+    /// one binade of cross-worker jitter and a `frac_bits`-bit significand.
+    pub fn generate(&self) -> Vec<Vec<f64>> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let half = (self.dynamic_range_bits / 2) as i32;
+        let base: Vec<i32> = (0..self.elements)
+            .map(|_| rng.gen_range(-half..=half.max(-half + 1)))
+            .collect();
+        (0..self.workers)
+            .map(|_| {
+                base.iter()
+                    .map(|&e| {
+                        let jitter: i32 = rng.gen_range(0..2);
+                        let frac = rng.gen_range(0u64..(1u64 << self.frac_bits)) as f64
+                            / pow2(self.frac_bits as i32);
+                        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                        sign * (1.0 + frac) * pow2(e + jitter)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Largest absolute value across all workers — what SwitchML's control
+    /// plane uses to size the global scaling factor.
+    pub fn max_abs(gradients: &[Vec<f64>]) -> f64 {
+        gradients
+            .iter()
+            .flatten()
+            .fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+}
+
+/// Per-backend outcome of one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10Row {
+    /// Backend label.
+    pub backend: String,
+    /// The workload's dynamic range in binades.
+    pub dynamic_range_bits: u32,
+    /// Mean per-element relative error vs the exact reference.
+    pub mean_rel_err: f64,
+    /// Maximum per-element relative error.
+    pub max_rel_err: f64,
+    /// Backend accounting (overwrites, rounding, clipping, overflows).
+    pub stats: AggStats,
+}
+
+/// Aggregate one workload's gradients through the full packet protocol on
+/// one backend and return the read-out, per-element.
+pub fn aggregate_through_protocol<B: Aggregator>(
+    workload: &GradientWorkload,
+    gradients: &[Vec<f64>],
+    backend: B,
+) -> Result<(Vec<f64>, AggStats), AggError> {
+    let spec = workload.job_spec();
+    let mut sw = AggregationSwitch::new(spec, backend)?;
+    for (worker, grad) in gradients.iter().enumerate() {
+        let words: Vec<u64> = grad.iter().map(|&x| sw.backend_mut().encode(x)).collect();
+        for pkt in spec.packetize(worker as u32, 0, &words) {
+            let decision = sw.ingest(&pkt)?;
+            debug_assert!(decision.accepted());
+        }
+    }
+    let values = sw.read_all()?;
+    Ok((values, sw.backend().stats()))
+}
+
+/// Per-element relative errors of `got` against `exact`, with the
+/// denominator floored at `floor` to keep fully-cancelled elements from
+/// dominating.
+fn relative_errors(got: &[f64], exact: &[f64], floor: f64) -> Vec<f64> {
+    got.iter()
+        .zip(exact)
+        .map(|(&g, &e)| (g - e).abs() / e.abs().max(floor))
+        .collect()
+}
+
+/// Run the Fig. 10 comparison for one workload: exact reference, SwitchML
+/// fixed point, FPISA-A FP16 on Tofino, and full FPISA FP32.
+pub fn run_fig10(workload: &GradientWorkload) -> Result<Vec<Fig10Row>, AggError> {
+    let gradients = workload.generate();
+    let max_abs = GradientWorkload::max_abs(&gradients);
+    let slots = workload.elements;
+
+    let (exact, _) = aggregate_through_protocol(workload, &gradients, ExactF64::new(slots))?;
+    // Denominator floor: the smallest base-magnitude an element can have,
+    // so near-cancelled sums are measured against their inputs' scale.
+    let floor = pow2(-((workload.dynamic_range_bits / 2) as i32));
+
+    let spec_err = |e: fpisa_pipeline::SpecError| AggError::BadSpec {
+        detail: e.to_string(),
+    };
+    let backends: Vec<Box<dyn Aggregator>> = vec![
+        Box::new(SwitchMlFixedPoint::for_workload(
+            slots,
+            max_abs,
+            workload.workers,
+        )?),
+        Box::new(FpisaAggregator::fp16_tofino(slots).map_err(spec_err)?),
+        Box::new(FpisaAggregator::fp32_extended(slots).map_err(spec_err)?),
+    ];
+
+    let mut rows = Vec::with_capacity(backends.len() + 1);
+    rows.push(Fig10Row {
+        backend: "exact f64 (reference)".into(),
+        dynamic_range_bits: workload.dynamic_range_bits,
+        mean_rel_err: 0.0,
+        max_rel_err: 0.0,
+        stats: AggStats::default(),
+    });
+    for backend in backends {
+        let label = backend.label();
+        let (got, stats) = aggregate_through_protocol(workload, &gradients, backend)?;
+        let errs = relative_errors(&got, &exact, floor);
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let max = errs.iter().fold(0.0f64, |m, &e| m.max(e));
+        rows.push(Fig10Row {
+            backend: label,
+            dynamic_range_bits: workload.dynamic_range_bits,
+            mean_rel_err: mean,
+            max_rel_err: max,
+            stats,
+        });
+    }
+    Ok(rows)
+}
+
+/// Run [`run_fig10`] across several dynamic ranges (the Fig. 10 x-axis).
+pub fn run_fig10_sweep(ranges: &[u32]) -> Result<Vec<Fig10Row>, AggError> {
+    let mut rows = Vec::new();
+    for &r in ranges {
+        rows.extend(run_fig10(&GradientWorkload::fig10(r))?);
+    }
+    Ok(rows)
+}
+
+/// Render Fig. 10 rows as an aligned text table (via the shared `fpisa-hw`
+/// report machinery).
+pub fn render_fig10(rows: &[Fig10Row]) -> String {
+    let headers = [
+        "Backend",
+        "Range (bits)",
+        "Mean rel err",
+        "Max rel err",
+        "Overwrites",
+        "Rounded",
+        "Clipped",
+        "Overflows",
+    ];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.clone(),
+                r.dynamic_range_bits.to_string(),
+                format!("{:.3e}", r.mean_rel_err),
+                format!("{:.3e}", r.max_rel_err),
+                r.stats.add.overwrites.to_string(),
+                r.stats.add.rounded.to_string(),
+                r.stats.clipped.to_string(),
+                r.stats.add.overflows.to_string(),
+            ]
+        })
+        .collect();
+    fpisa_hw::report::render_columns(&headers, &cells)
+}
+
+/// Severity-ordered convenience accessor: the row of a backend whose label
+/// contains `needle`, if any.
+pub fn find_row<'a>(rows: &'a [Fig10Row], needle: &str) -> Option<&'a Fig10Row> {
+    rows.iter().find(|r| r.backend.contains(needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_generation_is_deterministic_and_structured() {
+        let w = GradientWorkload::fig10(16);
+        let a = w.generate();
+        let b = w.generate();
+        assert_eq!(a, b, "seeded generation is reproducible");
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|g| g.len() == 256));
+        // Every value is finite, non-zero, and within the dynamic range.
+        for g in &a {
+            for &x in g {
+                assert!(x.is_finite() && x != 0.0);
+                assert!(x.abs() >= pow2(-8) && x.abs() < pow2(11), "{x}");
+            }
+        }
+        // Cross-worker jitter stays within one binade per element.
+        for i in 0..256 {
+            let exps: Vec<i32> = a.iter().map(|g| g[i].abs().log2().floor() as i32).collect();
+            let spread = exps.iter().max().unwrap() - exps.iter().min().unwrap();
+            assert!(spread <= 1, "element {i} spread {spread}");
+        }
+    }
+
+    #[test]
+    fn render_lists_every_backend() {
+        let rows = run_fig10(&GradientWorkload {
+            elements: 32,
+            elements_per_packet: 16,
+            ..GradientWorkload::fig10(8)
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 4);
+        let text = render_fig10(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.backend), "{text}");
+        }
+        assert!(find_row(&rows, "SwitchML").is_some());
+        assert!(find_row(&rows, "FP16").is_some());
+        assert!(find_row(&rows, "nope").is_none());
+    }
+
+    #[test]
+    fn narrow_range_favors_fixed_point_wide_range_favors_fpisa() {
+        // The Fig. 10 crossover: at a narrow dynamic range the 31-bit
+        // fixed-point resolution beats FP16's 11-bit significand; at a
+        // wide range the global scaling factor starves small elements and
+        // FPISA wins.
+        let narrow = run_fig10(&GradientWorkload::fig10(4)).unwrap();
+        let sw_n = find_row(&narrow, "SwitchML").unwrap().mean_rel_err;
+        let fp_n = find_row(&narrow, "FP16").unwrap().mean_rel_err;
+        assert!(sw_n < fp_n, "narrow range: SwitchML {sw_n} vs FP16 {fp_n}");
+
+        let wide = run_fig10(&GradientWorkload::fig10(24)).unwrap();
+        let sw_w = find_row(&wide, "SwitchML").unwrap().mean_rel_err;
+        let fp_w = find_row(&wide, "FP16").unwrap().mean_rel_err;
+        assert!(fp_w < sw_w, "wide range: FP16 {fp_w} vs SwitchML {sw_w}");
+    }
+}

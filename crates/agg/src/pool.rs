@@ -1,0 +1,471 @@
+//! The switch-side slot pool: worker fan-in, completion counters and
+//! slot-reuse semantics.
+//!
+//! A [`SlotPool`] tracks, per chunk, **which** workers have contributed in
+//! the current **round**. The combination gives the protocol its two
+//! robustness properties:
+//!
+//! * **idempotent retransmission** — a duplicate packet (same worker, same
+//!   chunk, same round) is detected by the per-chunk worker bitmap and
+//!   dropped before it reaches the aggregation state, so a worker may
+//!   blindly retransmit on timeout;
+//! * **versioned slot reuse** — every chunk carries a round number.
+//!   Advancing the round ([`SlotPool::advance_round`]) atomically resets
+//!   the fan-in state, and late packets from the previous round are
+//!   rejected as stale instead of corrupting the next round's sum.
+//!
+//! [`AggregationSwitch`] binds a pool to an [`Aggregator`] backend: only
+//! packets the pool accepts are folded into the backend, and finishing a
+//! round clears the backend's slot range for reuse.
+
+use crate::backend::{AggError, Aggregator};
+use crate::protocol::{AggPacket, JobSpec};
+use serde::{Deserialize, Serialize};
+
+/// What the pool decided about one incoming packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestDecision {
+    /// The contribution was accepted. `chunk_complete` is set when it was
+    /// the last missing worker for its chunk this round.
+    Accepted {
+        /// All workers have now contributed to the chunk.
+        chunk_complete: bool,
+    },
+    /// Same worker already contributed to this chunk this round
+    /// (retransmission) — dropped idempotently.
+    Duplicate,
+    /// The packet's round is older than the chunk's current round.
+    StaleRound,
+    /// The packet's round is newer than the chunk's current round (the
+    /// control plane has not advanced it yet) — rejected, not buffered.
+    FutureRound,
+    /// The packet names a different job.
+    WrongJob,
+    /// The worker id is outside the job's fan-in.
+    BadWorker,
+    /// The chunk index is outside the job.
+    BadChunk,
+    /// The payload length does not match the chunk's slot range.
+    BadPayload,
+}
+
+impl IngestDecision {
+    /// Whether the packet was folded into the aggregation state.
+    pub fn accepted(&self) -> bool {
+        matches!(self, IngestDecision::Accepted { .. })
+    }
+}
+
+/// Counters of everything the pool has seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Packets accepted and folded in.
+    pub accepted: u64,
+    /// Duplicate (retransmitted) packets dropped.
+    pub duplicates: u64,
+    /// Stale-round packets rejected.
+    pub stale: u64,
+    /// Future-round packets rejected.
+    pub future: u64,
+    /// Packets rejected for job/worker/chunk/payload mismatches.
+    pub malformed: u64,
+    /// Chunk-rounds that reached full fan-in.
+    pub completed_chunks: u64,
+}
+
+/// Per-chunk fan-in state for one aggregation job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlotPool {
+    spec: JobSpec,
+    /// Current round per chunk.
+    rounds: Vec<u32>,
+    /// Contribution bitmap per chunk (bit `w` = worker `w` seen this round).
+    seen: Vec<u64>,
+    stats: PoolStats,
+}
+
+impl SlotPool {
+    /// A pool at round 0 with no contributions.
+    pub fn new(spec: JobSpec) -> Result<Self, AggError> {
+        spec.validate()?;
+        let chunks = spec.chunks();
+        Ok(SlotPool {
+            spec,
+            rounds: vec![0; chunks],
+            seen: vec![0; chunks],
+            stats: PoolStats::default(),
+        })
+    }
+
+    /// The job this pool serves.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Current round of a chunk.
+    pub fn round(&self, chunk: usize) -> u32 {
+        self.rounds[chunk]
+    }
+
+    /// Number of workers that have contributed to a chunk this round.
+    pub fn contributors(&self, chunk: usize) -> u32 {
+        self.seen[chunk].count_ones()
+    }
+
+    /// Whether every worker has contributed to a chunk this round.
+    pub fn is_complete(&self, chunk: usize) -> bool {
+        self.contributors(chunk) == self.spec.workers
+    }
+
+    /// Classify a packet against the current state without mutating it.
+    pub fn check(&self, pkt: &AggPacket) -> IngestDecision {
+        if pkt.job != self.spec.job {
+            return IngestDecision::WrongJob;
+        }
+        if pkt.worker >= self.spec.workers {
+            return IngestDecision::BadWorker;
+        }
+        let chunk = pkt.chunk as usize;
+        if chunk >= self.spec.chunks() {
+            return IngestDecision::BadChunk;
+        }
+        if pkt.payload.len() != self.spec.slot_range(chunk).1 {
+            return IngestDecision::BadPayload;
+        }
+        let round = self.rounds[chunk];
+        if pkt.round < round {
+            return IngestDecision::StaleRound;
+        }
+        if pkt.round > round {
+            return IngestDecision::FutureRound;
+        }
+        if self.seen[chunk] & (1u64 << pkt.worker) != 0 {
+            return IngestDecision::Duplicate;
+        }
+        IngestDecision::Accepted {
+            chunk_complete: self.contributors(chunk) + 1 == self.spec.workers,
+        }
+    }
+
+    /// Classify a packet and, if accepted, record the contribution.
+    pub fn commit(&mut self, pkt: &AggPacket) -> IngestDecision {
+        let decision = self.check(pkt);
+        match decision {
+            IngestDecision::Accepted { chunk_complete } => {
+                self.seen[pkt.chunk as usize] |= 1u64 << pkt.worker;
+                self.stats.accepted += 1;
+                if chunk_complete {
+                    self.stats.completed_chunks += 1;
+                }
+            }
+            IngestDecision::Duplicate => self.stats.duplicates += 1,
+            IngestDecision::StaleRound => self.stats.stale += 1,
+            IngestDecision::FutureRound => self.stats.future += 1,
+            _ => self.stats.malformed += 1,
+        }
+        decision
+    }
+
+    /// Advance a chunk to the next round, resetting its fan-in state.
+    /// Returns the new round number.
+    pub fn advance_round(&mut self, chunk: usize) -> u32 {
+        self.seen[chunk] = 0;
+        self.rounds[chunk] += 1;
+        self.rounds[chunk]
+    }
+
+    /// Protocol counters so far.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+}
+
+/// One aggregation switch: a [`SlotPool`] gating an [`Aggregator`]
+/// backend. This is the whole switch-side protocol — packets in,
+/// aggregated chunks out, slots reused round after round.
+#[derive(Debug, Clone)]
+pub struct AggregationSwitch<B: Aggregator> {
+    pool: SlotPool,
+    backend: B,
+}
+
+impl<B: Aggregator> AggregationSwitch<B> {
+    /// Bind a backend to a job. The backend must provide at least one slot
+    /// per gradient element.
+    pub fn new(spec: JobSpec, backend: B) -> Result<Self, AggError> {
+        let pool = SlotPool::new(spec)?;
+        if backend.slots() < spec.elements {
+            return Err(AggError::BadSpec {
+                detail: format!(
+                    "backend provides {} slots, job needs {}",
+                    backend.slots(),
+                    spec.elements
+                ),
+            });
+        }
+        Ok(AggregationSwitch { pool, backend })
+    }
+
+    /// Process one data packet: duplicates, stale rounds and malformed
+    /// packets are dropped per [`SlotPool::commit`]; accepted payloads are
+    /// folded into the backend's slot range. The contribution is recorded
+    /// in the pool only after the backend accepts the payload, so a
+    /// rejected batch (e.g. a non-finite wire word) can be corrected and
+    /// retransmitted without reading as a duplicate.
+    pub fn ingest(&mut self, pkt: &AggPacket) -> Result<IngestDecision, AggError> {
+        if self.pool.check(pkt).accepted() {
+            let (start, _) = self.pool.spec().slot_range(pkt.chunk as usize);
+            self.backend.add_wire(start, &pkt.payload)?;
+        }
+        Ok(self.pool.commit(pkt))
+    }
+
+    /// Validate a chunk index against the job.
+    fn check_chunk(&self, chunk: usize) -> Result<(), AggError> {
+        let chunks = self.pool.spec().chunks();
+        if chunk >= chunks {
+            return Err(AggError::BadSpec {
+                detail: format!("chunk {chunk} outside job with {chunks} chunks"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read a completed chunk's aggregated values.
+    pub fn read_chunk(&mut self, chunk: usize) -> Result<Vec<f64>, AggError> {
+        self.check_chunk(chunk)?;
+        let (start, len) = self.pool.spec().slot_range(chunk);
+        self.backend.read_range(start, len)
+    }
+
+    /// Read the whole gradient (every chunk, in element order).
+    pub fn read_all(&mut self) -> Result<Vec<f64>, AggError> {
+        let elements = self.pool.spec().elements;
+        self.backend.read_range(0, elements)
+    }
+
+    /// Finish a chunk's round: clear its slots for reuse and advance the
+    /// round so late packets of the finished round are rejected as stale.
+    pub fn finish_round(&mut self, chunk: usize) -> Result<u32, AggError> {
+        self.check_chunk(chunk)?;
+        let (start, len) = self.pool.spec().slot_range(chunk);
+        self.backend.clear_range(start, len)?;
+        Ok(self.pool.advance_round(chunk))
+    }
+
+    /// The fan-in state.
+    pub fn pool(&self) -> &SlotPool {
+        &self.pool
+    }
+
+    /// The aggregation backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable backend access (host-side encode lives on the backend).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ExactF64;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            job: 9,
+            workers: 3,
+            elements: 6,
+            elements_per_packet: 4,
+        }
+    }
+
+    fn pkt(worker: u32, round: u32, chunk: u32, payload: Vec<u64>) -> AggPacket {
+        AggPacket {
+            job: 9,
+            worker,
+            round,
+            chunk,
+            payload,
+        }
+    }
+
+    fn words(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn fan_in_completes_when_every_worker_contributed() {
+        let mut pool = SlotPool::new(spec()).unwrap();
+        let p0 = pkt(0, 0, 0, vec![0; 4]);
+        assert_eq!(
+            pool.commit(&p0),
+            IngestDecision::Accepted {
+                chunk_complete: false
+            }
+        );
+        assert_eq!(pool.contributors(0), 1);
+        assert!(!pool.is_complete(0));
+        pool.commit(&pkt(2, 0, 0, vec![0; 4]));
+        assert_eq!(
+            pool.commit(&pkt(1, 0, 0, vec![0; 4])),
+            IngestDecision::Accepted {
+                chunk_complete: true
+            }
+        );
+        assert!(pool.is_complete(0));
+        assert!(!pool.is_complete(1), "other chunk untouched");
+        assert_eq!(pool.stats().completed_chunks, 1);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_idempotently() {
+        let mut pool = SlotPool::new(spec()).unwrap();
+        let p = pkt(1, 0, 1, vec![0; 2]);
+        assert!(pool.commit(&p).accepted());
+        assert_eq!(pool.commit(&p), IngestDecision::Duplicate);
+        assert_eq!(pool.commit(&p), IngestDecision::Duplicate);
+        assert_eq!(pool.contributors(1), 1, "still one contribution");
+        assert_eq!(pool.stats().duplicates, 2);
+    }
+
+    #[test]
+    fn rounds_version_the_slots() {
+        let mut pool = SlotPool::new(spec()).unwrap();
+        assert!(pool.commit(&pkt(0, 0, 0, vec![0; 4])).accepted());
+        // A packet from a round the switch has not opened yet.
+        assert_eq!(
+            pool.commit(&pkt(1, 1, 0, vec![0; 4])),
+            IngestDecision::FutureRound
+        );
+        assert_eq!(pool.advance_round(0), 1);
+        assert_eq!(pool.contributors(0), 0, "fan-in reset");
+        // The same worker may contribute again in the new round...
+        assert!(pool.commit(&pkt(0, 1, 0, vec![0; 4])).accepted());
+        // ...and the old round's late retransmission is now stale.
+        assert_eq!(
+            pool.commit(&pkt(2, 0, 0, vec![0; 4])),
+            IngestDecision::StaleRound
+        );
+        assert_eq!(pool.stats().stale, 1);
+        assert_eq!(pool.stats().future, 1);
+    }
+
+    #[test]
+    fn malformed_packets_are_classified() {
+        let mut pool = SlotPool::new(spec()).unwrap();
+        let mut wrong_job = pkt(0, 0, 0, vec![0; 4]);
+        wrong_job.job = 8;
+        assert_eq!(pool.commit(&wrong_job), IngestDecision::WrongJob);
+        assert_eq!(
+            pool.commit(&pkt(3, 0, 0, vec![0; 4])),
+            IngestDecision::BadWorker
+        );
+        assert_eq!(
+            pool.commit(&pkt(0, 0, 2, vec![0; 4])),
+            IngestDecision::BadChunk
+        );
+        assert_eq!(
+            pool.commit(&pkt(0, 0, 1, vec![0; 4])),
+            IngestDecision::BadPayload,
+            "tail chunk holds 2 elements, not 4"
+        );
+        assert_eq!(pool.stats().malformed, 4);
+        assert_eq!(pool.stats().accepted, 0);
+    }
+
+    #[test]
+    fn aggregation_switch_folds_accepted_packets_only() {
+        let mut sw = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+        let grad = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        for worker in 0..3 {
+            let pkts = sw.pool().spec().packetize(worker, 0, &words(&grad));
+            for p in &pkts {
+                assert!(sw.ingest(p).unwrap().accepted());
+            }
+            // Retransmit everything: all dropped before the backend.
+            for p in &pkts {
+                assert_eq!(sw.ingest(p).unwrap(), IngestDecision::Duplicate);
+            }
+        }
+        assert!(sw.pool().is_complete(0) && sw.pool().is_complete(1));
+        assert_eq!(
+            sw.read_all().unwrap(),
+            vec![3.0, 6.0, 9.0, 12.0, 15.0, 18.0],
+            "each element summed exactly once per worker"
+        );
+    }
+
+    #[test]
+    fn finish_round_clears_slots_and_rejects_stragglers() {
+        let mut sw = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+        let grad = [1.0; 6];
+        for worker in 0..3 {
+            for p in sw.pool().spec().packetize(worker, 0, &words(&grad)) {
+                sw.ingest(&p).unwrap();
+            }
+        }
+        assert_eq!(sw.read_chunk(0).unwrap(), vec![3.0; 4]);
+        assert_eq!(sw.finish_round(0).unwrap(), 1);
+        assert_eq!(sw.read_chunk(0).unwrap(), vec![0.0; 4], "slots cleared");
+        // A straggler from round 0 must not dirty the reused slots.
+        let late = sw.pool().spec().packetize(1, 0, &words(&grad));
+        assert_eq!(sw.ingest(&late[0]).unwrap(), IngestDecision::StaleRound);
+        assert_eq!(sw.read_chunk(0).unwrap(), vec![0.0; 4]);
+        // Round 1 proceeds normally on the reused slots.
+        for worker in 0..3 {
+            for p in sw.pool().spec().packetize(worker, 1, &words(&grad)) {
+                let d = sw.ingest(&p).unwrap();
+                assert!(d.accepted() || p.chunk == 1, "{d:?}");
+            }
+        }
+        assert_eq!(sw.read_chunk(0).unwrap(), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn rejected_payload_does_not_consume_the_worker_contribution() {
+        // Regression test: `ingest` used to mark the worker's bit before
+        // the backend could reject the payload, so a corrected
+        // retransmission read as a duplicate and the chunk completed with
+        // a missing contribution.
+        let mut sw = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+        let bad = pkt(0, 0, 1, vec![f64::INFINITY.to_bits(), 1.0f64.to_bits()]);
+        assert!(matches!(
+            sw.ingest(&bad),
+            Err(AggError::NonFinite { slot: 4 })
+        ));
+        assert_eq!(sw.pool().contributors(1), 0, "no contribution recorded");
+        assert_eq!(sw.pool().stats().accepted, 0);
+        // The corrected retransmission goes through normally.
+        let good = pkt(0, 0, 1, words(&[2.0, 1.0]));
+        assert!(sw.ingest(&good).unwrap().accepted());
+        assert_eq!(sw.read_chunk(1).unwrap(), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn bad_chunk_indices_error_instead_of_panicking() {
+        let mut sw = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+        for chunk in [2usize, 100, usize::MAX] {
+            assert!(matches!(
+                sw.read_chunk(chunk),
+                Err(AggError::BadSpec { .. })
+            ));
+            assert!(matches!(
+                sw.finish_round(chunk),
+                Err(AggError::BadSpec { .. })
+            ));
+        }
+        assert_eq!(sw.pool().round(0), 0, "no round advanced");
+    }
+
+    #[test]
+    fn backend_too_small_is_rejected() {
+        assert!(matches!(
+            AggregationSwitch::new(spec(), ExactF64::new(5)),
+            Err(AggError::BadSpec { .. })
+        ));
+    }
+}

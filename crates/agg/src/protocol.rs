@@ -1,0 +1,540 @@
+//! Packet framing for aggregation jobs.
+//!
+//! An aggregation job splits a gradient vector of `elements` values across
+//! fixed-size packets; each packet covers one contiguous **chunk** of slots
+//! on the switch and carries one worker's contribution for every element in
+//! that chunk. The header identifies the job, the worker, the chunk (and
+//! through it the slot range) and the **round** — the slot-reuse version
+//! number that makes retransmissions idempotent (see [`crate::SlotPool`]).
+//!
+//! The payload is backend-defined *wire words* ([`crate::Aggregator::encode`]):
+//! packed IEEE bits for the FPISA backends, two's-complement fixed-point
+//! integers for the SwitchML baseline. The byte layout packs each word at
+//! `word_bytes` bytes, so putting FP16 on the wire really halves the
+//! payload (§5.2.2).
+//!
+//! [`encode_block_fp`]/[`decode_block_fp`] additionally define the
+//! **block floating point** wire layout of §3.3 on top of
+//! [`fpisa_core::BlockFp`]: one shared exponent guarding a run of packed
+//! signed mantissas, the MSFP-style format whose switch-side counterpart
+//! replicates the exponent register across a slot range
+//! ([`fpisa_core::BlockFpAccumulator`]).
+
+use fpisa_core::BlockFp;
+use serde::{Deserialize, Serialize};
+
+/// Framing magic of aggregation data packets (`"FPAG"`).
+pub const PACKET_MAGIC: [u8; 4] = *b"FPAG";
+/// Framing magic of block-floating-point payloads (`"FPBK"`).
+pub const BLOCK_MAGIC: [u8; 4] = *b"FPBK";
+/// Wire format version emitted by this crate.
+pub const WIRE_VERSION: u8 = 1;
+/// Header bytes preceding an [`AggPacket`] payload.
+pub const PACKET_HEADER_BYTES: usize = 22;
+/// Most workers a job can fan in — the per-chunk contribution bitmap is one
+/// 64-bit word.
+pub const MAX_WORKERS: u32 = 64;
+
+/// Static description of one aggregation job, shared by workers and switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job identifier carried by every packet.
+    pub job: u32,
+    /// Number of workers that must contribute to every chunk
+    /// (1..=[`MAX_WORKERS`]).
+    pub workers: u32,
+    /// Total gradient elements — one aggregation slot each.
+    pub elements: usize,
+    /// Elements per packet (the chunk size); the last chunk may be shorter.
+    pub elements_per_packet: usize,
+}
+
+impl JobSpec {
+    /// Validate the spec's internal constraints.
+    pub fn validate(&self) -> Result<(), AggError> {
+        if self.workers == 0 || self.workers > MAX_WORKERS {
+            return Err(AggError::BadSpec {
+                detail: format!("workers {} outside 1..={MAX_WORKERS}", self.workers),
+            });
+        }
+        if self.elements == 0 || self.elements_per_packet == 0 {
+            return Err(AggError::BadSpec {
+                detail: "elements and elements_per_packet must be non-zero".into(),
+            });
+        }
+        // The frame header carries the payload count as u16.
+        if self.elements_per_packet > u16::MAX as usize {
+            return Err(AggError::BadSpec {
+                detail: format!(
+                    "elements_per_packet {} exceeds the 16-bit wire count field",
+                    self.elements_per_packet
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of chunks (= packets per worker per round).
+    pub fn chunks(&self) -> usize {
+        self.elements.div_ceil(self.elements_per_packet)
+    }
+
+    /// The slot range `(start, len)` a chunk covers.
+    pub fn slot_range(&self, chunk: usize) -> (usize, usize) {
+        let start = chunk * self.elements_per_packet;
+        let len = self.elements_per_packet.min(self.elements - start);
+        (start, len)
+    }
+
+    /// Split one worker's gradient (already encoded to wire words) into the
+    /// per-chunk packets of one round.
+    pub fn packetize(&self, worker: u32, round: u32, words: &[u64]) -> Vec<AggPacket> {
+        assert_eq!(words.len(), self.elements, "gradient length != elements");
+        (0..self.chunks())
+            .map(|chunk| {
+                let (start, len) = self.slot_range(chunk);
+                AggPacket {
+                    job: self.job,
+                    worker,
+                    round,
+                    chunk: chunk as u32,
+                    payload: words[start..start + len].to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One aggregation data packet: a worker's contribution to one chunk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggPacket {
+    /// Job identifier.
+    pub job: u32,
+    /// Sending worker (0-based).
+    pub worker: u32,
+    /// Slot-reuse round this contribution belongs to.
+    pub round: u32,
+    /// Chunk index; the slot range is [`JobSpec::slot_range`] of it.
+    pub chunk: u32,
+    /// Backend-defined wire words, one per element of the chunk.
+    pub payload: Vec<u64>,
+}
+
+/// Why a byte buffer does not parse as a wire frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameError {
+    /// Fewer bytes than the fixed header.
+    TooShort {
+        /// Bytes present.
+        have: usize,
+        /// Bytes needed.
+        need: usize,
+    },
+    /// The magic did not match.
+    BadMagic,
+    /// Unknown wire version.
+    BadVersion(u8),
+    /// Word width not in {2, 4, 8} (packets) or mantissa bytes not in
+    /// 1..=4 (blocks).
+    BadWordWidth(u8),
+    /// The payload length disagrees with the header count.
+    LengthMismatch {
+        /// Elements the header announces.
+        declared: usize,
+        /// Elements the bytes actually hold.
+        actual: usize,
+    },
+    /// A word does not fit the declared width (encode-side error).
+    WordTooWide {
+        /// Offending payload index.
+        index: usize,
+    },
+    /// A header field does not fit its wire width (encode-side error):
+    /// worker ids and payload counts are 16-bit on the wire.
+    HeaderFieldTooWide {
+        /// Name of the offending field.
+        field: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort { have, need } => {
+                write!(f, "frame of {have} bytes shorter than {need}")
+            }
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion(v) => write!(f, "unknown wire version {v}"),
+            FrameError::BadWordWidth(w) => write!(f, "unsupported word width {w}"),
+            FrameError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "header declares {declared} elements, frame holds {actual}"
+                )
+            }
+            FrameError::WordTooWide { index } => {
+                write!(f, "payload word {index} does not fit the declared width")
+            }
+            FrameError::HeaderFieldTooWide { field } => {
+                write!(
+                    f,
+                    "header field `{field}` does not fit its 16-bit wire width"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+use crate::backend::AggError;
+
+/// Serialize a packet, packing each payload word at `word_bytes` bytes
+/// (2, 4 or 8 — FP16/BF16, FP32/fixed-point, f64 reference).
+pub fn encode_packet(pkt: &AggPacket, word_bytes: u8) -> Result<Vec<u8>, FrameError> {
+    if !matches!(word_bytes, 2 | 4 | 8) {
+        return Err(FrameError::BadWordWidth(word_bytes));
+    }
+    if pkt.worker > u16::MAX as u32 {
+        return Err(FrameError::HeaderFieldTooWide {
+            field: "worker".into(),
+        });
+    }
+    if pkt.payload.len() > u16::MAX as usize {
+        return Err(FrameError::HeaderFieldTooWide {
+            field: "count".into(),
+        });
+    }
+    let limit = if word_bytes == 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * word_bytes as u32)) - 1
+    };
+    let mut out = Vec::with_capacity(PACKET_HEADER_BYTES + pkt.payload.len() * word_bytes as usize);
+    out.extend_from_slice(&PACKET_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(word_bytes);
+    out.extend_from_slice(&pkt.job.to_le_bytes());
+    out.extend_from_slice(&(pkt.worker as u16).to_le_bytes());
+    out.extend_from_slice(&pkt.round.to_le_bytes());
+    out.extend_from_slice(&pkt.chunk.to_le_bytes());
+    out.extend_from_slice(&(pkt.payload.len() as u16).to_le_bytes());
+    debug_assert_eq!(out.len(), PACKET_HEADER_BYTES);
+    for (i, &w) in pkt.payload.iter().enumerate() {
+        if w > limit {
+            return Err(FrameError::WordTooWide { index: i });
+        }
+        out.extend_from_slice(&w.to_le_bytes()[..word_bytes as usize]);
+    }
+    Ok(out)
+}
+
+/// Parse a packet frame produced by [`encode_packet`].
+pub fn decode_packet(bytes: &[u8]) -> Result<AggPacket, FrameError> {
+    if bytes.len() < PACKET_HEADER_BYTES {
+        return Err(FrameError::TooShort {
+            have: bytes.len(),
+            need: PACKET_HEADER_BYTES,
+        });
+    }
+    if bytes[0..4] != PACKET_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes[4] != WIRE_VERSION {
+        return Err(FrameError::BadVersion(bytes[4]));
+    }
+    let word_bytes = bytes[5];
+    if !matches!(word_bytes, 2 | 4 | 8) {
+        return Err(FrameError::BadWordWidth(word_bytes));
+    }
+    let le32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let job = le32(6);
+    let worker = u16::from_le_bytes(bytes[10..12].try_into().unwrap()) as u32;
+    let round = le32(12);
+    let chunk = le32(16);
+    let count = u16::from_le_bytes(bytes[20..22].try_into().unwrap()) as usize;
+    let body = &bytes[PACKET_HEADER_BYTES..];
+    if body.len() != count * word_bytes as usize {
+        return Err(FrameError::LengthMismatch {
+            declared: count,
+            actual: body.len() / word_bytes as usize,
+        });
+    }
+    let payload = body
+        .chunks_exact(word_bytes as usize)
+        .map(|c| {
+            let mut buf = [0u8; 8];
+            buf[..c.len()].copy_from_slice(c);
+            u64::from_le_bytes(buf)
+        })
+        .collect();
+    Ok(AggPacket {
+        job,
+        worker,
+        round,
+        chunk,
+        payload,
+    })
+}
+
+/// Bytes one mantissa of `man_bits` magnitude bits occupies on the wire
+/// (sign bit included, rounded up to whole bytes).
+pub fn block_mantissa_bytes(man_bits: u32) -> usize {
+    ((man_bits as usize + 1).div_ceil(8)).max(1)
+}
+
+/// Serialize a [`BlockFp`] in the §3.3 wire layout: magic, version, the
+/// block geometry, the shared exponent once, then every signed mantissa
+/// packed at [`block_mantissa_bytes`] — the amortization that makes block
+/// floating point cheaper than scalar formats on the wire.
+pub fn encode_block_fp(block: &BlockFp) -> Vec<u8> {
+    let mb = block_mantissa_bytes(block.man_bits);
+    let mut out = Vec::with_capacity(16 + block.len() * mb);
+    out.extend_from_slice(&BLOCK_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(block.man_bits as u8);
+    out.extend_from_slice(&(block.bias as i16).to_le_bytes());
+    out.extend_from_slice(&(block.shared_exp as i16).to_le_bytes());
+    out.extend_from_slice(&(block.len() as u16).to_le_bytes());
+    for &m in &block.mantissas {
+        out.extend_from_slice(&m.to_le_bytes()[..mb]);
+    }
+    out
+}
+
+/// Parse a block-floating-point frame produced by [`encode_block_fp`].
+pub fn decode_block_fp(bytes: &[u8]) -> Result<BlockFp, FrameError> {
+    const HEADER: usize = 12;
+    if bytes.len() < HEADER {
+        return Err(FrameError::TooShort {
+            have: bytes.len(),
+            need: HEADER,
+        });
+    }
+    if bytes[0..4] != BLOCK_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes[4] != WIRE_VERSION {
+        return Err(FrameError::BadVersion(bytes[4]));
+    }
+    let man_bits = bytes[5] as u32;
+    if !(2..=30).contains(&man_bits) {
+        return Err(FrameError::BadWordWidth(bytes[5]));
+    }
+    let bias = i16::from_le_bytes(bytes[6..8].try_into().unwrap()) as i32;
+    let shared_exp = i16::from_le_bytes(bytes[8..10].try_into().unwrap()) as i32;
+    let count = u16::from_le_bytes(bytes[10..12].try_into().unwrap()) as usize;
+    let mb = block_mantissa_bytes(man_bits);
+    let body = &bytes[HEADER..];
+    if body.len() != count * mb {
+        return Err(FrameError::LengthMismatch {
+            declared: count,
+            actual: body.len() / mb,
+        });
+    }
+    let shift = 32 - 8 * mb as u32;
+    let mantissas = body
+        .chunks_exact(mb)
+        .map(|c| {
+            let mut buf = [0u8; 4];
+            buf[..c.len()].copy_from_slice(c);
+            // Sign-extend from the packed width.
+            (i32::from_le_bytes(buf) << shift) >> shift
+        })
+        .collect();
+    Ok(BlockFp {
+        man_bits,
+        bias,
+        shared_exp,
+        mantissas,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(payload: Vec<u64>) -> AggPacket {
+        AggPacket {
+            job: 7,
+            worker: 3,
+            round: 2,
+            chunk: 5,
+            payload,
+        }
+    }
+
+    #[test]
+    fn packet_roundtrips_at_every_word_width() {
+        for (wb, words) in [
+            (2u8, vec![0u64, 1, 0x3C00, 0xFFFF]),
+            (4, vec![0, 0x3F80_0000, 0xFFFF_FFFF]),
+            (8, vec![0, 1.0f64.to_bits(), u64::MAX]),
+        ] {
+            let p = pkt(words);
+            let bytes = encode_packet(&p, wb).unwrap();
+            assert_eq!(
+                bytes.len(),
+                PACKET_HEADER_BYTES + p.payload.len() * wb as usize
+            );
+            assert_eq!(decode_packet(&bytes).unwrap(), p, "word_bytes {wb}");
+        }
+    }
+
+    #[test]
+    fn fp16_on_the_wire_halves_the_payload() {
+        let p = pkt(vec![0x3C00; 64]);
+        let half = encode_packet(&p, 2).unwrap().len();
+        let full = encode_packet(&p, 4).unwrap().len();
+        assert_eq!(full - PACKET_HEADER_BYTES, 2 * (half - PACKET_HEADER_BYTES));
+    }
+
+    #[test]
+    fn encode_rejects_oversized_words_and_bad_widths() {
+        assert_eq!(
+            encode_packet(&pkt(vec![0x1_0000]), 2),
+            Err(FrameError::WordTooWide { index: 0 })
+        );
+        assert_eq!(
+            encode_packet(&pkt(vec![]), 3),
+            Err(FrameError::BadWordWidth(3))
+        );
+    }
+
+    #[test]
+    fn encode_rejects_header_fields_beyond_their_wire_width() {
+        let mut wide_worker = pkt(vec![1, 2]);
+        wide_worker.worker = 1 << 16;
+        assert!(matches!(
+            encode_packet(&wide_worker, 4),
+            Err(FrameError::HeaderFieldTooWide { .. })
+        ));
+        let long = pkt(vec![0; (u16::MAX as usize) + 1]);
+        assert!(matches!(
+            encode_packet(&long, 2),
+            Err(FrameError::HeaderFieldTooWide { .. })
+        ));
+        // The job spec refuses chunks the wire count field cannot carry.
+        let spec = JobSpec {
+            job: 0,
+            workers: 2,
+            elements: 100_000,
+            elements_per_packet: 70_000,
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        let good = encode_packet(&pkt(vec![1, 2, 3]), 4).unwrap();
+        assert!(matches!(
+            decode_packet(&good[..10]),
+            Err(FrameError::TooShort { .. })
+        ));
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(decode_packet(&bad_magic), Err(FrameError::BadMagic));
+        let mut bad_ver = good.clone();
+        bad_ver[4] = 9;
+        assert_eq!(decode_packet(&bad_ver), Err(FrameError::BadVersion(9)));
+        let mut truncated = good.clone();
+        truncated.pop();
+        assert!(matches!(
+            decode_packet(&truncated),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn job_spec_packetizes_into_chunked_slot_ranges() {
+        let spec = JobSpec {
+            job: 1,
+            workers: 4,
+            elements: 10,
+            elements_per_packet: 4,
+        };
+        spec.validate().unwrap();
+        assert_eq!(spec.chunks(), 3);
+        assert_eq!(spec.slot_range(0), (0, 4));
+        assert_eq!(spec.slot_range(2), (8, 2), "tail chunk is shorter");
+        let words: Vec<u64> = (0..10).collect();
+        let pkts = spec.packetize(2, 1, &words);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[1].payload, vec![4, 5, 6, 7]);
+        assert_eq!(pkts[2].payload, vec![8, 9]);
+        assert!(pkts.iter().all(|p| p.worker == 2 && p.round == 1));
+    }
+
+    #[test]
+    fn job_spec_validation_rejects_degenerate_jobs() {
+        let base = JobSpec {
+            job: 0,
+            workers: 8,
+            elements: 4,
+            elements_per_packet: 2,
+        };
+        assert!(JobSpec { workers: 0, ..base }.validate().is_err());
+        assert!(JobSpec {
+            workers: 65,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec {
+            elements: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec {
+            elements_per_packet: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn block_fp_roundtrips_including_negative_mantissas() {
+        for man_bits in [2u32, 7, 8, 10, 15, 23, 30] {
+            let vals: Vec<f32> = (0..9)
+                .map(|i| (i as f32 - 4.0) * 0.37 * 2f32.powi(i - 3))
+                .collect();
+            let b = BlockFp::from_f32(&vals, man_bits);
+            let bytes = encode_block_fp(&b);
+            assert_eq!(
+                bytes.len(),
+                12 + b.len() * block_mantissa_bytes(man_bits),
+                "man_bits {man_bits}"
+            );
+            assert_eq!(decode_block_fp(&bytes).unwrap(), b, "man_bits {man_bits}");
+        }
+    }
+
+    #[test]
+    fn block_fp_wire_is_smaller_than_scalar_fp32() {
+        // 64 elements at 8-bit mantissas: ~9 bytes of header + 128 bytes of
+        // mantissas vs 256 bytes of FP32 — the §3.3 amortization.
+        let vals = vec![0.5f32; 64];
+        let b = BlockFp::from_f32(&vals, 8);
+        assert!(encode_block_fp(&b).len() < 64 * 4 / 2 + 16);
+    }
+
+    #[test]
+    fn block_fp_decode_rejects_malformed_frames() {
+        let b = BlockFp::from_f32(&[1.0, -2.0], 8);
+        let good = encode_block_fp(&b);
+        let mut bad = good.clone();
+        bad[1] = b'Q';
+        assert_eq!(decode_block_fp(&bad), Err(FrameError::BadMagic));
+        let mut wide = good.clone();
+        wide[5] = 42;
+        assert_eq!(decode_block_fp(&wide), Err(FrameError::BadWordWidth(42)));
+        let mut trunc = good;
+        trunc.truncate(13);
+        assert!(matches!(
+            decode_block_fp(&trunc),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+}

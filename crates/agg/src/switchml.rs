@@ -1,0 +1,397 @@
+//! The SwitchML-style fixed-point baseline.
+//!
+//! SwitchML (Sapio et al., NSDI 2021) aggregates gradients with the
+//! integer ALUs a stock switch already has: hosts pick one **global
+//! scaling factor** for the whole gradient, quantize every element to a
+//! scaled integer, and the switch sums plain two's-complement values. The
+//! cost is numeric: the scaling factor must accommodate the *largest*
+//! element times the worker fan-in, so small elements keep only
+//! `qmax / (max·workers)` of their relative precision — the error FPISA's
+//! per-element exponents avoid (Fig. 10, §5.2).
+//!
+//! The switch side here is honest: a one-stage PISA match-action program
+//! (dispatch on opcode, saturating `AddSat` stateful update per slot, read
+//! via the SALU's old-value output) validated against the stock
+//! [`SwitchCaps::tofino`] profile and executed on the compiled engine —
+//! the same substrate the FPISA pipeline runs on, with none of its
+//! floating-point stages. Quantization clipping is accounted on the host
+//! ([`AggStats::clipped`]); register saturation is accounted via a
+//! control-plane mirror ([`fpisa_core::AddStats::overflows`]) while the
+//! aggregated values themselves always come from the switch registers.
+
+use crate::backend::{AggError, AggStats, Aggregator};
+use fpisa_core::AddStats;
+use fpisa_pisa::{
+    Action, CompiledSwitch, FieldId, KeyMatch, MatchKind, Operand, Phv, PhvLayout, RegArrayId,
+    RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, Stage, StatefulCall, SwitchCaps,
+    SwitchProgram, Table,
+};
+
+/// Packet opcode: fold a quantized value into a slot.
+const OP_ADD: u64 = 0;
+/// Packet opcode: read a slot's integer sum.
+const OP_READ: u64 = 1;
+/// Fixed-point word width on the wire and in the registers.
+const VALUE_BITS: u32 = 32;
+
+/// Per-worker quantization clamp: the register's positive range divided
+/// by the fan-in, so a saturating sum of `workers` maximal contributions
+/// cannot overflow.
+fn qmax_for(workers: u32) -> i64 {
+    ((1i64 << (VALUE_BITS - 1)) - 1) / workers as i64
+}
+
+/// A switch-side fixed-point aggregation backend: host-scaled integers
+/// summed saturating in a plain PISA register array.
+#[derive(Debug, Clone)]
+pub struct SwitchMlFixedPoint {
+    engine: CompiledSwitch,
+    op: FieldId,
+    slot: FieldId,
+    value: FieldId,
+    result: FieldId,
+    array: RegArrayId,
+    slots: usize,
+    /// The global scaling factor: real value = integer × `scale`.
+    scale: f64,
+    /// Host-side quantization clamp (± this), sized so a full fan-in of
+    /// maximal contributions cannot overflow the accumulator register.
+    qmax: i64,
+    /// Control-plane mirror of the exact (unsaturated) integer sums, used
+    /// only to attribute register-overflow events.
+    mirror: Vec<i64>,
+    stats: AddStats,
+    clipped: u64,
+    scratch: Phv,
+}
+
+impl SwitchMlFixedPoint {
+    /// Build the backend with an explicit scaling factor and per-value
+    /// clamp. `workers` sizes the clamp: each quantized contribution is
+    /// clipped to `±(2^31 − 1) / workers` so the saturating register sum
+    /// of a full fan-in cannot overflow.
+    pub fn new(slots: usize, scale: f64, workers: u32) -> Result<Self, AggError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(AggError::BadSpec {
+                detail: format!("scaling factor {scale} must be finite and positive"),
+            });
+        }
+        if workers == 0 {
+            return Err(AggError::BadSpec {
+                detail: "workers must be non-zero".into(),
+            });
+        }
+        if slots == 0 || slots > (1 << 16) {
+            return Err(AggError::BadSpec {
+                detail: format!("slot count {slots} outside 1..=65536"),
+            });
+        }
+        let (program, op, slot, value, result, array) = build_program(slots);
+        let engine = CompiledSwitch::compile(&program).map_err(|e| AggError::BadSpec {
+            detail: format!("generated SwitchML program failed validation: {e}"),
+        })?;
+        let scratch = engine.phv();
+        let qmax = qmax_for(workers);
+        Ok(SwitchMlFixedPoint {
+            engine,
+            op,
+            slot,
+            value,
+            result,
+            array,
+            slots,
+            scale,
+            qmax,
+            mirror: vec![0; slots],
+            stats: AddStats::default(),
+            clipped: 0,
+            scratch,
+        })
+    }
+
+    /// Size the scaling factor for a workload, SwitchML-style: the host
+    /// control plane learns the largest absolute gradient element and
+    /// spreads the clipped integer range over it, so the largest value
+    /// quantizes to `qmax` exactly and nothing clips *at that maximum*.
+    pub fn for_workload(slots: usize, max_abs: f64, workers: u32) -> Result<Self, AggError> {
+        if !(max_abs.is_finite() && max_abs > 0.0) {
+            return Err(AggError::BadSpec {
+                detail: format!("workload maximum {max_abs} must be finite and positive"),
+            });
+        }
+        if workers == 0 {
+            return Err(AggError::BadSpec {
+                detail: "workers must be non-zero".into(),
+            });
+        }
+        Self::new(slots, max_abs / qmax_for(workers) as f64, workers)
+    }
+
+    /// The global scaling factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The host-side quantization clamp (quantized values are clipped to
+    /// `±qmax`).
+    pub fn qmax(&self) -> i64 {
+        self.qmax
+    }
+
+    fn run_op(&mut self, opcode: u64, slot: usize, value: u64) -> Result<u64, AggError> {
+        self.scratch.clear();
+        self.scratch.set(self.op, opcode);
+        self.scratch.set(self.slot, slot as u64);
+        self.scratch.set(self.value, value);
+        self.engine.run(&mut self.scratch)?;
+        Ok(self.scratch.get(self.result))
+    }
+}
+
+/// The one-stage integer-sum program: exactly what SwitchML asks of a
+/// stock switch.
+fn build_program(
+    slots: usize,
+) -> (
+    SwitchProgram,
+    FieldId,
+    FieldId,
+    FieldId,
+    FieldId,
+    RegArrayId,
+) {
+    let mut layout = PhvLayout::new();
+    let op = layout.field("op", 1);
+    let slot = layout.field("slot", 16);
+    let value = layout.field("value", VALUE_BITS);
+    let result = layout.field("result", VALUE_BITS);
+
+    let array = RegArrayId(0);
+    let sum = RegisterArraySpec {
+        name: "int_sum".into(),
+        width_bits: VALUE_BITS,
+        entries: slots,
+        stage: 0,
+    };
+
+    let add = Action::nop("add").call(StatefulCall {
+        array,
+        index: Operand::Field(slot),
+        cond: SaluCond::Always,
+        on_true: SaluUpdate::AddSat(Operand::Field(value)),
+        on_false: SaluUpdate::Keep,
+        output: None,
+    });
+    let read = Action::nop("read").call(StatefulCall {
+        array,
+        index: Operand::Field(slot),
+        cond: SaluCond::Always,
+        on_true: SaluUpdate::Keep,
+        on_false: SaluUpdate::Keep,
+        output: Some((result, SaluOutput::Old)),
+    });
+    let dispatch = Table::keyed(
+        "switchml_dispatch",
+        vec![(op, MatchKind::Exact)],
+        vec![add, read],
+        None,
+    )
+    .entry(vec![KeyMatch::Exact(OP_ADD)], 0, 0)
+    .entry(vec![KeyMatch::Exact(OP_READ)], 0, 1);
+
+    let program = SwitchProgram {
+        caps: SwitchCaps::tofino(),
+        layout,
+        stages: vec![Stage::new().table(dispatch)],
+        arrays: vec![sum],
+        recirc_field: None,
+    };
+    (program, op, slot, value, result, array)
+}
+
+impl Aggregator for SwitchMlFixedPoint {
+    fn label(&self) -> String {
+        "SwitchML fixed point (int32)".into()
+    }
+
+    fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn word_bytes(&self) -> u8 {
+        (VALUE_BITS / 8) as u8
+    }
+
+    fn encode(&mut self, x: f64) -> u64 {
+        let q = (x / self.scale).round();
+        let clamped = q.clamp(-(self.qmax as f64), self.qmax as f64);
+        if clamped != q {
+            self.clipped += 1;
+        }
+        (clamped as i64 as u64) & ((1u64 << VALUE_BITS) - 1)
+    }
+
+    fn add_wire(&mut self, start: usize, words: &[u64]) -> Result<(), AggError> {
+        self.check_range(start, words.len())?;
+        let (reg_min, reg_max) = (-(1i64 << (VALUE_BITS - 1)), (1i64 << (VALUE_BITS - 1)) - 1);
+        for (i, &w) in words.iter().enumerate() {
+            let slot = start + i;
+            self.run_op(OP_ADD, slot, w & ((1u64 << VALUE_BITS) - 1))?;
+            // Control-plane accounting: did the saturating register sum
+            // lose information?
+            let q = ((w as i64) << (64 - VALUE_BITS)) >> (64 - VALUE_BITS);
+            let exact = self.mirror[slot].saturating_add(q);
+            if q == 0 {
+                self.stats.record(fpisa_core::AddEvent::Zero);
+            } else if !(reg_min..=reg_max).contains(&exact) {
+                self.stats.record(fpisa_core::AddEvent::Overflowed);
+            } else {
+                self.stats.record(fpisa_core::AddEvent::Exact);
+            }
+            self.mirror[slot] = exact.clamp(reg_min, reg_max);
+        }
+        Ok(())
+    }
+
+    fn read_range(&mut self, start: usize, len: usize) -> Result<Vec<f64>, AggError> {
+        self.check_range(start, len)?;
+        let mut out = Vec::with_capacity(len);
+        for slot in start..start + len {
+            let raw = self.run_op(OP_READ, slot, 0)?;
+            // Sign-extend the register value from its width.
+            let q = ((raw as i64) << (64 - VALUE_BITS)) >> (64 - VALUE_BITS);
+            debug_assert_eq!(q, self.mirror[slot], "switch and mirror diverged");
+            out.push(q as f64 * self.scale);
+        }
+        Ok(out)
+    }
+
+    fn clear_range(&mut self, start: usize, len: usize) -> Result<(), AggError> {
+        self.check_range(start, len)?;
+        for slot in start..start + len {
+            self.engine.set_register(self.array, slot, 0);
+            self.mirror[slot] = 0;
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> AggStats {
+        AggStats {
+            add: self.stats,
+            clipped: self.clipped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn integer_sum_roundtrips_through_the_switch() {
+        let mut agg = SwitchMlFixedPoint::new(4, 0.5, 2).unwrap();
+        let words: Vec<u64> = [1.0f64, -2.5, 3.0, 0.0]
+            .iter()
+            .map(|&x| agg.encode(x))
+            .collect();
+        agg.add_wire(0, &words).unwrap();
+        agg.add_wire(0, &words).unwrap();
+        assert_eq!(
+            agg.read_range(0, 4).unwrap(),
+            vec![2.0, -5.0, 6.0, 0.0],
+            "exactly representable at scale 0.5"
+        );
+        let s = agg.stats();
+        assert_eq!(s.add.additions, 8);
+        assert_eq!(s.add.zeros, 2);
+        assert_eq!(s.clipped, 0);
+        agg.clear_range(0, 4).unwrap();
+        assert_eq!(agg.read_range(0, 4).unwrap(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn quantization_clips_at_qmax_and_is_accounted() {
+        let mut agg = SwitchMlFixedPoint::new(1, 1.0, 4).unwrap();
+        let qmax = agg.qmax();
+        // One scale unit beyond the clamp in each direction.
+        let hi = agg.encode((qmax + 1) as f64);
+        assert_eq!(hi, (qmax as u64) & 0xFFFF_FFFF);
+        let lo = agg.encode(-((qmax + 1) as f64));
+        assert_eq!(lo, ((-qmax) as u64) & 0xFFFF_FFFF);
+        assert_eq!(agg.stats().clipped, 2);
+        // Exactly at the clamp: no clip.
+        agg.encode(qmax as f64);
+        assert_eq!(agg.stats().clipped, 2);
+    }
+
+    #[test]
+    fn clipping_is_reported_exactly_when_the_scale_saturates() {
+        // Property test: for random values and scales, `clipped` counts
+        // exactly the values whose quantized magnitude exceeds qmax.
+        let mut rng = SmallRng::seed_from_u64(0x5CA1E);
+        for trial in 0..50 {
+            let workers = rng.gen_range(1u32..9);
+            let scale = 2f64.powi(rng.gen_range(-12..4));
+            let mut agg = SwitchMlFixedPoint::new(1, scale, workers).unwrap();
+            let qmax = agg.qmax() as f64;
+            let mut expected = 0u64;
+            for _ in 0..200 {
+                let x = (rng.gen_range(-1.5f32..1.5) as f64) * 2f64.powi(rng.gen_range(0..40));
+                if (x / scale).round().abs() > qmax {
+                    expected += 1;
+                }
+                agg.encode(x);
+            }
+            assert_eq!(
+                agg.stats().clipped,
+                expected,
+                "trial {trial}: workers {workers}, scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn register_saturation_is_detected_and_accounted() {
+        // workers=1 so qmax is the full register range: two maximal adds
+        // saturate the 32-bit accumulator.
+        let mut agg = SwitchMlFixedPoint::new(1, 1.0, 1).unwrap();
+        let w = agg.encode(agg.qmax() as f64);
+        agg.add_wire(0, &[w]).unwrap();
+        assert_eq!(agg.stats().add.overflows, 0);
+        agg.add_wire(0, &[w]).unwrap();
+        assert_eq!(agg.stats().add.overflows, 1);
+        // The switch saturated rather than wrapping.
+        assert_eq!(agg.read_range(0, 1).unwrap(), vec![(i32::MAX as f64)]);
+    }
+
+    #[test]
+    fn workload_sizing_prevents_overflow_at_full_fan_in() {
+        let workers = 8u32;
+        let max_abs = 100.0;
+        let mut agg = SwitchMlFixedPoint::for_workload(4, max_abs, workers).unwrap();
+        let w = agg.encode(max_abs);
+        for _ in 0..workers {
+            agg.add_wire(2, &[w]).unwrap();
+        }
+        assert_eq!(agg.stats().add.overflows, 0);
+        assert_eq!(agg.stats().clipped, 0, "the maximum itself does not clip");
+        let got = agg.read_range(2, 1).unwrap()[0];
+        let rel = (got - 800.0).abs() / 800.0;
+        assert!(rel < 1e-8, "got {got}");
+    }
+
+    #[test]
+    fn bad_configurations_are_rejected() {
+        assert!(SwitchMlFixedPoint::new(4, 0.0, 2).is_err());
+        assert!(SwitchMlFixedPoint::new(4, f64::NAN, 2).is_err());
+        assert!(SwitchMlFixedPoint::new(4, 1.0, 0).is_err());
+        assert!(SwitchMlFixedPoint::new(0, 1.0, 2).is_err());
+        assert!(SwitchMlFixedPoint::for_workload(4, 0.0, 2).is_err());
+        let mut ok = SwitchMlFixedPoint::new(2, 1.0, 2).unwrap();
+        assert!(matches!(
+            ok.add_wire(1, &[0, 0]),
+            Err(AggError::RangeOutOfBounds { .. })
+        ));
+    }
+}

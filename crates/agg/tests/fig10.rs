@@ -1,0 +1,214 @@
+//! The Fig. 10 reproduction: end-to-end aggregation accuracy of the
+//! SwitchML fixed-point baseline vs FPISA, both running switch-side
+//! through compiled `fpisa-pisa` programs.
+
+use fpisa_agg::{
+    aggregate_through_protocol, find_row, run_fig10, AggStats, Aggregator, ExactF64,
+    FpisaAggregator, GradientWorkload, SwitchMlFixedPoint,
+};
+use fpisa_core::FpFormat;
+
+/// The headline acceptance criterion: on a wide-dynamic-range gradient
+/// workload, FPISA-A with FP16 on the wire (Tofino preset) beats the
+/// SwitchML fixed-point baseline on both mean and max relative error,
+/// and full FPISA (FP32, extended switch) matches the exact reference
+/// bit for bit.
+#[test]
+fn fig10_wide_range_fpisa_beats_fixed_point() {
+    let workload = GradientWorkload::fig10(24);
+    let rows = run_fig10(&workload).unwrap();
+
+    let switchml = find_row(&rows, "SwitchML").expect("baseline row");
+    let fp16 = find_row(&rows, "FPISA FP16").expect("FP16 row");
+    let full = find_row(&rows, "FPISA FP32 (FPISA (full").expect("full FPISA row");
+
+    // FPISA FP16 error is bounded...
+    assert!(
+        fp16.mean_rel_err < 2e-3,
+        "FP16 mean error unbounded: {}",
+        fp16.mean_rel_err
+    );
+    assert!(
+        fp16.max_rel_err < 5e-2,
+        "FP16 max error unbounded: {}",
+        fp16.max_rel_err
+    );
+    // ...and strictly better than the fixed-point baseline at this range.
+    assert!(
+        fp16.mean_rel_err < switchml.mean_rel_err,
+        "mean: FP16 {} vs SwitchML {}",
+        fp16.mean_rel_err,
+        switchml.mean_rel_err
+    );
+    assert!(
+        fp16.max_rel_err < switchml.max_rel_err,
+        "max: FP16 {} vs SwitchML {}",
+        fp16.max_rel_err,
+        switchml.max_rel_err
+    );
+
+    // Full FPISA is exact on this workload (sums stay representable).
+    assert_eq!(full.mean_rel_err, 0.0, "full FPISA mean error");
+    assert_eq!(full.max_rel_err, 0.0, "full FPISA max error");
+}
+
+/// Full FPISA (FP32, extended) must agree with the exact reference
+/// *bit for bit*, not just to within a tolerance: compare the packed
+/// FP32 encodings element by element.
+#[test]
+fn fig10_full_fpisa_matches_exact_bit_for_bit() {
+    let workload = GradientWorkload::fig10(20);
+    let gradients = workload.generate();
+    let slots = workload.elements;
+
+    let (exact, _) =
+        aggregate_through_protocol(&workload, &gradients, ExactF64::new(slots)).unwrap();
+    let (full, stats) = aggregate_through_protocol(
+        &workload,
+        &gradients,
+        FpisaAggregator::fp32_extended(slots).unwrap(),
+    )
+    .unwrap();
+
+    for (i, (&got, &want)) in full.iter().zip(&exact).enumerate() {
+        assert_eq!(
+            FpFormat::FP32.encode(got),
+            FpFormat::FP32.encode(want),
+            "element {i}: {got} vs exact {want}"
+        );
+    }
+    // Full FPISA never overwrites, and this workload never clips.
+    assert_eq!(stats.add.overwrites, 0);
+    assert_eq!(stats.clipped, 0);
+    assert_eq!(
+        stats.add.additions,
+        (workload.workers as u64) * workload.elements as u64
+    );
+}
+
+/// The error ordering holds across the Fig. 10 sweep's wide end, and the
+/// SwitchML baseline degrades monotonically-ish as the range widens while
+/// FPISA FP16 stays flat (the shape of the paper's figure).
+#[test]
+fn fig10_sweep_shows_the_crossover_shape() {
+    let mut sw_means = Vec::new();
+    let mut fp_means = Vec::new();
+    for range in [8u32, 16, 24] {
+        let rows = run_fig10(&GradientWorkload::fig10(range)).unwrap();
+        sw_means.push(find_row(&rows, "SwitchML").unwrap().mean_rel_err);
+        fp_means.push(find_row(&rows, "FPISA FP16").unwrap().mean_rel_err);
+    }
+    // Fixed point keeps losing relative precision as the range grows...
+    assert!(
+        sw_means[2] > sw_means[0] * 8.0,
+        "SwitchML error should grow with range: {sw_means:?}"
+    );
+    // ...while floating point's relative error stays within one decade.
+    let (lo, hi) = (
+        fp_means.iter().cloned().fold(f64::INFINITY, f64::min),
+        fp_means.iter().cloned().fold(0.0f64, f64::max),
+    );
+    assert!(
+        hi / lo < 10.0,
+        "FPISA FP16 error should be range-stable: {fp_means:?}"
+    );
+}
+
+/// Both production backends go through the whole packet protocol with
+/// duplicate deliveries injected: retransmissions must not change any sum.
+#[test]
+fn retransmissions_do_not_change_results_on_either_backend() {
+    let workload = GradientWorkload {
+        elements: 64,
+        elements_per_packet: 16,
+        ..GradientWorkload::fig10(12)
+    };
+    let gradients = workload.generate();
+    let spec = workload.job_spec();
+    let max_abs = GradientWorkload::max_abs(&gradients);
+
+    let backends: Vec<Box<dyn Aggregator>> = vec![
+        Box::new(
+            SwitchMlFixedPoint::for_workload(workload.elements, max_abs, spec.workers).unwrap(),
+        ),
+        Box::new(FpisaAggregator::fp16_tofino(workload.elements).unwrap()),
+    ];
+    for backend in backends {
+        let label = backend.label();
+        // Clean run.
+        let (clean, _) = aggregate_through_protocol(&workload, &gradients, backend).unwrap();
+
+        // Lossy-network run: every packet delivered twice.
+        let backend2: Box<dyn Aggregator> = if label.contains("SwitchML") {
+            Box::new(
+                SwitchMlFixedPoint::for_workload(workload.elements, max_abs, spec.workers).unwrap(),
+            )
+        } else {
+            Box::new(FpisaAggregator::fp16_tofino(workload.elements).unwrap())
+        };
+        let mut sw = fpisa_agg::AggregationSwitch::new(spec, backend2).unwrap();
+        for (worker, grad) in gradients.iter().enumerate() {
+            let words: Vec<u64> = grad.iter().map(|&x| sw.backend_mut().encode(x)).collect();
+            for pkt in spec.packetize(worker as u32, 0, &words) {
+                assert!(sw.ingest(&pkt).unwrap().accepted());
+                assert_eq!(
+                    sw.ingest(&pkt).unwrap(),
+                    fpisa_agg::IngestDecision::Duplicate,
+                    "{label}"
+                );
+            }
+        }
+        assert_eq!(sw.read_all().unwrap(), clean, "{label}");
+        assert_eq!(
+            sw.pool().stats().duplicates,
+            (spec.workers as u64) * spec.chunks() as u64,
+            "{label}"
+        );
+    }
+}
+
+/// Multi-round reuse through the full protocol: aggregate, finish the
+/// round, aggregate again on the same slots — second-round results are
+/// identical to a fresh backend's.
+#[test]
+fn slot_reuse_across_rounds_is_clean() {
+    let workload = GradientWorkload {
+        elements: 32,
+        elements_per_packet: 8,
+        ..GradientWorkload::fig10(10)
+    };
+    let gradients = workload.generate();
+    let spec = workload.job_spec();
+
+    let (fresh, fresh_stats) = aggregate_through_protocol(
+        &workload,
+        &gradients,
+        FpisaAggregator::fp16_tofino(workload.elements).unwrap(),
+    )
+    .unwrap();
+
+    let mut sw = fpisa_agg::AggregationSwitch::new(
+        spec,
+        FpisaAggregator::fp16_tofino(workload.elements).unwrap(),
+    )
+    .unwrap();
+    for round in 0..2u32 {
+        for (worker, grad) in gradients.iter().enumerate() {
+            let words: Vec<u64> = grad.iter().map(|&x| sw.backend_mut().encode(x)).collect();
+            for pkt in spec.packetize(worker as u32, round, &words) {
+                assert!(sw.ingest(&pkt).unwrap().accepted(), "round {round}");
+            }
+        }
+        for chunk in 0..spec.chunks() {
+            assert!(sw.pool().is_complete(chunk), "round {round} chunk {chunk}");
+        }
+        let values = sw.read_all().unwrap();
+        assert_eq!(values, fresh, "round {round} must equal a fresh run");
+        for chunk in 0..spec.chunks() {
+            sw.finish_round(chunk).unwrap();
+        }
+    }
+    // Two rounds → twice the additions of one fresh run.
+    let s: AggStats = sw.backend().stats();
+    assert_eq!(s.add.additions, 2 * fresh_stats.add.additions);
+}

@@ -23,8 +23,15 @@
 //!   widths of §3.3 and the nearest-even read-out of Appendix A.1;
 //! * the batch paths that feed million-packet experiments:
 //!   `pipeline/add_batch/*`, `pipeline/read_batch/*` and the raw
-//!   `pisa/run_batch` engine loop with no pipeline wrapping.
+//!   `pisa/run_batch` engine loop with no pipeline wrapping;
+//! * the in-network aggregation protocol ([`run_agg`], written to
+//!   `BENCH_agg.json`): full all-reduce rounds — packetize, slot-pool
+//!   fan-in, compiled switch program, read-out, round reset — on the
+//!   FPISA FP16 and SwitchML fixed-point backends.
 
+use fpisa_agg::{
+    AggregationSwitch, Aggregator, FpisaAggregator, GradientWorkload, SwitchMlFixedPoint,
+};
 use fpisa_core::{FpFormat, FpisaAccumulator, FpisaConfig, ReadRounding};
 use fpisa_pipeline::{ExecEngine, FpisaPipeline, PipelineSpec, PipelineVariant, OP_ADD};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -314,6 +321,73 @@ pub fn run_all(scale: f64) -> Vec<BenchResult> {
     results
 }
 
+/// Run the in-network aggregation benchmark set (`BENCH_agg.json`): one
+/// full all-reduce round per op batch — packetized worker gradients
+/// ingested through the slot pool into the backend's compiled switch
+/// program, then read out and the round finished for slot reuse.
+/// `packets_per_sec` counts *element additions* (workers × elements per
+/// round), the same unit as the `pipeline/add_batch` benches, so protocol
+/// overhead is directly visible against the raw pipeline numbers.
+pub fn run_agg(scale: f64) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    // Rounds per timed batch; at least one full round even in --quick.
+    let rounds = ((8.0 * scale) as u64).max(1);
+
+    let workload = GradientWorkload {
+        workers: 8,
+        elements: 256,
+        elements_per_packet: 64,
+        ..GradientWorkload::fig10(16)
+    };
+    let spec = workload.job_spec();
+    let gradients = workload.generate();
+    let ops_per_round = (spec.workers as u64) * spec.elements as u64;
+
+    let mut bench_backend = |name: &str, backend: Box<dyn Aggregator>| {
+        let mut sw = AggregationSwitch::new(spec, backend).expect("job fits backend");
+        // Pre-encode each worker's wire words once: the timed loop measures
+        // the switch-side protocol, not host-side float conversion.
+        let words: Vec<Vec<u64>> = gradients
+            .iter()
+            .map(|g| g.iter().map(|&x| sw.backend_mut().encode(x)).collect())
+            .collect();
+        let mut round = 0u32;
+        results.push(bench(name, rounds * ops_per_round, 10, || {
+            for _ in 0..rounds {
+                for (worker, w) in words.iter().enumerate() {
+                    for pkt in spec.packetize(worker as u32, round, w) {
+                        let d = sw.ingest(&pkt).expect("in-range slots");
+                        assert!(d.accepted());
+                    }
+                }
+                std::hint::black_box(sw.read_all().expect("read"));
+                for chunk in 0..spec.chunks() {
+                    sw.finish_round(chunk).expect("reset");
+                }
+                round += 1;
+            }
+        }));
+    };
+
+    bench_backend(
+        "agg/allreduce/fpisa_fp16",
+        Box::new(
+            FpisaAggregator::fp16_tofino(workload.elements)
+                .expect("preset validates")
+                .with_shadow_stats(false),
+        ),
+    );
+    let max_abs = GradientWorkload::max_abs(&gradients);
+    bench_backend(
+        "agg/allreduce/switchml",
+        Box::new(
+            SwitchMlFixedPoint::for_workload(workload.elements, max_abs, spec.workers)
+                .expect("workload sizes"),
+        ),
+    );
+    results
+}
+
 /// Escape a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -391,6 +465,18 @@ mod tests {
         assert!(results.iter().any(|r| r.name.contains("fp16")));
         assert!(results.iter().any(|r| r.name.contains("bf16")));
         assert!(results.iter().any(|r| r.name.contains("nearest_even")));
+        for r in &results {
+            assert!(r.median_batch_ns > 0, "{} measured nothing", r.name);
+            assert!(r.packets_per_sec > 0.0, "{} has no rate", r.name);
+        }
+    }
+
+    #[test]
+    fn run_agg_covers_both_backends() {
+        let results = run_agg(0.01);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().any(|r| r.name == "agg/allreduce/fpisa_fp16"));
+        assert!(results.iter().any(|r| r.name == "agg/allreduce/switchml"));
         for r in &results {
             assert!(r.median_batch_ns > 0, "{} measured nothing", r.name);
             assert!(r.packets_per_sec > 0.0, "{} has no rate", r.name);

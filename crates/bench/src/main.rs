@@ -1,36 +1,46 @@
-//! Run the FPISA benchmark set and write `BENCH_accumulator.json`.
+//! Run the FPISA benchmark sets and write `BENCH_accumulator.json`
+//! (core + pipeline hot paths) and `BENCH_agg.json` (the in-network
+//! aggregation protocol).
 //!
 //! ```sh
-//! cargo run --release -p fpisa-bench [output-path]
-//! cargo run -p fpisa-bench -- --quick   # CI smoke: tiny batches, no file
+//! cargo run --release -p fpisa-bench [accumulator-path [agg-path]]
+//! cargo run -p fpisa-bench -- --quick   # CI smoke: tiny batches, no files
 //! ```
 //!
-//! `--quick` exercises every bench (including the compiled engine and the
-//! batch paths) with tiny batch sizes and writes nothing — timing-flake
-//!-proof coverage for CI, not a measurement.
+//! `--quick` exercises every bench (including the compiled engine, the
+//! batch paths and the aggregation protocol) with tiny batch sizes and
+//! writes nothing — timing-flake-proof coverage for CI, not a measurement.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
+    let mut paths = args.iter().filter(|a| !a.starts_with("--"));
+    let out_path = paths
+        .next()
         .cloned()
         .unwrap_or_else(|| "BENCH_accumulator.json".into());
+    let agg_path = paths
+        .next()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_agg.json".into());
     if quick {
         eprintln!("running FPISA benchmarks in --quick smoke mode (no file output)...");
     } else {
         eprintln!("running FPISA benchmarks (release profile recommended)...");
     }
-    let results = fpisa_bench::run_all(if quick { 0.02 } else { 1.0 });
-    for r in &results {
+    let scale = if quick { 0.02 } else { 1.0 };
+    let results = fpisa_bench::run_all(scale);
+    let agg_results = fpisa_bench::run_agg(scale);
+    for r in results.iter().chain(&agg_results) {
         println!("{:<44} {:>10.1} ns/op", r.name, r.ns_per_op);
     }
     if quick {
-        eprintln!("--quick: skipped writing {out_path}");
+        eprintln!("--quick: skipped writing {out_path} and {agg_path}");
         return;
     }
-    let json = fpisa_bench::to_json(&results);
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    eprintln!("wrote {out_path}");
+    for (path, set) in [(&out_path, &results), (&agg_path, &agg_results)] {
+        let json = fpisa_bench::to_json(set);
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 }

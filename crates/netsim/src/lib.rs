@@ -1,17 +1,15 @@
-//! # fpisa-netsim — host/network simulator (stub)
+//! # fpisa-netsim — host/network simulator (planned)
 //!
 //! Planned subsystem: a discrete-event simulator of workers, links and the
 //! switch data path, carrying the end-host cost models the paper measures
 //! in §5.3 (quantization to FP16/BF16 via [`fpisa_core::FpFormat`],
 //! endianness conversion, memcpy and GPU-copy costs) so that end-to-end
 //! training-throughput experiments (Figs. 7, 11) can be replayed without
-//! hardware. The switch side will come from
-//! `fpisa_pipeline::PipelineSpec`, whose FP16/BF16 field widths set the
-//! per-packet element counts the cost models depend on.
+//! hardware. The switch side will come from `fpisa_pipeline::PipelineSpec`
+//! and the aggregation protocol — packet framing, slot pools, worker
+//! fan-in — is already defined by `fpisa-agg`; this crate adds the timing
+//! model around it.
 //!
 //! Not implemented yet — see the "Open items" section of `ROADMAP.md`. The
-//! crate exists so the workspace layout and dependency edges are fixed
-//! before the subsystem lands.
-
-#[doc(hidden)]
-pub use fpisa_core as _core;
+//! crate intentionally exports nothing: it exists so the workspace layout
+//! and dependency edges are fixed before the subsystem lands.

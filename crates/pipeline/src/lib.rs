@@ -398,6 +398,39 @@ impl FpisaPipeline {
         Ok(self.cfg.format.decode(bits))
     }
 
+    /// Control-plane reset of one slot: zero its exponent and mantissa
+    /// register entries, returning it to the empty state, in whichever
+    /// engine holds the live state. This is how an aggregation protocol
+    /// reuses a slot between rounds without rebuilding the pipeline.
+    pub fn clear_slot(&mut self, slot: usize) -> Result<(), RuntimeError> {
+        self.check_slot(slot)?;
+        match &mut self.compiled {
+            Some(c) => {
+                c.set_register(self.arrays.exponent, slot, 0);
+                c.set_register(self.arrays.mantissa, slot, 0);
+            }
+            None => {
+                self.switch.set_register(self.arrays.exponent, slot, 0);
+                self.switch.set_register(self.arrays.mantissa, slot, 0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Control-plane reset of a contiguous slot range (see
+    /// [`FpisaPipeline::clear_slot`]). The range is validated up front: on
+    /// an out-of-range slot the call errors before any slot is cleared.
+    pub fn clear_range(&mut self, start: usize, len: usize) -> Result<(), RuntimeError> {
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.slots())
+            .ok_or_else(|| self.slot_error(start.saturating_add(len).saturating_sub(1)))?;
+        for slot in start..end {
+            self.clear_slot(slot)?;
+        }
+        Ok(())
+    }
+
     /// Raw register state of a slot: `(biased exponent, signed mantissa)`.
     /// `(0, 0)` is an empty slot. Control-plane access used by the
     /// differential tests to compare against the reference model. Reads
@@ -651,6 +684,38 @@ mod tests {
             pipe.read_batch(&[0, 4]),
             Err(RuntimeError::IndexOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn clear_slot_resets_state_for_reuse() {
+        for engine in [ExecEngine::Compiled, ExecEngine::Interpreted] {
+            let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+                .slots(4)
+                .engine(engine);
+            let mut pipe = FpisaPipeline::from_spec(spec).unwrap();
+            pipe.add_f32(1, 3.5).unwrap();
+            pipe.add_f32(2, -1.0).unwrap();
+            pipe.clear_slot(1).unwrap();
+            assert_eq!(pipe.register_state(1), (0, 0), "{engine:?}");
+            assert_eq!(pipe.read_bits(1).unwrap(), 0, "{engine:?}");
+            // Untouched slots keep their state; the cleared slot is reusable.
+            assert_eq!(pipe.read_f32(2).unwrap(), -1.0, "{engine:?}");
+            pipe.add_f32(1, 2.0).unwrap();
+            assert_eq!(pipe.read_f32(1).unwrap(), 2.0, "{engine:?}");
+            // Range clear validates before clearing anything.
+            pipe.add_f32(0, 1.0).unwrap();
+            assert!(matches!(
+                pipe.clear_range(2, 3),
+                Err(RuntimeError::IndexOutOfRange { .. })
+            ));
+            assert_eq!(pipe.read_f32(2).unwrap(), -1.0, "{engine:?} untouched");
+            pipe.clear_range(0, 4).unwrap();
+            for slot in 0..4 {
+                assert_eq!(pipe.register_state(slot), (0, 0), "{engine:?}");
+            }
+            assert!(pipe.clear_slot(4).is_err());
+            assert!(pipe.clear_range(usize::MAX, 2).is_err());
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! # fpisa-query — distributed query processing (stub)
+//! # fpisa-query — distributed query processing (planned)
 //!
 //! Planned subsystem reproducing the paper's §6 query use case (Table 2,
 //! Fig. 13): Cheetah/NetAccel-style in-switch pruning and aggregation over
@@ -7,8 +7,5 @@
 //! in-switch SUM/AVG.
 //!
 //! Not implemented yet — see the "Open items" section of `ROADMAP.md`. The
-//! crate exists so the workspace layout and dependency edges are fixed
-//! before the subsystem lands.
-
-#[doc(hidden)]
-pub use fpisa_core as _core;
+//! crate intentionally exports nothing: it exists so the workspace layout
+//! and dependency edges are fixed before the subsystem lands.

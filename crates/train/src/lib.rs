@@ -1,14 +1,13 @@
-//! # fpisa-train — data-parallel training harness (stub)
+//! # fpisa-train — data-parallel training harness (planned)
 //!
 //! Planned subsystem: synchronous data-parallel training with a pluggable
-//! gradient-aggregation backend (exact host-side reduction, SwitchML-style
-//! fixed point, FPISA-A, full FPISA) so the accuracy experiments of
-//! Figs. 8 and 9 — does FPISA-A's bounded overwrite error change model
-//! convergence? — can be reproduced on small models.
+//! gradient-aggregation backend so the accuracy experiments of Figs. 8
+//! and 9 — does FPISA-A's bounded overwrite error change model
+//! convergence? — can be reproduced on small models. The backend interface
+//! it will plug into is `fpisa_agg::Aggregator`, whose exact, SwitchML
+//! fixed-point and FPISA implementations already exist; this crate adds
+//! the model, the optimizer loop and the convergence metrics.
 //!
 //! Not implemented yet — see the "Open items" section of `ROADMAP.md`. The
-//! crate exists so the workspace layout and dependency edges are fixed
-//! before the subsystem lands.
-
-#[doc(hidden)]
-pub use fpisa_core as _core;
+//! crate intentionally exports nothing: it exists so the workspace layout
+//! and dependency edges are fixed before the subsystem lands.

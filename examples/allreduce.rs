@@ -1,0 +1,83 @@
+//! All-reduce a synthetic gradient *inside the switch* and compare
+//! backends: the Fig. 10 experiment as a runnable demo.
+//!
+//! N workers packetize their gradients (job id, worker id, round, chunk,
+//! packed payload), the switch-side slot pool fans them in with duplicate
+//! suppression, and each backend — SwitchML-style fixed point, FPISA-A
+//! FP16 on Tofino, full FPISA FP32 — aggregates through its compiled PISA
+//! program. Per-element relative error is measured against the exact f64
+//! reference across increasingly wide gradient dynamic ranges.
+//!
+//! ```sh
+//! cargo run --release --example allreduce
+//! ```
+
+use fpisa::agg::{
+    encode_packet, render_fig10, run_fig10_sweep, AggregationSwitch, Aggregator, FpisaAggregator,
+    GradientWorkload, IngestDecision,
+};
+
+fn main() {
+    // A small end-to-end protocol walk-through first: 4 workers, one
+    // switch, FP16 on the wire, with a retransmission thrown in.
+    let workload = GradientWorkload {
+        workers: 4,
+        elements: 8,
+        elements_per_packet: 4,
+        ..GradientWorkload::fig10(12)
+    };
+    let spec = workload.job_spec();
+    let gradients = workload.generate();
+    let backend = FpisaAggregator::fp16_tofino(workload.elements).expect("spec validates");
+    let mut switch = AggregationSwitch::new(spec, backend).expect("job fits backend");
+
+    let mut wire_bytes = 0usize;
+    for (worker, grad) in gradients.iter().enumerate() {
+        let words: Vec<u64> = grad
+            .iter()
+            .map(|&x| switch.backend_mut().encode(x))
+            .collect();
+        for pkt in spec.packetize(worker as u32, 0, &words) {
+            wire_bytes += encode_packet(&pkt, 2)
+                .expect("FP16 words fit 2 bytes")
+                .len();
+            assert!(switch.ingest(&pkt).expect("in-range slots").accepted());
+            // The network may deliver a retransmission: idempotently dropped.
+            assert_eq!(
+                switch.ingest(&pkt).expect("in-range slots"),
+                IngestDecision::Duplicate
+            );
+        }
+    }
+    println!(
+        "job {}: {} workers x {} elements, {} chunks, {} B on the wire (FP16)",
+        spec.job,
+        spec.workers,
+        spec.elements,
+        spec.chunks(),
+        wire_bytes
+    );
+    let sums = switch.read_all().expect("in-range slots");
+    println!("aggregated gradient: {sums:.4?}");
+    let stats = switch.backend().stats();
+    println!(
+        "protocol: {:?}\nnumerics: {} adds, {} rounded, {} overwrites, {} clipped\n",
+        switch.pool().stats(),
+        stats.add.additions,
+        stats.add.rounded,
+        stats.add.overwrites,
+        stats.clipped
+    );
+
+    // The Fig. 10 sweep: accuracy vs gradient dynamic range, every backend
+    // behind the same packet protocol.
+    println!("Fig. 10 — aggregation error vs gradient dynamic range (8 workers, 256 elements):\n");
+    let rows = run_fig10_sweep(&[8, 16, 24]).expect("experiment runs");
+    print!("{}", render_fig10(&rows));
+    println!(
+        "\nAt a narrow dynamic range the 31-bit fixed-point resolution wins;\n\
+         as the range widens, SwitchML's global scaling factor starves small\n\
+         elements while FPISA keeps per-element exponents — and full FPISA\n\
+         (RSAW) tracks the exact f64 reference bit for bit."
+    );
+}
