@@ -98,6 +98,20 @@ pub trait Aggregator {
     /// `start`. The range is validated before any state changes.
     fn add_wire(&mut self, start: usize, words: &[u64]) -> Result<(), AggError>;
 
+    /// Switch side, many chunks at once: fold several `(start, words)`
+    /// payloads in one call. Backends with a sharded engine push the
+    /// whole set through one parallel batch here.
+    ///
+    /// **Contract: all-or-nothing.** Implementations must validate every
+    /// chunk — ranges and word validity — *before* folding anything, so
+    /// a rejected call leaves the backend untouched.
+    /// [`crate::AggregationSwitch::ingest_batch`] depends on this: it
+    /// commits pool contributions only after this call succeeds, and a
+    /// partial fold would double-count on retransmission. There is
+    /// deliberately no chunk-by-chunk default implementation, because it
+    /// could not honor the contract.
+    fn add_wire_multi(&mut self, chunks: &[(usize, &[u64])]) -> Result<(), AggError>;
+
     /// Read `len` slots starting at `start` back as `f64` values.
     fn read_range(&mut self, start: usize, len: usize) -> Result<Vec<f64>, AggError>;
 
@@ -140,6 +154,9 @@ impl<T: Aggregator + ?Sized> Aggregator for Box<T> {
     }
     fn add_wire(&mut self, start: usize, words: &[u64]) -> Result<(), AggError> {
         (**self).add_wire(start, words)
+    }
+    fn add_wire_multi(&mut self, chunks: &[(usize, &[u64])]) -> Result<(), AggError> {
+        (**self).add_wire_multi(chunks)
     }
     fn read_range(&mut self, start: usize, len: usize) -> Result<Vec<f64>, AggError> {
         (**self).read_range(start, len)
@@ -189,18 +206,26 @@ impl Aggregator for ExactF64 {
     }
 
     fn add_wire(&mut self, start: usize, words: &[u64]) -> Result<(), AggError> {
-        self.check_range(start, words.len())?;
-        // Reject non-finite words before folding anything, so a rejected
-        // batch leaves no partial state — same contract as the switch
-        // backends.
-        for (i, &w) in words.iter().enumerate() {
-            if !f64::from_bits(w).is_finite() {
-                return Err(AggError::NonFinite { slot: start + i });
+        self.add_wire_multi(&[(start, words)])
+    }
+
+    fn add_wire_multi(&mut self, chunks: &[(usize, &[u64])]) -> Result<(), AggError> {
+        // Reject bad ranges and non-finite words before folding anything,
+        // so a rejected batch leaves no partial state — same contract as
+        // the switch backends.
+        for &(start, words) in chunks {
+            self.check_range(start, words.len())?;
+            for (i, &w) in words.iter().enumerate() {
+                if !f64::from_bits(w).is_finite() {
+                    return Err(AggError::NonFinite { slot: start + i });
+                }
             }
         }
-        for (i, &w) in words.iter().enumerate() {
-            self.sums[start + i] += f64::from_bits(w);
-            self.additions += 1;
+        for &(start, words) in chunks {
+            for (i, &w) in words.iter().enumerate() {
+                self.sums[start + i] += f64::from_bits(w);
+                self.additions += 1;
+            }
         }
         Ok(())
     }

@@ -74,6 +74,26 @@ impl FpisaAggregator {
         )
     }
 
+    /// [`FpisaAggregator::fp16_tofino`] sharded across `shards` cores,
+    /// with shard boundaries aligned to `chunk` slots so every protocol
+    /// chunk's slot range lands on exactly one shard (pass the job's
+    /// `elements_per_packet`). Ingest parallelizes across the shards via
+    /// [`crate::Aggregator::add_wire_multi`]; results stay bit-for-bit
+    /// identical to the single-core engine.
+    pub fn fp16_tofino_sharded(
+        slots: usize,
+        shards: usize,
+        chunk: usize,
+    ) -> Result<Self, SpecError> {
+        Self::from_spec(
+            PipelineSpec::new(PipelineVariant::TofinoA)
+                .format(FpFormat::FP16)
+                .slots(slots)
+                .shards(shards)
+                .shard_align(chunk),
+        )
+    }
+
     /// BF16 on the wire, FPISA-A on unmodified Tofino.
     pub fn bf16_tofino(slots: usize) -> Result<Self, SpecError> {
         Self::from_spec(
@@ -129,11 +149,15 @@ impl FpisaAggregator {
 
 impl Aggregator for FpisaAggregator {
     fn label(&self) -> String {
-        format!(
+        let mut s = format!(
             "FPISA {} ({})",
             format_name(self.format),
             self.pipe.variant().name()
-        )
+        );
+        if self.pipe.shards() > 1 {
+            s.push_str(&format!(" ×{}", self.pipe.shards()));
+        }
+        s
     }
 
     fn slots(&self) -> usize {
@@ -160,35 +184,51 @@ impl Aggregator for FpisaAggregator {
     }
 
     fn add_wire(&mut self, start: usize, words: &[u64]) -> Result<(), AggError> {
-        self.check_range(start, words.len())?;
-        // Reject non-finite bit patterns before touching any state, so the
-        // switch and the shadows never diverge on partial batches.
-        for (i, &w) in words.iter().enumerate() {
-            let class = self.format.unpack(w).class;
-            if matches!(
-                class,
-                fpisa_core::FpClass::Infinity | fpisa_core::FpClass::Nan
-            ) {
-                return Err(AggError::NonFinite { slot: start + i });
+        self.add_wire_multi(&[(start, words)])
+    }
+
+    fn add_wire_multi(&mut self, chunks: &[(usize, &[u64])]) -> Result<(), AggError> {
+        // Validate every chunk — range and finiteness — before touching
+        // any state, so the switch and the shadows never diverge on
+        // partial batches and a rejected call folds nothing at all.
+        for &(start, words) in chunks {
+            self.check_range(start, words.len())?;
+            for (i, &w) in words.iter().enumerate() {
+                let class = self.format.unpack(w).class;
+                if matches!(
+                    class,
+                    fpisa_core::FpClass::Infinity | fpisa_core::FpClass::Nan
+                ) {
+                    return Err(AggError::NonFinite { slot: start + i });
+                }
             }
         }
+        // One combined batch through the pipeline: on a sharded spec this
+        // is where ingest fans out across cores (whole chunks land on one
+        // shard when the shard alignment matches the chunk size).
         self.batch.clear();
-        self.batch
-            .extend(words.iter().enumerate().map(|(i, &w)| (start + i, w)));
+        for &(start, words) in chunks {
+            self.batch
+                .extend(words.iter().enumerate().map(|(i, &w)| (start + i, w)));
+        }
         let batch = std::mem::take(&mut self.batch);
         let result = self.pipe.add_batch(&batch);
         self.batch = batch;
         result?;
         match &mut self.shadow {
             Some(shadow) => {
-                for (i, &w) in words.iter().enumerate() {
-                    shadow[start + i].add_bits_quiet(w).map_err(|_| {
-                        // Unreachable after the finiteness screen above.
-                        AggError::NonFinite { slot: start + i }
-                    })?;
+                for &(start, words) in chunks {
+                    for (i, &w) in words.iter().enumerate() {
+                        shadow[start + i].add_bits_quiet(w).map_err(|_| {
+                            // Unreachable after the finiteness screen above.
+                            AggError::NonFinite { slot: start + i }
+                        })?;
+                    }
                 }
             }
-            None => self.bare_adds += words.len() as u64,
+            None => {
+                self.bare_adds += chunks.iter().map(|(_, w)| w.len() as u64).sum::<u64>();
+            }
         }
         Ok(())
     }

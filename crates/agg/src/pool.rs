@@ -20,7 +20,17 @@
 
 use crate::backend::{AggError, Aggregator};
 use crate::protocol::{AggPacket, JobSpec};
+use fpisa_pisa::RuntimeError;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The error an out-of-bounds chunk index produces — the switch's own
+/// index-range error, not a panic and not silent truncation.
+fn chunk_error(chunk: usize, chunks: usize) -> AggError {
+    AggError::Switch(RuntimeError::IndexOutOfRange {
+        detail: format!("chunk {chunk} out of range for job with {chunks} chunks"),
+    })
+}
 
 /// What the pool decided about one incoming packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -168,10 +178,17 @@ impl SlotPool {
 
     /// Advance a chunk to the next round, resetting its fan-in state.
     /// Returns the new round number.
-    pub fn advance_round(&mut self, chunk: usize) -> u32 {
+    ///
+    /// Out-of-bounds chunks are a
+    /// [`fpisa_pisa::RuntimeError::IndexOutOfRange`] error (regression:
+    /// this used to panic on a bad index).
+    pub fn advance_round(&mut self, chunk: usize) -> Result<u32, AggError> {
+        if chunk >= self.spec.chunks() {
+            return Err(chunk_error(chunk, self.spec.chunks()));
+        }
         self.seen[chunk] = 0;
         self.rounds[chunk] += 1;
-        self.rounds[chunk]
+        Ok(self.rounds[chunk])
     }
 
     /// Protocol counters so far.
@@ -220,13 +237,51 @@ impl<B: Aggregator> AggregationSwitch<B> {
         Ok(self.pool.commit(pkt))
     }
 
+    /// Ingest a whole batch of data packets at once — the parallel
+    /// aggregation ingest path. Each packet is classified exactly as
+    /// [`AggregationSwitch::ingest`] would in sequence (duplicates within
+    /// the batch included), then every accepted payload is folded into
+    /// the backend through **one**
+    /// [`Aggregator::add_wire_multi`] call — on a sharded backend, the
+    /// point where whole chunks fan out across cores in parallel.
+    ///
+    /// [`SlotPool`] bookkeeping is committed only after the backend
+    /// accepts the combined batch, and in the packets' original order —
+    /// so the fan-in state is correct regardless of the order in which
+    /// shards complete their slices, and a rejected batch consumes no
+    /// contributions (same contract as scalar ingest). Returns one
+    /// decision per packet, in order.
+    pub fn ingest_batch(&mut self, pkts: &[AggPacket]) -> Result<Vec<IngestDecision>, AggError> {
+        // Phase 1: classify against the pool state plus the contributions
+        // accepted earlier in this batch (overlay of per-chunk worker
+        // bits; rounds don't move during a batch).
+        let mut overlay: HashMap<u32, u64> = HashMap::new();
+        let mut accepted: Vec<(usize, &[u64])> = Vec::new();
+        for pkt in pkts {
+            if self.pool.check(pkt).accepted() {
+                let bit = 1u64 << pkt.worker;
+                let seen = overlay.entry(pkt.chunk).or_insert(0);
+                if *seen & bit == 0 {
+                    *seen |= bit;
+                    let (start, _) = self.pool.spec().slot_range(pkt.chunk as usize);
+                    accepted.push((start, pkt.payload.as_slice()));
+                }
+            }
+        }
+        // Phase 2: one backend call for every accepted payload.
+        self.backend.add_wire_multi(&accepted)?;
+        // Phase 3: commit the pool bookkeeping in original packet order
+        // (each commit re-checks against the now-updated state, so
+        // within-batch duplicates classify exactly as sequential ingest
+        // would).
+        Ok(pkts.iter().map(|pkt| self.pool.commit(pkt)).collect())
+    }
+
     /// Validate a chunk index against the job.
     fn check_chunk(&self, chunk: usize) -> Result<(), AggError> {
         let chunks = self.pool.spec().chunks();
         if chunk >= chunks {
-            return Err(AggError::BadSpec {
-                detail: format!("chunk {chunk} outside job with {chunks} chunks"),
-            });
+            return Err(chunk_error(chunk, chunks));
         }
         Ok(())
     }
@@ -250,7 +305,7 @@ impl<B: Aggregator> AggregationSwitch<B> {
         self.check_chunk(chunk)?;
         let (start, len) = self.pool.spec().slot_range(chunk);
         self.backend.clear_range(start, len)?;
-        Ok(self.pool.advance_round(chunk))
+        self.pool.advance_round(chunk)
     }
 
     /// The fan-in state.
@@ -341,7 +396,7 @@ mod tests {
             pool.commit(&pkt(1, 1, 0, vec![0; 4])),
             IngestDecision::FutureRound
         );
-        assert_eq!(pool.advance_round(0), 1);
+        assert_eq!(pool.advance_round(0).unwrap(), 1);
         assert_eq!(pool.contributors(0), 0, "fan-in reset");
         // The same worker may contribute again in the new round...
         assert!(pool.commit(&pkt(0, 1, 0, vec![0; 4])).accepted());
@@ -447,18 +502,71 @@ mod tests {
 
     #[test]
     fn bad_chunk_indices_error_instead_of_panicking() {
+        // Regression test: `SlotPool::advance_round` used to index the
+        // round table directly and panic on an out-of-bounds chunk; now
+        // every chunk-index error path — the pool's and the aggregation
+        // switch's — surfaces the switch's own IndexOutOfRange error.
+        use fpisa_pisa::RuntimeError;
+        let oob =
+            |e: &AggError| matches!(e, AggError::Switch(RuntimeError::IndexOutOfRange { .. }));
         let mut sw = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
         for chunk in [2usize, 100, usize::MAX] {
-            assert!(matches!(
-                sw.read_chunk(chunk),
-                Err(AggError::BadSpec { .. })
-            ));
-            assert!(matches!(
-                sw.finish_round(chunk),
-                Err(AggError::BadSpec { .. })
-            ));
+            assert!(oob(&sw.read_chunk(chunk).unwrap_err()), "read {chunk}");
+            assert!(oob(&sw.finish_round(chunk).unwrap_err()), "finish {chunk}");
         }
         assert_eq!(sw.pool().round(0), 0, "no round advanced");
+        let mut pool = SlotPool::new(spec()).unwrap();
+        assert!(oob(&pool.advance_round(2).unwrap_err()));
+        assert!(oob(&pool.advance_round(usize::MAX).unwrap_err()));
+        assert_eq!(pool.advance_round(1).unwrap(), 1, "in-range still works");
+    }
+
+    #[test]
+    fn ingest_batch_matches_sequential_ingest_decisions() {
+        let grad = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        // A batch with in-batch duplicates, a stale round and a malformed
+        // packet mixed in.
+        let mut pkts: Vec<AggPacket> = Vec::new();
+        for worker in 0..3 {
+            let sw = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+            pkts.extend(sw.pool().spec().packetize(worker, 0, &words(&grad)));
+        }
+        pkts.push(pkts[0].clone()); // duplicate of worker 0 chunk 0
+        pkts.push(pkt(1, 7, 0, vec![0; 4])); // future round
+        pkts.push(pkt(9, 0, 0, vec![0; 4])); // bad worker
+        let mut seq = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+        let mut bat = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+        let seq_decisions: Vec<IngestDecision> =
+            pkts.iter().map(|p| seq.ingest(p).unwrap()).collect();
+        let bat_decisions = bat.ingest_batch(&pkts).unwrap();
+        assert_eq!(seq_decisions, bat_decisions);
+        assert_eq!(seq.pool().stats(), bat.pool().stats());
+        assert_eq!(seq.read_all().unwrap(), bat.read_all().unwrap());
+        assert_eq!(
+            bat.read_all().unwrap(),
+            vec![3.0, 6.0, 9.0, 12.0, 15.0, 18.0]
+        );
+    }
+
+    #[test]
+    fn ingest_batch_rejects_bad_payloads_without_consuming_contributions() {
+        let mut sw = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+        let pkts = vec![
+            pkt(0, 0, 0, words(&[1.0, 1.0, 1.0, 1.0])),
+            pkt(1, 0, 1, vec![f64::INFINITY.to_bits(), 0]),
+        ];
+        assert!(sw.ingest_batch(&pkts).is_err());
+        // All-or-nothing: neither the good packet's payload nor any
+        // contribution bit landed.
+        assert_eq!(sw.pool().stats().accepted, 0);
+        assert_eq!(sw.read_all().unwrap(), vec![0.0; 6]);
+        // The corrected batch goes through.
+        let good = vec![
+            pkt(0, 0, 0, words(&[1.0, 1.0, 1.0, 1.0])),
+            pkt(1, 0, 1, words(&[2.0, 2.0])),
+        ];
+        let decisions = sw.ingest_batch(&good).unwrap();
+        assert!(decisions.iter().all(|d| d.accepted()));
     }
 
     #[test]

@@ -22,9 +22,9 @@
 use crate::backend::{AggError, AggStats, Aggregator};
 use fpisa_core::AddStats;
 use fpisa_pisa::{
-    Action, CompiledSwitch, FieldId, KeyMatch, MatchKind, Operand, Phv, PhvLayout, RegArrayId,
-    RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, Stage, StatefulCall, SwitchCaps,
-    SwitchProgram, Table,
+    partition_slots_aligned, Action, CompiledSwitch, FieldId, KeyMatch, MatchKind, Operand, Phv,
+    PhvLayout, RegArrayId, RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, ShardedSwitch,
+    Stage, StatefulCall, SwitchCaps, SwitchProgram, Table,
 };
 
 /// Packet opcode: fold a quantized value into a slot.
@@ -41,11 +41,19 @@ fn qmax_for(workers: u32) -> i64 {
     ((1i64 << (VALUE_BITS - 1)) - 1) / workers as i64
 }
 
+/// Packets per internal batch chunk pushed through the (possibly
+/// sharded) engine by `add_wire` — big enough to amortize worker spawns
+/// when sharded.
+const BATCH_CHUNK: usize = 8192;
+
 /// A switch-side fixed-point aggregation backend: host-scaled integers
-/// summed saturating in a plain PISA register array.
+/// summed saturating in a plain PISA register array — run behind a
+/// [`ShardedSwitch`] so the slot space can be partitioned across cores
+/// exactly like the FPISA backend's (1 shard by default; see
+/// [`SwitchMlFixedPoint::with_shards`]).
 #[derive(Debug, Clone)]
 pub struct SwitchMlFixedPoint {
-    engine: CompiledSwitch,
+    engine: ShardedSwitch,
     op: FieldId,
     slot: FieldId,
     value: FieldId,
@@ -63,6 +71,8 @@ pub struct SwitchMlFixedPoint {
     stats: AddStats,
     clipped: u64,
     scratch: Phv,
+    /// Reusable PHV buffer for the batched ADD path.
+    phv_buf: Vec<Phv>,
 }
 
 impl SwitchMlFixedPoint {
@@ -86,11 +96,8 @@ impl SwitchMlFixedPoint {
                 detail: format!("slot count {slots} outside 1..=65536"),
             });
         }
-        let (program, op, slot, value, result, array) = build_program(slots);
-        let engine = CompiledSwitch::compile(&program).map_err(|e| AggError::BadSpec {
-            detail: format!("generated SwitchML program failed validation: {e}"),
-        })?;
-        let scratch = engine.phv();
+        let (engine, op, slot, value, result, array) = build_engine(slots, 1, 1)?;
+        let scratch = engine.shard(0).phv();
         let qmax = qmax_for(workers);
         Ok(SwitchMlFixedPoint {
             engine,
@@ -106,7 +113,39 @@ impl SwitchMlFixedPoint {
             stats: AddStats::default(),
             clipped: 0,
             scratch,
+            phv_buf: Vec::new(),
         })
+    }
+
+    /// Re-partition the backend's slot space across `shards` cores, with
+    /// shard boundaries aligned to `chunk` slots (pass the job's
+    /// `elements_per_packet` so whole chunks land on one shard). Register
+    /// state must be empty — shard on construction, before any packet.
+    /// Results are bit-for-bit identical to the single-shard engine.
+    pub fn with_shards(mut self, shards: usize, chunk: usize) -> Result<Self, AggError> {
+        if self.mirror.iter().any(|&m| m != 0) {
+            return Err(AggError::BadSpec {
+                detail: "with_shards on a backend holding live state".into(),
+            });
+        }
+        if shards == 0 || shards > self.slots {
+            return Err(AggError::BadSpec {
+                detail: format!("shard count {shards} outside 1..={}", self.slots),
+            });
+        }
+        let (engine, op, slot, value, result, array) = build_engine(self.slots, shards, chunk)?;
+        self.engine = engine;
+        self.op = op;
+        self.slot = slot;
+        self.value = value;
+        self.result = result;
+        self.array = array;
+        Ok(self)
+    }
+
+    /// Number of shards the slot space is partitioned across.
+    pub fn shards(&self) -> usize {
+        self.engine.shard_count()
     }
 
     /// Size the scaling factor for a workload, SwitchML-style: the host
@@ -146,6 +185,59 @@ impl SwitchMlFixedPoint {
         self.engine.run(&mut self.scratch)?;
         Ok(self.scratch.get(self.result))
     }
+
+    /// Host-side mirror accounting for one folded word (the switch did
+    /// the real sum; this only attributes saturation events).
+    fn account(&mut self, slot: usize, w: u64) {
+        let (reg_min, reg_max) = (-(1i64 << (VALUE_BITS - 1)), (1i64 << (VALUE_BITS - 1)) - 1);
+        let q = ((w as i64) << (64 - VALUE_BITS)) >> (64 - VALUE_BITS);
+        let exact = self.mirror[slot].saturating_add(q);
+        if q == 0 {
+            self.stats.record(fpisa_core::AddEvent::Zero);
+        } else if !(reg_min..=reg_max).contains(&exact) {
+            self.stats.record(fpisa_core::AddEvent::Overflowed);
+        } else {
+            self.stats.record(fpisa_core::AddEvent::Exact);
+        }
+        self.mirror[slot] = exact.clamp(reg_min, reg_max);
+    }
+}
+
+/// Build the (possibly sharded) execution engine: one compiled one-stage
+/// program per slot range, behind a [`ShardedSwitch`] routed on the
+/// `slot` field. `shards == 1` keeps the single-engine layout.
+#[allow(clippy::type_complexity)]
+fn build_engine(
+    slots: usize,
+    shards: usize,
+    chunk_align: usize,
+) -> Result<
+    (
+        ShardedSwitch,
+        FieldId,
+        FieldId,
+        FieldId,
+        FieldId,
+        RegArrayId,
+    ),
+    AggError,
+> {
+    let ranges = partition_slots_aligned(slots, shards, chunk_align);
+    let mut engines = Vec::with_capacity(ranges.len());
+    let mut fields = None;
+    for r in &ranges {
+        let (program, op, slot, value, result, array) = build_program(r.len);
+        engines.push(
+            CompiledSwitch::compile(&program).map_err(|e| AggError::BadSpec {
+                detail: format!("generated SwitchML program failed validation: {e}"),
+            })?,
+        );
+        // The layout is identical for every shard; keep one set of ids.
+        fields.get_or_insert((op, slot, value, result, array));
+    }
+    let (op, slot, value, result, array) = fields.expect("at least one shard");
+    let engine = ShardedSwitch::new(engines, ranges, slot).map_err(AggError::Switch)?;
+    Ok((engine, op, slot, value, result, array))
 }
 
 /// The one-stage integer-sum program: exactly what SwitchML asks of a
@@ -211,7 +303,11 @@ fn build_program(
 
 impl Aggregator for SwitchMlFixedPoint {
     fn label(&self) -> String {
-        "SwitchML fixed point (int32)".into()
+        let mut s = String::from("SwitchML fixed point (int32)");
+        if self.shards() > 1 {
+            s.push_str(&format!(" ×{}", self.shards()));
+        }
+        s
     }
 
     fn slots(&self) -> usize {
@@ -232,23 +328,49 @@ impl Aggregator for SwitchMlFixedPoint {
     }
 
     fn add_wire(&mut self, start: usize, words: &[u64]) -> Result<(), AggError> {
-        self.check_range(start, words.len())?;
-        let (reg_min, reg_max) = (-(1i64 << (VALUE_BITS - 1)), (1i64 << (VALUE_BITS - 1)) - 1);
-        for (i, &w) in words.iter().enumerate() {
-            let slot = start + i;
-            self.run_op(OP_ADD, slot, w & ((1u64 << VALUE_BITS) - 1))?;
-            // Control-plane accounting: did the saturating register sum
-            // lose information?
-            let q = ((w as i64) << (64 - VALUE_BITS)) >> (64 - VALUE_BITS);
-            let exact = self.mirror[slot].saturating_add(q);
-            if q == 0 {
-                self.stats.record(fpisa_core::AddEvent::Zero);
-            } else if !(reg_min..=reg_max).contains(&exact) {
-                self.stats.record(fpisa_core::AddEvent::Overflowed);
-            } else {
-                self.stats.record(fpisa_core::AddEvent::Exact);
+        self.add_wire_multi(&[(start, words)])
+    }
+
+    fn add_wire_multi(&mut self, chunks: &[(usize, &[u64])]) -> Result<(), AggError> {
+        // Validate every range before folding anything (all-or-nothing).
+        for &(start, words) in chunks {
+            self.check_range(start, words.len())?;
+        }
+        // Stream the ADD packets through the engine in batch chunks: on a
+        // sharded backend each batch fans out across the shard workers.
+        // The buffer is sized to the work at hand (a scalar add_wire
+        // allocates one PHV, not a full chunk), growing up to BATCH_CHUNK.
+        let mask = (1u64 << VALUE_BITS) - 1;
+        let total_words: usize = chunks.iter().map(|(_, w)| w.len()).sum();
+        let needed = total_words.clamp(1, BATCH_CHUNK);
+        if self.phv_buf.len() < needed {
+            let proto = self.engine.shard(0).phv();
+            self.phv_buf.resize(needed, proto);
+        }
+        let mut pending = chunks
+            .iter()
+            .flat_map(|&(start, words)| words.iter().enumerate().map(move |(i, &w)| (start + i, w)))
+            .peekable();
+        while pending.peek().is_some() {
+            let mut len = 0usize;
+            for phv in self.phv_buf.iter_mut() {
+                let Some((slot, w)) = pending.next() else {
+                    break;
+                };
+                phv.clear();
+                phv.set(self.op, OP_ADD);
+                phv.set(self.slot, slot as u64);
+                phv.set(self.value, w & mask);
+                len += 1;
             }
-            self.mirror[slot] = exact.clamp(reg_min, reg_max);
+            self.engine.run_batch(&mut self.phv_buf[..len])?;
+        }
+        // Control-plane accounting: did the saturating register sum lose
+        // information? (Per-slot order matches the engine's exactly.)
+        for &(start, words) in chunks {
+            for (i, &w) in words.iter().enumerate() {
+                self.account(start + i, w);
+            }
         }
         Ok(())
     }
@@ -269,6 +391,7 @@ impl Aggregator for SwitchMlFixedPoint {
     fn clear_range(&mut self, start: usize, len: usize) -> Result<(), AggError> {
         self.check_range(start, len)?;
         for slot in start..start + len {
+            // Routed to the owning shard at the global slot index.
             self.engine.set_register(self.array, slot, 0);
             self.mirror[slot] = 0;
         }

@@ -330,20 +330,22 @@ pub fn run_all(scale: f64) -> Vec<BenchResult> {
 /// overhead is directly visible against the raw pipeline numbers.
 pub fn run_agg(scale: f64) -> Vec<BenchResult> {
     let mut results = Vec::new();
-    // Rounds per timed batch; at least one full round even in --quick.
-    let rounds = ((8.0 * scale) as u64).max(1);
 
-    let workload = GradientWorkload {
-        workers: 8,
-        elements: 256,
-        elements_per_packet: 64,
-        ..GradientWorkload::fig10(16)
-    };
-    let spec = workload.job_spec();
-    let gradients = workload.generate();
-    let ops_per_round = (spec.workers as u64) * spec.elements as u64;
-
-    let mut bench_backend = |name: &str, backend: Box<dyn Aggregator>| {
+    /// One full-round all-reduce bench: packetize → ingest (scalar or
+    /// batched) → read → finish. `batched` routes a whole round through
+    /// `ingest_batch`, the parallel path that fans out across the
+    /// backend's shards.
+    fn bench_allreduce(
+        results: &mut Vec<BenchResult>,
+        name: &str,
+        workload: &GradientWorkload,
+        backend: Box<dyn Aggregator>,
+        batched: bool,
+        rounds: u64,
+    ) {
+        let spec = workload.job_spec();
+        let gradients = workload.generate();
+        let ops_per_round = (spec.workers as u64) * spec.elements as u64;
         let mut sw = AggregationSwitch::new(spec, backend).expect("job fits backend");
         // Pre-encode each worker's wire words once: the timed loop measures
         // the switch-side protocol, not host-side float conversion.
@@ -354,10 +356,20 @@ pub fn run_agg(scale: f64) -> Vec<BenchResult> {
         let mut round = 0u32;
         results.push(bench(name, rounds * ops_per_round, 10, || {
             for _ in 0..rounds {
-                for (worker, w) in words.iter().enumerate() {
-                    for pkt in spec.packetize(worker as u32, round, w) {
-                        let d = sw.ingest(&pkt).expect("in-range slots");
-                        assert!(d.accepted());
+                if batched {
+                    let pkts: Vec<_> = words
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(worker, w)| spec.packetize(worker as u32, round, w))
+                        .collect();
+                    let decisions = sw.ingest_batch(&pkts).expect("in-range slots");
+                    assert!(decisions.iter().all(|d| d.accepted()));
+                } else {
+                    for (worker, w) in words.iter().enumerate() {
+                        for pkt in spec.packetize(worker as u32, round, w) {
+                            let d = sw.ingest(&pkt).expect("in-range slots");
+                            assert!(d.accepted());
+                        }
                     }
                 }
                 std::hint::black_box(sw.read_all().expect("read"));
@@ -367,24 +379,69 @@ pub fn run_agg(scale: f64) -> Vec<BenchResult> {
                 round += 1;
             }
         }));
-    };
+    }
 
-    bench_backend(
+    // Rounds per timed batch; at least one full round even in --quick.
+    let rounds = ((8.0 * scale) as u64).max(1);
+    let workload = GradientWorkload {
+        workers: 8,
+        elements: 256,
+        elements_per_packet: 64,
+        ..GradientWorkload::fig10(16)
+    };
+    let gradients = workload.generate();
+
+    bench_allreduce(
+        &mut results,
         "agg/allreduce/fpisa_fp16",
+        &workload,
         Box::new(
             FpisaAggregator::fp16_tofino(workload.elements)
                 .expect("preset validates")
                 .with_shadow_stats(false),
         ),
+        false,
+        rounds,
     );
     let max_abs = GradientWorkload::max_abs(&gradients);
-    bench_backend(
+    bench_allreduce(
+        &mut results,
         "agg/allreduce/switchml",
+        &workload,
         Box::new(
-            SwitchMlFixedPoint::for_workload(workload.elements, max_abs, spec.workers)
+            SwitchMlFixedPoint::for_workload(workload.elements, max_abs, workload.workers)
                 .expect("workload sizes"),
         ),
+        false,
+        rounds,
     );
+
+    // The shard-scaling curve: a 2048-element gradient (32 chunks of 64,
+    // so 8 chunk-aligned shards stay distinct) through the batched ingest
+    // path on 1/2/4/8 slot-range shards. The 1-shard row is the
+    // single-core baseline the speedup figure is measured against;
+    // scaling past it requires as many physical cores.
+    let big = GradientWorkload {
+        workers: 8,
+        elements: 2048,
+        elements_per_packet: 64,
+        ..GradientWorkload::fig10(16)
+    };
+    let big_rounds = ((2.0 * scale) as u64).max(1);
+    for shards in [1usize, 2, 4, 8] {
+        bench_allreduce(
+            &mut results,
+            &format!("agg/allreduce/fpisa_fp16_shards{shards}"),
+            &big,
+            Box::new(
+                FpisaAggregator::fp16_tofino_sharded(big.elements, shards, big.elements_per_packet)
+                    .expect("preset validates")
+                    .with_shadow_stats(false),
+            ),
+            true,
+            big_rounds,
+        );
+    }
     results
 }
 
@@ -472,11 +529,19 @@ mod tests {
     }
 
     #[test]
-    fn run_agg_covers_both_backends() {
+    fn run_agg_covers_both_backends_and_the_shard_curve() {
         let results = run_agg(0.01);
-        assert_eq!(results.len(), 2);
+        assert_eq!(results.len(), 6);
         assert!(results.iter().any(|r| r.name == "agg/allreduce/fpisa_fp16"));
         assert!(results.iter().any(|r| r.name == "agg/allreduce/switchml"));
+        for shards in [1, 2, 4, 8] {
+            assert!(
+                results
+                    .iter()
+                    .any(|r| r.name == format!("agg/allreduce/fpisa_fp16_shards{shards}")),
+                "missing shards{shards} row"
+            );
+        }
         for r in &results {
             assert!(r.median_batch_ns > 0, "{} measured nothing", r.name);
             assert!(r.packets_per_sec > 0.0, "{} has no rate", r.name);

@@ -78,13 +78,33 @@ pub use spec::{format_name, ExecEngine, PipelineSpec, SpecError, MAX_SLOTS};
 
 use fpisa_core::{FpFormat, FpisaConfig};
 use fpisa_pisa::{
-    CompiledSwitch, Phv, ProgramError, ResourceReport, RuntimeError, Switch, SwitchProgram,
+    CompiledSwitch, Phv, ProgramError, ResourceReport, RuntimeError, ShardedSwitch, SlotRange,
+    Switch, SwitchProgram,
 };
 
 /// Packets per internal batch chunk: small enough that the whole PHV
 /// buffer stays L1-resident (64 packets × ~50 containers × 8 B ≈ 26 KiB),
 /// large enough to amortize the per-call overhead of the batch APIs.
 const BATCH_CHUNK: usize = 64;
+
+/// Packets per batch chunk on the **sharded** engine: worker threads are
+/// spawned per chunk, so the chunk must be big enough to amortize the
+/// spawn cost across all shards (8192 packets × ~50 containers × 8 B ≈
+/// 3 MiB — cache residency matters less than core utilization here).
+const SHARDED_BATCH_CHUNK: usize = 8192;
+
+/// Which engine holds a pipeline's live register state and runs its
+/// packets.
+#[derive(Debug, Clone)]
+enum Engine {
+    /// The interpreting reference engine (state lives in the `switch`
+    /// field of [`FpisaPipeline`]).
+    Interpreted,
+    /// The single-core compiled fast path.
+    Compiled(CompiledSwitch),
+    /// The multi-core slot-range-sharded fast path.
+    Sharded(ShardedSwitch),
+}
 
 /// A running FPISA pipeline: the Fig. 2 program instantiated on the switch
 /// simulator for one [`PipelineSpec`].
@@ -101,9 +121,10 @@ pub struct FpisaPipeline {
     /// The interpreter: program holder, and the execution engine when the
     /// spec selects [`ExecEngine::Interpreted`].
     switch: Switch,
-    /// The fast path; `Some` iff the spec selects [`ExecEngine::Compiled`]
-    /// (register state then lives here, not in `switch`).
-    compiled: Option<CompiledSwitch>,
+    /// The engine holding the live register state: the interpreter
+    /// (`switch`), the single-core compiled fast path, or the sharded
+    /// multi-core path when [`PipelineSpec::shards`] asks for one.
+    engine: Engine,
     /// Scratch PHV reused by the scalar packet APIs.
     scratch: Phv,
     /// PHV buffer reused by the batch APIs, grown on first use.
@@ -123,15 +144,33 @@ impl FpisaPipeline {
         // directly without a second validation pass.
         let cfg = spec.core_config()?;
         let (program, fields, arrays) = program::build_for_spec(&spec, &cfg);
-        let compiled = match spec.execution_engine() {
-            ExecEngine::Compiled => Some(CompiledSwitch::compile(&program)?),
-            ExecEngine::Interpreted => None,
+        let ranges = spec.shard_ranges();
+        let engine = match spec.execution_engine() {
+            ExecEngine::Interpreted => Engine::Interpreted,
+            ExecEngine::Compiled if ranges.len() > 1 => {
+                // One compiled engine per shard, each built from the same
+                // spec restricted to its range's slot count — identical
+                // stages and tables, shard-local register arrays.
+                let engines = ranges
+                    .iter()
+                    .map(|r| {
+                        let shard_spec = spec.slots(r.len).shards(1);
+                        let (shard_program, _, _) = program::build_for_spec(&shard_spec, &cfg);
+                        CompiledSwitch::compile(&shard_program)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Engine::Sharded(
+                    ShardedSwitch::new(engines, ranges, fields.slot)
+                        .expect("shard geometry derives from one validated spec"),
+                )
+            }
+            ExecEngine::Compiled => Engine::Compiled(CompiledSwitch::compile(&program)?),
         };
         let switch = Switch::new(program)?;
         let scratch = switch.phv();
         Ok(FpisaPipeline {
             switch,
-            compiled,
+            engine,
             scratch,
             batch_buf: Vec::new(),
             fields,
@@ -165,6 +204,24 @@ impl FpisaPipeline {
     /// Number of aggregation slots.
     pub fn slots(&self) -> usize {
         self.spec.slot_count()
+    }
+
+    /// Number of shards the slot space is partitioned across (1 when the
+    /// pipeline runs a single engine).
+    pub fn shards(&self) -> usize {
+        match &self.engine {
+            Engine::Sharded(s) => s.shard_count(),
+            _ => 1,
+        }
+    }
+
+    /// The slot ranges the shards own — one full-space range on a
+    /// single-engine pipeline.
+    pub fn shard_ranges(&self) -> Vec<SlotRange> {
+        match &self.engine {
+            Engine::Sharded(s) => s.ranges().to_vec(),
+            _ => vec![SlotRange::new(0, self.slots())],
+        }
     }
 
     /// The floating-point format on the wire.
@@ -212,11 +269,20 @@ impl FpisaPipeline {
         Ok(())
     }
 
+    /// Packets per internal batch chunk for the active engine.
+    fn batch_chunk(&self) -> usize {
+        match &self.engine {
+            Engine::Sharded(_) => SHARDED_BATCH_CHUNK,
+            _ => BATCH_CHUNK,
+        }
+    }
+
     /// Grow the reusable batch buffer to one chunk of PHVs.
     fn ensure_batch_buf(&mut self) {
-        if self.batch_buf.len() < BATCH_CHUNK {
+        let chunk = self.batch_chunk();
+        if self.batch_buf.len() < chunk {
             let proto = self.switch.phv();
-            self.batch_buf.resize(BATCH_CHUNK, proto);
+            self.batch_buf.resize(chunk, proto);
         }
     }
 
@@ -232,9 +298,10 @@ impl FpisaPipeline {
         self.scratch.set(self.fields.op, OP_ADD);
         self.scratch.set(self.fields.slot, slot as u64);
         self.scratch.set(self.fields.value, bits);
-        match &mut self.compiled {
-            Some(c) => c.run(&mut self.scratch)?,
-            None => self.switch.run(&mut self.scratch)?,
+        match &mut self.engine {
+            Engine::Interpreted => self.switch.run(&mut self.scratch)?,
+            Engine::Compiled(c) => c.run(&mut self.scratch)?,
+            Engine::Sharded(s) => s.run(&mut self.scratch)?,
         };
         Ok(())
     }
@@ -315,9 +382,10 @@ impl FpisaPipeline {
         self.scratch.clear();
         self.scratch.set(self.fields.op, OP_READ);
         self.scratch.set(self.fields.slot, slot as u64);
-        match &mut self.compiled {
-            Some(c) => c.run(&mut self.scratch)?,
-            None => self.switch.run(&mut self.scratch)?,
+        match &mut self.engine {
+            Engine::Interpreted => self.switch.run(&mut self.scratch)?,
+            Engine::Compiled(c) => c.run(&mut self.scratch)?,
+            Engine::Sharded(s) => s.run(&mut self.scratch)?,
         };
         Ok(self.scratch.get(self.fields.result))
     }
@@ -351,16 +419,18 @@ impl FpisaPipeline {
         mut collect: Option<&mut Vec<u64>>,
     ) -> Result<(), RuntimeError> {
         self.ensure_batch_buf();
+        let chunk = self.batch_chunk();
         let fields = self.fields.clone();
-        for start in (0..n).step_by(BATCH_CHUNK) {
-            let len = BATCH_CHUNK.min(n - start);
+        for start in (0..n).step_by(chunk) {
+            let len = chunk.min(n - start);
             for (k, phv) in self.batch_buf[..len].iter_mut().enumerate() {
                 phv.clear();
                 fill(phv, start + k, &fields);
             }
-            match &mut self.compiled {
-                Some(c) => c.run_batch(&mut self.batch_buf[..len])?,
-                None => self.switch.run_batch(&mut self.batch_buf[..len])?,
+            match &mut self.engine {
+                Engine::Interpreted => self.switch.run_batch(&mut self.batch_buf[..len])?,
+                Engine::Compiled(c) => c.run_batch(&mut self.batch_buf[..len])?,
+                Engine::Sharded(s) => s.run_batch(&mut self.batch_buf[..len])?,
             };
             if let Some(out) = collect.as_deref_mut() {
                 out.extend(self.batch_buf[..len].iter().map(|p| p.get(fields.result)));
@@ -404,14 +474,18 @@ impl FpisaPipeline {
     /// reuses a slot between rounds without rebuilding the pipeline.
     pub fn clear_slot(&mut self, slot: usize) -> Result<(), RuntimeError> {
         self.check_slot(slot)?;
-        match &mut self.compiled {
-            Some(c) => {
+        match &mut self.engine {
+            Engine::Interpreted => {
+                self.switch.set_register(self.arrays.exponent, slot, 0);
+                self.switch.set_register(self.arrays.mantissa, slot, 0);
+            }
+            Engine::Compiled(c) => {
                 c.set_register(self.arrays.exponent, slot, 0);
                 c.set_register(self.arrays.mantissa, slot, 0);
             }
-            None => {
-                self.switch.set_register(self.arrays.exponent, slot, 0);
-                self.switch.set_register(self.arrays.mantissa, slot, 0);
+            Engine::Sharded(s) => {
+                s.set_register(self.arrays.exponent, slot, 0);
+                s.set_register(self.arrays.mantissa, slot, 0);
             }
         }
         Ok(())
@@ -436,14 +510,18 @@ impl FpisaPipeline {
     /// differential tests to compare against the reference model. Reads
     /// from whichever engine holds the live state.
     pub fn register_state(&self, slot: usize) -> (u32, i64) {
-        match &self.compiled {
-            Some(c) => (
+        match &self.engine {
+            Engine::Interpreted => (
+                self.switch.register(self.arrays.exponent, slot) as u32,
+                self.switch.register(self.arrays.mantissa, slot),
+            ),
+            Engine::Compiled(c) => (
                 c.register(self.arrays.exponent, slot) as u32,
                 c.register(self.arrays.mantissa, slot),
             ),
-            None => (
-                self.switch.register(self.arrays.exponent, slot) as u32,
-                self.switch.register(self.arrays.mantissa, slot),
+            Engine::Sharded(s) => (
+                s.register(self.arrays.exponent, slot) as u32,
+                s.register(self.arrays.mantissa, slot),
             ),
         }
     }
@@ -715,6 +793,129 @@ mod tests {
             }
             assert!(pipe.clear_slot(4).is_err());
             assert!(pipe.clear_range(usize::MAX, 2).is_err());
+        }
+    }
+
+    #[test]
+    fn sharded_pipeline_matches_single_engine_bit_for_bit() {
+        // Mixed scalar adds, batch adds, reads and clears on 1 vs N
+        // shards: identical register state and read-outs throughout.
+        let stream: Vec<(usize, u64)> = (0..3000u32)
+            .map(|i| {
+                let x = ((i as f32).cos() * 2f32.powi((i % 44) as i32 - 22)).to_bits();
+                ((i as usize * 5) % 13, u64::from(x))
+            })
+            .collect();
+        let mut single =
+            FpisaPipeline::from_spec(PipelineSpec::new(PipelineVariant::TofinoA).slots(13))
+                .unwrap();
+        for shards in [2usize, 4, 13] {
+            let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+                .slots(13)
+                .shards(shards);
+            let mut sharded = FpisaPipeline::from_spec(spec).unwrap();
+            assert_eq!(sharded.shards(), shards);
+            sharded.add_batch(&stream).unwrap();
+            if shards == 2 {
+                single.add_batch(&stream).unwrap();
+            }
+            for slot in 0..13 {
+                assert_eq!(
+                    sharded.register_state(slot),
+                    single.register_state(slot),
+                    "{shards} shards, slot {slot}"
+                );
+            }
+            let slots: Vec<usize> = (0..13).collect();
+            assert_eq!(
+                sharded.read_batch(&slots).unwrap(),
+                single.read_batch(&slots).unwrap(),
+                "{shards} shards"
+            );
+            // Scalar packets keep working after batches, across shards.
+            sharded.add_f32(12, 1.5).unwrap();
+            sharded.add_f32(0, -2.0).unwrap();
+            let mut scalar_ref = single.clone();
+            scalar_ref.add_f32(12, 1.5).unwrap();
+            scalar_ref.add_f32(0, -2.0).unwrap();
+            for slot in [0usize, 12] {
+                assert_eq!(
+                    sharded.register_state(slot),
+                    scalar_ref.register_state(slot)
+                );
+            }
+            // clear_range spanning shard boundaries clears everywhere.
+            sharded.clear_range(0, 13).unwrap();
+            for slot in 0..13 {
+                assert_eq!(sharded.register_state(slot), (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_pipeline_validates_slots_and_specs() {
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+            .slots(8)
+            .shards(4);
+        let mut pipe = FpisaPipeline::from_spec(spec).unwrap();
+        assert!(matches!(
+            pipe.add_bits(8, 0),
+            Err(RuntimeError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            pipe.add_batch(&[(0, 0), (99, 0)]),
+            Err(RuntimeError::IndexOutOfRange { .. })
+        ));
+        assert_eq!(pipe.register_state(0), (0, 0), "nothing ran");
+        // Out-of-bounds clear_range errors (never truncates) on the
+        // sharded engine too, and clears nothing.
+        pipe.add_f32(7, 1.0).unwrap();
+        assert!(matches!(
+            pipe.clear_range(6, 3),
+            Err(RuntimeError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            pipe.clear_range(usize::MAX, 2),
+            Err(RuntimeError::IndexOutOfRange { .. })
+        ));
+        assert_ne!(pipe.register_state(7), (0, 0), "in-range slot untouched");
+        // Shards must fit the slot space and need the compiled engine.
+        assert!(matches!(
+            PipelineSpec::new(PipelineVariant::TofinoA)
+                .slots(4)
+                .shards(5)
+                .validate(),
+            Err(SpecError::ShardsOutOfRange {
+                shards: 5,
+                slots: 4
+            })
+        ));
+        assert!(matches!(
+            PipelineSpec::new(PipelineVariant::TofinoA)
+                .slots(8)
+                .shards(0)
+                .validate(),
+            Err(SpecError::ShardsOutOfRange { .. })
+        ));
+        assert!(matches!(
+            PipelineSpec::new(PipelineVariant::TofinoA)
+                .slots(8)
+                .shards(2)
+                .engine(ExecEngine::Interpreted)
+                .validate(),
+            Err(SpecError::ShardedInterpreted)
+        ));
+    }
+
+    #[test]
+    fn shard_alignment_keeps_chunk_ranges_whole() {
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+            .slots(100)
+            .shards(4)
+            .shard_align(16);
+        let pipe = FpisaPipeline::from_spec(spec).unwrap();
+        for r in &pipe.shard_ranges()[..pipe.shards() - 1] {
+            assert_eq!(r.start % 16, 0, "boundary off alignment");
         }
     }
 

@@ -70,6 +70,19 @@ pub enum SpecError {
     /// The read-out rounding mode has no pipeline lowering (only
     /// truncation and round-to-nearest-even are emitted).
     UnsupportedRounding(ReadRounding),
+    /// The shard count is zero or exceeds the slot count (every shard
+    /// must own at least one slot).
+    ShardsOutOfRange {
+        /// The requested shard count.
+        shards: usize,
+        /// The slot count being partitioned.
+        slots: usize,
+    },
+    /// Sharding requested on the interpreted engine — only the compiled
+    /// engine has a sharded execution path
+    /// ([`fpisa_pisa::ShardedSwitch`] owns [`fpisa_pisa::CompiledSwitch`]
+    /// shards).
+    ShardedInterpreted,
     /// The generated program failed switch validation (never produced by
     /// specs that pass [`PipelineSpec::validate`]; surfaced for
     /// completeness by [`crate::FpisaPipeline::from_spec`]).
@@ -101,6 +114,16 @@ impl std::fmt::Display for SpecError {
             ),
             SpecError::UnsupportedRounding(r) => {
                 write!(f, "read-out rounding {r:?} has no pipeline lowering")
+            }
+            SpecError::ShardsOutOfRange { shards, slots } => {
+                write!(f, "shard count {shards} outside 1..={slots} (slot count)")
+            }
+            SpecError::ShardedInterpreted => {
+                write!(
+                    f,
+                    "sharded execution requires the compiled engine; the interpreter has no \
+                     multi-core path"
+                )
             }
             SpecError::Program(e) => write!(f, "generated program failed validation: {e}"),
         }
@@ -145,6 +168,8 @@ pub struct PipelineSpec {
     read_rounding: ReadRounding,
     slots: usize,
     engine: ExecEngine,
+    shards: usize,
+    shard_align: usize,
 }
 
 impl PipelineSpec {
@@ -159,6 +184,8 @@ impl PipelineSpec {
             read_rounding: ReadRounding::TowardZero,
             slots: 16,
             engine: ExecEngine::Compiled,
+            shards: 1,
+            shard_align: 1,
         }
     }
 
@@ -204,6 +231,25 @@ impl PipelineSpec {
         self
     }
 
+    /// Builder: shard the slot space across `shards` compiled engines run
+    /// on separate cores (1 — the default — keeps the single-engine
+    /// path). Each shard owns a contiguous slot range; results are
+    /// bit-for-bit identical to single-core execution. Requires the
+    /// compiled engine.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Builder: force shard boundaries onto multiples of `align` slots
+    /// (default 1, i.e. unconstrained). Aggregation protocols pass their
+    /// chunk size here so a whole chunk's slot range always lands on one
+    /// shard.
+    pub fn shard_align(mut self, align: usize) -> Self {
+        self.shard_align = align.max(1);
+        self
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -238,6 +284,24 @@ impl PipelineSpec {
         self.engine
     }
 
+    /// The requested shard count (1 = single-engine execution).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard-boundary alignment in slots.
+    pub fn shard_alignment(&self) -> usize {
+        self.shard_align
+    }
+
+    /// The slot ranges the spec's shards own: a balanced, exact,
+    /// `shard_align`-aligned partition of the slot space. May hold fewer
+    /// ranges than the requested shard count when the alignment leaves
+    /// fewer whole blocks than shards.
+    pub fn shard_ranges(&self) -> Vec<fpisa_pisa::SlotRange> {
+        fpisa_pisa::partition_slots_aligned(self.slots, self.shards, self.shard_align)
+    }
+
     /// The mantissa-register width this spec resolves to: the explicit
     /// width if one was set, else 16 bits for formats that pack into 16
     /// bits (FP16, BF16) and 32 bits otherwise.
@@ -258,6 +322,9 @@ impl PipelineSpec {
         }
         if self.read_rounding == ReadRounding::NearestEven {
             s.push_str(" RNE");
+        }
+        if self.shards > 1 {
+            s.push_str(&format!(" ×{}", self.shards));
         }
         s
     }
@@ -293,6 +360,15 @@ impl PipelineSpec {
         }
         if self.read_rounding == ReadRounding::TowardNegInf {
             return Err(SpecError::UnsupportedRounding(self.read_rounding));
+        }
+        if self.shards == 0 || self.shards > self.slots {
+            return Err(SpecError::ShardsOutOfRange {
+                shards: self.shards,
+                slots: self.slots,
+            });
+        }
+        if self.shards > 1 && self.engine == ExecEngine::Interpreted {
+            return Err(SpecError::ShardedInterpreted);
         }
         Ok(())
     }

@@ -72,6 +72,10 @@ fn run_differential(variant: PipelineVariant, seed: u64) {
             .expect("spec must validate");
         let mut comp = FpisaPipeline::from_spec(spec.engine(ExecEngine::Compiled))
             .expect("spec must validate");
+        // The multi-core path: the same cell over 3 slot-range shards
+        // must stay bit-for-bit with the reference too.
+        let mut sharded = FpisaPipeline::from_spec(spec.engine(ExecEngine::Compiled).shards(3))
+            .expect("spec must validate");
         let cfg = interp.core_config();
         let cell = format!("{variant:?}/{format:?}/g{guard}/{rounding:?}");
         let mut refs: Vec<FpisaAccumulator> =
@@ -96,6 +100,7 @@ fn run_differential(variant: PipelineVariant, seed: u64) {
 
             interp.add_bits(slot, bits).unwrap();
             comp.add_bits(slot, bits).unwrap();
+            sharded.add_bits(slot, bits).unwrap();
             refs[slot].add_bits_quiet(bits).unwrap();
 
             // The register state of both engines must match the reference
@@ -115,11 +120,20 @@ fn run_differential(variant: PipelineVariant, seed: u64) {
                 want,
                 "{cell} add #{i}: compiled register state diverged after {bits:#x} in slot {slot}"
             );
+            assert_eq!(
+                sharded.register_state(slot),
+                want,
+                "{cell} add #{i}: sharded register state diverged after {bits:#x} in slot {slot}"
+            );
 
             // Periodic read-out comparison (bit-for-bit).
             if i % 7 == 0 {
                 let want = refs[slot].read_bits();
-                for (engine, pipe) in [("interpreter", &mut interp), ("compiled", &mut comp)] {
+                for (engine, pipe) in [
+                    ("interpreter", &mut interp),
+                    ("compiled", &mut comp),
+                    ("sharded", &mut sharded),
+                ] {
                     let got = pipe.read_bits(slot).unwrap();
                     assert_eq!(
                         got,
@@ -133,17 +147,23 @@ fn run_differential(variant: PipelineVariant, seed: u64) {
             }
         }
 
-        // Final read-out of every slot, on both engines — including the
-        // batch READ path on the compiled one.
+        // Final read-out of every slot, on all engines — including the
+        // batch READ paths on the compiled and sharded ones.
         let batch = comp.read_batch(&(0..SLOTS).collect::<Vec<_>>()).unwrap();
+        let batch_sharded = sharded.read_batch(&(0..SLOTS).collect::<Vec<_>>()).unwrap();
         for (slot, reference) in refs.iter().enumerate() {
             let want = reference.read_bits();
             let got = interp.read_bits(slot).unwrap();
             assert_eq!(got, want, "{cell} final read of slot {slot}");
             assert_eq!(batch[slot], want, "{cell} final batch read of slot {slot}");
+            assert_eq!(
+                batch_sharded[slot], want,
+                "{cell} final sharded batch read of slot {slot}"
+            );
             // Reading must be non-destructive on every side: repeat.
             assert_eq!(interp.read_bits(slot).unwrap(), got);
             assert_eq!(comp.read_bits(slot).unwrap(), got);
+            assert_eq!(sharded.read_bits(slot).unwrap(), got);
         }
     }
 }

@@ -36,7 +36,9 @@
 
 use crate::action::{AluOp, Operand, Primitive};
 use crate::phv::{FieldId, Phv, PhvLayout};
-use crate::register::{CmpOp, RegArrayId, RegisterArray, SaluCond, SaluOutput, SaluUpdate};
+use crate::register::{
+    ArrayMeta, CmpOp, RegArrayId, RegisterState, SaluCond, SaluOutput, SaluUpdate,
+};
 use crate::switch::{ProgramError, RuntimeError, Switch, SwitchProgram};
 use crate::table::{KeyMatch, Table};
 use std::collections::HashMap;
@@ -458,19 +460,6 @@ struct CompiledStateful {
     output: Option<(u32, u64, SaluOutput)>,
 }
 
-/// One register array's slice of the flat register file, with the width
-/// bounds pre-computed.
-#[derive(Debug, Clone)]
-struct ArrayMeta {
-    offset: usize,
-    entries: usize,
-    width: u32,
-    min: i64,
-    max: i64,
-    /// For runtime error messages only.
-    name: String,
-}
-
 /// A running compiled switch: the lowered program plus register state.
 ///
 /// Compiled from a validated [`SwitchProgram`] by
@@ -491,10 +480,10 @@ pub struct CompiledSwitch {
     prims: Box<[CompiledPrim]>,
     /// The contiguous stateful op tape.
     stateful: Box<[CompiledStateful]>,
-    /// The flat register file: every array's entries, back to back.
-    regs: Vec<i64>,
-    /// Per-array slice bounds and width metadata.
-    array_meta: Box<[ArrayMeta]>,
+    /// The flat register file behind the slot-range-partitionable
+    /// [`RegisterState`] (shared shape with the interpreter, so state can
+    /// move between engines and shards).
+    state: RegisterState,
     /// Per-pass RAW bookkeeping, reused across packets.
     touched: Vec<bool>,
     /// Wide hash key scratch, reused across lookups.
@@ -543,21 +532,8 @@ impl CompiledSwitch {
                 tables.push(compile_table(table, base, &program.layout));
             }
         }
-        let mut array_meta = Vec::with_capacity(program.arrays.len());
-        let mut total_entries = 0usize;
-        for spec in &program.arrays {
-            let (min, max) = crate::register::width_bounds(spec.width_bits);
-            array_meta.push(ArrayMeta {
-                offset: total_entries,
-                entries: spec.entries,
-                width: spec.width_bits,
-                min,
-                max,
-                name: spec.name.clone(),
-            });
-            total_entries += spec.entries;
-        }
-        let touched = vec![false; array_meta.len()];
+        let state = RegisterState::new(&program.arrays);
+        let touched = vec![false; program.arrays.len()];
         Ok(CompiledSwitch {
             layout: program.layout.clone(),
             recirc_field: program.recirc_field,
@@ -566,8 +542,7 @@ impl CompiledSwitch {
             actions: actions.into_boxed_slice(),
             prims: prims.into_boxed_slice(),
             stateful: stateful.into_boxed_slice(),
-            regs: vec![0; total_entries],
-            array_meta: array_meta.into_boxed_slice(),
+            state,
             touched,
             keybuf: Vec::new(),
         })
@@ -585,26 +560,31 @@ impl CompiledSwitch {
 
     /// Control-plane read of a register entry.
     pub fn register(&self, id: RegArrayId, index: usize) -> i64 {
-        let meta = &self.array_meta[id.0 as usize];
-        assert!(index < meta.entries, "index out of range");
-        self.regs[meta.offset + index]
+        self.state.get(id, index)
     }
 
     /// Control-plane write of a register entry.
     pub fn set_register(&mut self, id: RegArrayId, index: usize, value: i64) {
-        let meta = &self.array_meta[id.0 as usize];
-        assert!(index < meta.entries, "index out of range");
-        self.regs[meta.offset + index] = crate::register::truncate(value, meta.width);
+        self.state.set(id, index, value);
     }
 
-    /// Copy register state from another engine's arrays (same program).
-    pub(crate) fn copy_registers_from(&mut self, arrays: &[RegisterArray]) {
-        assert_eq!(self.array_meta.len(), arrays.len(), "program mismatch");
-        for (meta, src) in self.array_meta.iter().zip(arrays) {
-            for i in 0..src.spec().entries {
-                self.regs[meta.offset + i] = src.get(i);
-            }
+    /// The live register state.
+    pub fn register_state(&self) -> &RegisterState {
+        &self.state
+    }
+
+    /// Replace the register state wholesale (e.g. installing one shard of
+    /// a [`RegisterState::split_ranges`] partition, or a state copied from
+    /// the interpreter). The shape must match the compiled program's
+    /// arrays.
+    pub fn set_register_state(&mut self, state: RegisterState) -> Result<(), RuntimeError> {
+        if !self.state.same_shape(&state) {
+            return Err(RuntimeError::IndexOutOfRange {
+                detail: "register state shape does not match the compiled program's arrays".into(),
+            });
         }
+        self.state = state;
+        Ok(())
     }
 
     /// Process one packet, exactly as [`Switch::run`] would — same table
@@ -616,14 +596,14 @@ impl CompiledSwitch {
             actions,
             prims,
             stateful,
-            regs,
-            array_meta,
+            state,
             touched,
             keybuf,
             recirc_field,
             recirc_limit,
             ..
         } = self;
+        let (array_meta, regs) = state.parts_mut();
         let limit = (*recirc_limit).max(1);
         let recirc_idx = recirc_field.map(|rf| rf.0 as usize);
         let vals = phv.values_mut();
@@ -706,7 +686,8 @@ impl Switch {
     /// mid-stream.
     pub fn compiled(&self) -> CompiledSwitch {
         let mut c = CompiledSwitch::compile(self.program()).expect("program was validated");
-        c.copy_registers_from(self.arrays());
+        c.set_register_state(self.register_state().clone())
+            .expect("same program, same state shape");
         c
     }
 }

@@ -52,12 +52,27 @@
 //! Equivalence is enforced by property tests over random programs (PHV,
 //! register state, pass counts and errors must agree packet by packet) and
 //! by the FPISA pipeline's differential suite.
+//!
+//! ## Sharded multi-core execution
+//!
+//! All switch state lives in a flat, slot-range-partitionable
+//! [`register::RegisterState`] shared by both engines
+//! (`split_ranges`/`merged`/`snapshot`). [`shard::ShardedSwitch`] builds
+//! on it: the slot space is split into contiguous ranges
+//! ([`shard::partition_slots`], optionally chunk-aligned), each owned by
+//! one compiled shard, packets are routed by a caller-supplied slot
+//! field and rebased to shard-local indices, and
+//! [`shard::ShardedSwitch::run_batch`] fans a packet buffer out across
+//! `std::thread::scope` workers with zero cross-shard locking — still
+//! bit-for-bit identical to a single full-space engine, because routing
+//! preserves the per-slot packet order.
 
 pub mod action;
 pub mod compile;
 pub mod phv;
 pub mod register;
 pub mod resources;
+pub mod shard;
 pub mod stage;
 pub mod switch;
 pub mod table;
@@ -66,10 +81,11 @@ pub use action::{Action, AluOp, Operand, Primitive};
 pub use compile::CompiledSwitch;
 pub use phv::{FieldId, FieldSpec, Phv, PhvLayout};
 pub use register::{
-    CmpOp, RegArrayId, RegisterArray, RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate,
-    StatefulCall,
+    check_partition, CmpOp, RegArrayId, RegisterArraySpec, RegisterSnapshot, RegisterState,
+    SaluCond, SaluOutput, SaluUpdate, SlotRange, StatefulCall,
 };
 pub use resources::{ResourceReport, StageResources};
+pub use shard::{partition_slots, partition_slots_aligned, ShardedSwitch};
 pub use stage::Stage;
 pub use switch::{
     PacketTrace, ProgramError, RuntimeError, Switch, SwitchCaps, SwitchProgram, TraceEntry,

@@ -119,6 +119,18 @@ pub struct Phv {
     widths: Vec<u32>,
 }
 
+impl Default for Phv {
+    /// An empty PHV of zero fields — a placeholder that lets buffers move
+    /// packets out without cloning (`std::mem::take`). Not runnable; build
+    /// real packets with [`Phv::new`].
+    fn default() -> Self {
+        Phv {
+            values: Vec::new(),
+            widths: Vec::new(),
+        }
+    }
+}
+
 impl Phv {
     /// A zeroed PHV for a layout.
     pub fn new(layout: &PhvLayout) -> Self {

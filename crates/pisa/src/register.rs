@@ -19,7 +19,8 @@
 //! can be emitted into a PHV field.
 
 use crate::action::Operand;
-use crate::phv::{sign_extend, FieldId, Phv, PhvLayout};
+use crate::phv::{sign_extend, FieldId, Phv};
+use crate::switch::RuntimeError;
 use serde::{Deserialize, Serialize};
 
 /// Index of a register array within a program.
@@ -233,59 +234,356 @@ impl StatefulCall {
     }
 }
 
-/// Runtime storage of one register array.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RegisterArray {
-    spec: RegisterArraySpec,
+/// A contiguous range of register entries — the unit the dataplane is
+/// partitioned by. Slot `s` belongs to the range iff
+/// `start <= s < start + len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlotRange {
+    /// First slot of the range.
+    pub start: usize,
+    /// Number of slots.
+    pub len: usize,
+}
+
+impl SlotRange {
+    /// A range covering `start..start + len`.
+    pub fn new(start: usize, len: usize) -> Self {
+        SlotRange { start, len }
+    }
+
+    /// One past the last slot.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// Whether a slot falls inside this range.
+    pub fn contains(&self, slot: usize) -> bool {
+        slot >= self.start && slot < self.end()
+    }
+}
+
+/// Check that `ranges` partitions `0..total` exactly once — contiguous,
+/// ascending, no gap, no overlap, nothing past the end. This is the
+/// invariant every sharded structure relies on: a slot belongs to exactly
+/// one shard.
+pub fn check_partition(total: usize, ranges: &[SlotRange]) -> Result<(), RuntimeError> {
+    let mut next = 0usize;
+    for (i, r) in ranges.iter().enumerate() {
+        if r.len == 0 {
+            return Err(range_error(format!("shard range {i} is empty")));
+        }
+        if r.start != next {
+            return Err(range_error(format!(
+                "shard range {i} starts at {} but slot {} is the next uncovered \
+                 (gap or overlap in the partition)",
+                r.start, next
+            )));
+        }
+        next = match r.start.checked_add(r.len) {
+            Some(end) if end <= total => end,
+            _ => {
+                return Err(range_error(format!(
+                    "shard range {i} ({}+{}) runs past the {total}-slot space",
+                    r.start, r.len
+                )))
+            }
+        };
+    }
+    if next != total {
+        return Err(range_error(format!(
+            "shard ranges cover slots 0..{next} but the space has {total}"
+        )));
+    }
+    Ok(())
+}
+
+fn range_error(detail: String) -> RuntimeError {
+    RuntimeError::IndexOutOfRange { detail }
+}
+
+/// Per-array geometry inside a [`RegisterState`]: the slice bounds in the
+/// flat value file plus the pre-computed width/saturation metadata the
+/// execution engines need per access.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct ArrayMeta {
+    /// First entry of this array in the flat file.
+    pub(crate) offset: usize,
+    /// Number of entries.
+    pub(crate) entries: usize,
+    /// Entry width in bits.
+    pub(crate) width: u32,
+    /// Smallest representable signed value at the width.
+    pub(crate) min: i64,
+    /// Largest representable signed value at the width.
+    pub(crate) max: i64,
+    /// For runtime error messages only.
+    pub(crate) name: String,
+}
+
+/// An immutable copy of a [`RegisterState`]'s values, for checkpointing.
+///
+/// Taken with [`RegisterState::snapshot`] and reinstalled with
+/// [`RegisterState::restore`]; restoring into a state of a different shape
+/// is an error, not silent corruption.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterSnapshot {
     values: Vec<i64>,
 }
 
-impl RegisterArray {
-    /// Zero-initialized storage for a spec.
-    pub fn new(spec: RegisterArraySpec) -> Self {
-        let n = spec.entries;
-        RegisterArray {
-            spec,
-            values: vec![0; n],
+impl RegisterSnapshot {
+    /// Total entries captured (across all arrays).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// The flat register file of one switch: every register array's entries,
+/// back to back, behind one slot-range-partitionable type.
+///
+/// Both execution engines ([`crate::Switch`] and
+/// [`crate::CompiledSwitch`]) store their state in a `RegisterState`, so
+/// state can be moved between engines, snapshotted, and — the point —
+/// **partitioned by slot range** for multi-core execution:
+///
+/// * [`RegisterState::split_ranges`] carves the state into per-shard
+///   states (every array must span the same slot space, and the ranges
+///   must cover it exactly once — no gap, no overlap);
+/// * [`RegisterState::merged`] reassembles the full-space state from the
+///   shard states, the inverse of `split_ranges`;
+/// * [`RegisterState::snapshot`] / [`RegisterState::restore`] checkpoint
+///   the values without re-deriving the geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterState {
+    metas: Vec<ArrayMeta>,
+    values: Vec<i64>,
+}
+
+impl RegisterState {
+    /// Zero-initialized state for a set of array declarations.
+    pub fn new(specs: &[RegisterArraySpec]) -> Self {
+        let mut metas = Vec::with_capacity(specs.len());
+        let mut total = 0usize;
+        for spec in specs {
+            let (min, max) = width_bounds(spec.width_bits);
+            metas.push(ArrayMeta {
+                offset: total,
+                entries: spec.entries,
+                width: spec.width_bits,
+                min,
+                max,
+                name: spec.name.clone(),
+            });
+            total += spec.entries;
+        }
+        RegisterState {
+            metas,
+            values: vec![0; total],
         }
     }
 
-    /// The array's declaration.
-    pub fn spec(&self) -> &RegisterArraySpec {
-        &self.spec
+    /// Number of register arrays.
+    pub fn arrays(&self) -> usize {
+        self.metas.len()
     }
 
-    /// Read an entry (sign-extended at the array width).
-    pub fn get(&self, index: usize) -> i64 {
-        self.values[index]
+    /// Number of entries in one array.
+    pub fn entries(&self, id: RegArrayId) -> usize {
+        self.metas[id.0 as usize].entries
     }
 
-    /// Write an entry directly (control-plane style access for tests and
-    /// initialization; the data path goes through [`StatefulCall`]s).
-    pub fn set(&mut self, index: usize, value: i64) {
-        self.values[index] = truncate(value, self.spec.width_bits);
+    /// Total entries across all arrays.
+    pub fn total_entries(&self) -> usize {
+        self.values.len()
     }
 
-    /// Execute one stateful call against this array. Returns the entry
-    /// index touched, or an error message for out-of-range indices.
-    pub fn execute(
-        &mut self,
-        call: &StatefulCall,
-        phv: &mut Phv,
-        _layout: &PhvLayout,
-    ) -> Result<usize, String> {
+    /// The uniform per-array entry count — the **slot space** — if every
+    /// array has the same number of entries, else `None`. Slot-range
+    /// partitioning is only defined for states with a uniform slot space.
+    pub fn slot_space(&self) -> Option<usize> {
+        let first = self.metas.first()?.entries;
+        self.metas
+            .iter()
+            .all(|m| m.entries == first)
+            .then_some(first)
+    }
+
+    /// Control-plane read of one entry (sign-extended at the array width).
+    /// Panics on out-of-range indices, like indexing.
+    pub fn get(&self, id: RegArrayId, index: usize) -> i64 {
+        let meta = &self.metas[id.0 as usize];
+        assert!(index < meta.entries, "index out of range");
+        self.values[meta.offset + index]
+    }
+
+    /// Control-plane write of one entry, truncating to the array width.
+    /// Panics on out-of-range indices, like indexing.
+    pub fn set(&mut self, id: RegArrayId, index: usize, value: i64) {
+        let meta = &self.metas[id.0 as usize];
+        assert!(index < meta.entries, "index out of range");
+        self.values[meta.offset + index] = truncate(value, meta.width);
+    }
+
+    /// The metadata and mutable value file, split for the compiled
+    /// engine's hot loop (which needs both at once).
+    pub(crate) fn parts_mut(&mut self) -> (&[ArrayMeta], &mut [i64]) {
+        (&self.metas, &mut self.values)
+    }
+
+    /// Whether two states have identical geometry (same arrays, widths,
+    /// entry counts) — the precondition for moving values between them.
+    pub fn same_shape(&self, other: &RegisterState) -> bool {
+        self.metas.len() == other.metas.len()
+            && self
+                .metas
+                .iter()
+                .zip(&other.metas)
+                .all(|(a, b)| a.entries == b.entries && a.width == b.width)
+    }
+
+    /// Copy a snapshot of the current values.
+    pub fn snapshot(&self) -> RegisterSnapshot {
+        RegisterSnapshot {
+            values: self.values.clone(),
+        }
+    }
+
+    /// Reinstall a snapshot taken from a same-shaped state.
+    pub fn restore(&mut self, snapshot: &RegisterSnapshot) -> Result<(), RuntimeError> {
+        if snapshot.values.len() != self.values.len() {
+            return Err(range_error(format!(
+                "snapshot of {} entries cannot restore into a state of {}",
+                snapshot.values.len(),
+                self.values.len()
+            )));
+        }
+        self.values.copy_from_slice(&snapshot.values);
+        Ok(())
+    }
+
+    /// Carve this state into per-shard states along `ranges`, which must
+    /// partition the slot space exactly once (checked via
+    /// [`check_partition`]). Shard `i`'s state has every array restricted
+    /// to `ranges[i]`, with entries re-indexed from 0 — the shard-local
+    /// slot space.
+    pub fn split_ranges(&self, ranges: &[SlotRange]) -> Result<Vec<RegisterState>, RuntimeError> {
+        let slots = self.slot_space().ok_or_else(|| {
+            range_error(
+                "register state has no uniform slot space; arrays differ in entry count".into(),
+            )
+        })?;
+        check_partition(slots, ranges)?;
+        Ok(ranges
+            .iter()
+            .map(|r| {
+                let mut metas = Vec::with_capacity(self.metas.len());
+                let mut values = Vec::with_capacity(self.metas.len() * r.len);
+                let mut offset = 0usize;
+                for m in &self.metas {
+                    metas.push(ArrayMeta {
+                        offset,
+                        entries: r.len,
+                        ..m.clone()
+                    });
+                    offset += r.len;
+                    values.extend_from_slice(&self.values[m.offset + r.start..m.offset + r.end()]);
+                }
+                RegisterState { metas, values }
+            })
+            .collect())
+    }
+
+    /// Reassemble the full slot space from per-shard states — the inverse
+    /// of [`RegisterState::split_ranges`]. Shard `i` must hold
+    /// `ranges[i].len` entries per array, and the ranges must partition
+    /// the reassembled space exactly once.
+    pub fn merged(
+        shards: &[RegisterState],
+        ranges: &[SlotRange],
+    ) -> Result<RegisterState, RuntimeError> {
+        let first = shards
+            .first()
+            .ok_or_else(|| range_error("cannot merge zero shards into a register state".into()))?;
+        if shards.len() != ranges.len() {
+            return Err(range_error(format!(
+                "{} shard states but {} ranges",
+                shards.len(),
+                ranges.len()
+            )));
+        }
+        let total: usize = ranges.iter().map(|r| r.len).sum();
+        check_partition(total, ranges)?;
+        for (i, (s, r)) in shards.iter().zip(ranges).enumerate() {
+            if s.metas.len() != first.metas.len() {
+                return Err(range_error(format!(
+                    "shard {i} has {} arrays, shard 0 has {}",
+                    s.metas.len(),
+                    first.metas.len()
+                )));
+            }
+            if s.slot_space() != Some(r.len) {
+                return Err(range_error(format!(
+                    "shard {i} does not span its {}-slot range uniformly",
+                    r.len
+                )));
+            }
+            // Same-width check: merging a wider shard into narrower
+            // metadata would embed values past the declared saturation
+            // bounds — an error, not silent corruption.
+            if let Some(a) = s
+                .metas
+                .iter()
+                .zip(&first.metas)
+                .position(|(sm, fm)| sm.width != fm.width)
+            {
+                return Err(range_error(format!(
+                    "shard {i} array {a} is {} bits wide, shard 0's is {}",
+                    s.metas[a].width, first.metas[a].width
+                )));
+            }
+        }
+        let mut metas = Vec::with_capacity(first.metas.len());
+        let mut offset = 0usize;
+        for m in &first.metas {
+            metas.push(ArrayMeta {
+                offset,
+                entries: total,
+                ..m.clone()
+            });
+            offset += total;
+        }
+        let mut values = vec![0i64; metas.len() * total];
+        for (shard, r) in shards.iter().zip(ranges) {
+            for (a, m) in metas.iter().enumerate() {
+                let src = &shard.values[shard.metas[a].offset..shard.metas[a].offset + r.len];
+                values[m.offset + r.start..m.offset + r.end()].copy_from_slice(src);
+            }
+        }
+        Ok(RegisterState { metas, values })
+    }
+
+    /// Execute one stateful call against the state (the interpreter's
+    /// register access). Returns the entry index touched, or an error
+    /// message for out-of-range indices.
+    pub(crate) fn execute(&mut self, call: &StatefulCall, phv: &mut Phv) -> Result<usize, String> {
+        let meta = &self.metas[call.array.0 as usize];
         let idx = call.index.raw(phv) as usize;
-        if idx >= self.values.len() {
+        if idx >= meta.entries {
             return Err(format!(
                 "index {idx} out of range for register array `{}` ({} entries)",
-                self.spec.name, self.spec.entries
+                meta.name, meta.entries
             ));
         }
-        let old = self.values[idx];
+        let slot = meta.offset + idx;
+        let old = self.values[slot];
         let taken = call.cond.eval(old, phv);
         let update = if taken { &call.on_true } else { &call.on_false };
-        let new = update.apply(old, self.spec.width_bits, phv);
-        self.values[idx] = new;
+        let new = update.apply(old, meta.width, phv);
+        self.values[slot] = new;
         if let Some((f, out)) = call.output {
             let v = match out {
                 SaluOutput::Old => old as u64,
@@ -301,15 +599,20 @@ impl RegisterArray {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::phv::PhvLayout;
 
-    fn arr(width: u32) -> RegisterArray {
-        RegisterArray::new(RegisterArraySpec {
+    /// One 4-entry array of `width` bits behind the flat register file,
+    /// with array id 0 (what the tests' calls reference).
+    fn arr(width: u32) -> RegisterState {
+        RegisterState::new(&[RegisterArraySpec {
             name: "r".into(),
             width_bits: width,
             entries: 4,
             stage: 0,
-        })
+        }])
     }
+
+    const R: RegArrayId = RegArrayId(0);
 
     fn phv1() -> (PhvLayout, FieldId, FieldId) {
         let mut l = PhvLayout::new();
@@ -323,7 +626,7 @@ mod tests {
         let (l, x, _) = phv1();
         let mut p = Phv::new(&l);
         let mut r = arr(8);
-        r.set(0, 120);
+        r.set(R, 0, 120);
         p.set(x, 50);
         let call = StatefulCall {
             array: RegArrayId(0),
@@ -333,16 +636,16 @@ mod tests {
             on_false: SaluUpdate::Keep,
             output: None,
         };
-        r.execute(&call, &mut p, &l).unwrap();
-        assert_eq!(r.get(0), 127, "8-bit signed saturation");
-        r.set(1, -120);
+        r.execute(&call, &mut p).unwrap();
+        assert_eq!(r.get(R, 0), 127, "8-bit signed saturation");
+        r.set(R, 1, -120);
         p.set_signed(x, -50);
         let call = StatefulCall {
             index: Operand::Const(1),
             ..call
         };
-        r.execute(&call, &mut p, &l).unwrap();
-        assert_eq!(r.get(1), -128);
+        r.execute(&call, &mut p).unwrap();
+        assert_eq!(r.get(R, 1), -128);
     }
 
     #[test]
@@ -350,7 +653,7 @@ mod tests {
         let (l, x, out) = phv1();
         let mut p = Phv::new(&l);
         let mut r = arr(32);
-        r.set(2, 7);
+        r.set(R, 2, 7);
         p.set(x, 100);
         let call = StatefulCall {
             array: RegArrayId(0),
@@ -363,13 +666,13 @@ mod tests {
             on_false: SaluUpdate::Keep,
             output: Some((out, SaluOutput::Old)),
         };
-        r.execute(&call, &mut p, &l).unwrap();
-        assert_eq!(r.get(2), 100, "7 < 100 -> write");
+        r.execute(&call, &mut p).unwrap();
+        assert_eq!(r.get(R, 2), 100, "7 < 100 -> write");
         assert_eq!(p.get(out), 7, "old value forwarded");
         // Second offer, smaller: condition false, keep.
         p.set(x, 50);
-        r.execute(&call, &mut p, &l).unwrap();
-        assert_eq!(r.get(2), 100);
+        r.execute(&call, &mut p).unwrap();
+        assert_eq!(r.get(R, 2), 100);
         assert_eq!(p.get(out), 100);
     }
 
@@ -378,7 +681,7 @@ mod tests {
         let (l, x, _) = phv1();
         let mut p = Phv::new(&l);
         let mut r = arr(32);
-        r.set(0, 0b11000);
+        r.set(R, 0, 0b11000);
         p.set(x, 5);
         let call = StatefulCall {
             array: RegArrayId(0),
@@ -392,8 +695,8 @@ mod tests {
             output: None,
         };
         assert!(call.needs_rsaw());
-        r.execute(&call, &mut p, &l).unwrap();
-        assert_eq!(r.get(0), 0b11 + 5);
+        r.execute(&call, &mut p).unwrap();
+        assert_eq!(r.get(R, 0), 0b11 + 5);
     }
 
     #[test]
@@ -402,7 +705,7 @@ mod tests {
         let mut p = Phv::new(&l);
         p.set(x, 0);
         let mut r = arr(32);
-        r.set(0, -16);
+        r.set(R, 0, -16);
         let call = StatefulCall {
             array: RegArrayId(0),
             index: Operand::Const(0),
@@ -414,9 +717,9 @@ mod tests {
             on_false: SaluUpdate::Keep,
             output: None,
         };
-        r.execute(&call, &mut p, &l).unwrap();
+        r.execute(&call, &mut p).unwrap();
         assert_eq!(
-            r.get(0),
+            r.get(R, 0),
             -1,
             "distance past the width collapses to sign fill"
         );
@@ -427,7 +730,7 @@ mod tests {
         let (l, x, out) = phv1();
         let mut p = Phv::new(&l);
         let mut r = arr(32);
-        r.set(0, 0);
+        r.set(R, 0, 0);
         p.set(x, 42);
         // reg == 0 OR reg < x - exactly the FPISA-A install-or-overwrite shape.
         let cond = SaluCond::Or(
@@ -449,8 +752,8 @@ mod tests {
             on_false: SaluUpdate::Keep,
             output: Some((out, SaluOutput::Predicate)),
         };
-        r.execute(&call, &mut p, &l).unwrap();
-        assert_eq!(r.get(0), 42);
+        r.execute(&call, &mut p).unwrap();
+        assert_eq!(r.get(R, 0), 42);
         assert_eq!(p.get(out), 1);
     }
 
@@ -467,6 +770,6 @@ mod tests {
             on_false: SaluUpdate::Keep,
             output: None,
         };
-        assert!(r.execute(&call, &mut p, &l).is_err());
+        assert!(r.execute(&call, &mut p).is_err());
     }
 }

@@ -1,0 +1,644 @@
+//! Multi-core sharded execution: slot-range-partitioned switch state.
+//!
+//! A single [`CompiledSwitch`] is one core's worth of throughput. The
+//! register state it guards, however, is *partitionable*: in every FPISA
+//! workload the stateful arrays are indexed by an **aggregation slot**
+//! carried in a PHV field, and two packets for different slots never touch
+//! the same register entry. [`ShardedSwitch`] exploits exactly that — the
+//! software analogue of the paper's observation that line rate comes from
+//! parallelism across pipeline resources, and of SwitchML/ATP-style pool
+//! partitioning on the aggregation side:
+//!
+//! * the slot space `0..total` is split into contiguous [`SlotRange`]s
+//!   that cover it **exactly once** (checked by
+//!   [`crate::register::check_partition`] — no gap, no overlap);
+//! * each range is owned by one [`CompiledSwitch`] **shard**, compiled
+//!   with register arrays of exactly the range's length (the shard-local
+//!   slot space), its state held in a [`RegisterState`] that
+//!   [`RegisterState::merged`] can reassemble;
+//! * every packet is routed by the caller-supplied **slot field** — the
+//!   PHV field carrying the global slot index — to the shard owning that
+//!   slot, and the field is rebased to the shard-local index on the way
+//!   in;
+//! * [`ShardedSwitch::run_batch`] partitions a packet buffer by shard and
+//!   runs the shards on `std::thread::scope` workers with **zero
+//!   cross-shard locking**: each worker owns its shard's `&mut
+//!   CompiledSwitch` and its own packet bucket, so there is nothing to
+//!   contend on.
+//!
+//! Because routing preserves the relative order of packets that share a
+//! slot (indeed, of packets that share a *shard*), the register state and
+//! every read-out are **bit-for-bit identical** to running the same packet
+//! sequence through a single full-space engine — the invariant the
+//! pipeline differential suite enforces for every sharded configuration.
+
+use crate::compile::CompiledSwitch;
+use crate::phv::{FieldId, Phv};
+use crate::register::{check_partition, RegArrayId, RegisterState, SlotRange};
+use crate::switch::RuntimeError;
+
+/// Below this many packets a `run_batch` call stays on the calling thread
+/// (worker spawn overhead would dominate); sharded semantics — routing,
+/// rebasing, per-shard state — are identical either way.
+const PARALLEL_MIN: usize = 128;
+
+/// Split `0..total` into at most `shards` contiguous, non-empty, balanced
+/// ranges (fewer when `total < shards`). The result always satisfies
+/// [`check_partition`].
+pub fn partition_slots(total: usize, shards: usize) -> Vec<SlotRange> {
+    partition_slots_aligned(total, shards, 1)
+}
+
+/// Like [`partition_slots`], but every range boundary falls on a multiple
+/// of `align` (the last range absorbs any remainder). With `align` set to
+/// an aggregation protocol's chunk size, whole chunks land on one shard —
+/// the chunk→slot-range mapping of `fpisa-agg` never straddles shards.
+pub fn partition_slots_aligned(total: usize, shards: usize, align: usize) -> Vec<SlotRange> {
+    assert!(total > 0, "cannot partition an empty slot space");
+    let align = align.max(1).min(total);
+    let blocks = total.div_ceil(align);
+    let n = shards.max(1).min(blocks);
+    let base = blocks / n;
+    let rem = blocks % n;
+    let mut out = Vec::with_capacity(n);
+    let mut block = 0usize;
+    for i in 0..n {
+        let nblocks = base + usize::from(i < rem);
+        let start = block * align;
+        let end = ((block + nblocks) * align).min(total);
+        out.push(SlotRange::new(start, end - start));
+        block += nblocks;
+    }
+    out
+}
+
+/// N compiled shards behind one switch interface, each owning a slot
+/// range. See the [module docs](self) for the execution model.
+#[derive(Debug, Clone)]
+pub struct ShardedSwitch {
+    shards: Vec<CompiledSwitch>,
+    ranges: Box<[SlotRange]>,
+    /// The caller-supplied slot extractor: the PHV field carrying the
+    /// global slot index every packet is routed (and rebased) by.
+    slot_field: FieldId,
+    total_slots: usize,
+    /// Scratch: shard index per packet of the current batch.
+    shard_of: Vec<u32>,
+    /// Scratch: per-shard packet buckets (packets are *moved*, not
+    /// cloned, in and out).
+    buckets: Vec<Vec<Phv>>,
+    /// Scratch: scatter-back cursors.
+    cursors: Vec<usize>,
+}
+
+impl ShardedSwitch {
+    /// Assemble a sharded switch from per-shard engines, the slot ranges
+    /// they own, and the PHV field carrying the global slot index.
+    ///
+    /// Validated up front: the ranges must partition `0..total` exactly
+    /// once, every register array of shard `i` must have exactly
+    /// `ranges[i].len` entries (the shard-local slot space), and the slot
+    /// field must exist in every shard's layout.
+    pub fn new(
+        shards: Vec<CompiledSwitch>,
+        ranges: Vec<SlotRange>,
+        slot_field: FieldId,
+    ) -> Result<Self, RuntimeError> {
+        let oob = |detail: String| RuntimeError::IndexOutOfRange { detail };
+        if shards.is_empty() || shards.len() != ranges.len() {
+            return Err(oob(format!(
+                "{} shards for {} slot ranges",
+                shards.len(),
+                ranges.len()
+            )));
+        }
+        let total_slots = ranges.iter().map(|r| r.len).sum();
+        check_partition(total_slots, &ranges)?;
+        for (i, (shard, range)) in shards.iter().zip(&ranges).enumerate() {
+            if shard.register_state().slot_space() != Some(range.len) {
+                return Err(oob(format!(
+                    "shard {i} register arrays do not all span its {}-slot range",
+                    range.len
+                )));
+            }
+            if usize::from(slot_field.0) >= shard.layout().len() {
+                return Err(oob(format!(
+                    "slot field id {} outside shard {i}'s PHV layout",
+                    slot_field.0
+                )));
+            }
+        }
+        let n = shards.len();
+        Ok(ShardedSwitch {
+            shards,
+            ranges: ranges.into_boxed_slice(),
+            slot_field,
+            total_slots,
+            shard_of: Vec::new(),
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            cursors: vec![0; n],
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total slots across all shards.
+    pub fn total_slots(&self) -> usize {
+        self.total_slots
+    }
+
+    /// The slot ranges, in shard order (ascending, contiguous).
+    pub fn ranges(&self) -> &[SlotRange] {
+        &self.ranges
+    }
+
+    /// One shard's engine.
+    pub fn shard(&self, index: usize) -> &CompiledSwitch {
+        &self.shards[index]
+    }
+
+    /// Mutable access to one shard's engine (control plane: per-shard
+    /// register writes use shard-local slot indices).
+    pub fn shard_mut(&mut self, index: usize) -> &mut CompiledSwitch {
+        &mut self.shards[index]
+    }
+
+    /// The shard owning a global slot.
+    pub fn shard_for_slot(&self, slot: usize) -> Result<usize, RuntimeError> {
+        if slot >= self.total_slots {
+            return Err(RuntimeError::IndexOutOfRange {
+                detail: format!(
+                    "slot {slot} out of range for sharded switch with {} slots",
+                    self.total_slots
+                ),
+            });
+        }
+        // Ranges are a contiguous ascending partition: the owner is the
+        // last range starting at or before the slot.
+        Ok(self.ranges.partition_point(|r| r.end() <= slot))
+    }
+
+    /// Control-plane read of a register entry at a **global** slot index,
+    /// routed to the owning shard.
+    pub fn register(&self, id: RegArrayId, slot: usize) -> i64 {
+        let s = self.shard_for_slot(slot).expect("slot out of range");
+        self.shards[s].register(id, slot - self.ranges[s].start)
+    }
+
+    /// Control-plane write of a register entry at a **global** slot index.
+    pub fn set_register(&mut self, id: RegArrayId, slot: usize, value: i64) {
+        let s = self.shard_for_slot(slot).expect("slot out of range");
+        self.shards[s].set_register(id, slot - self.ranges[s].start, value);
+    }
+
+    /// Reassemble the full-space register state from the shards — the
+    /// inverse of splitting, for snapshots, migration to a single-core
+    /// engine, or multi-switch merging.
+    pub fn merged_state(&self) -> RegisterState {
+        let states: Vec<RegisterState> = self
+            .shards
+            .iter()
+            .map(|s| s.register_state().clone())
+            .collect();
+        RegisterState::merged(&states, &self.ranges)
+            .expect("shard shapes validated at construction")
+    }
+
+    /// Install per-shard register states split from a full-space state
+    /// (see [`RegisterState::split_ranges`]).
+    pub fn set_merged_state(&mut self, state: &RegisterState) -> Result<(), RuntimeError> {
+        let parts = state.split_ranges(&self.ranges)?;
+        for (shard, part) in self.shards.iter_mut().zip(parts) {
+            shard.set_register_state(part)?;
+        }
+        Ok(())
+    }
+
+    /// Route one packet by its slot field, rebase the field to the
+    /// shard-local index, and run it on the owning shard.
+    ///
+    /// After the call the slot field holds the shard-local index (the
+    /// shard's program saw a local packet); every other field carries the
+    /// same result the full-space engine would produce.
+    pub fn run(&mut self, phv: &mut Phv) -> Result<u32, RuntimeError> {
+        let slot = phv.get(self.slot_field) as usize;
+        let s = self.shard_for_slot(slot)?;
+        let start = self.ranges[s].start;
+        if start != 0 {
+            phv.set(self.slot_field, (slot - start) as u64);
+        }
+        self.shards[s].run(phv)
+    }
+
+    /// Process a buffer of packets across all shards, returning the total
+    /// pass count.
+    ///
+    /// Every packet's slot is validated **before any packet runs**. Large
+    /// batches are partitioned per shard and executed on one
+    /// `std::thread::scope` worker per shard — no locks, no shared
+    /// mutable state; small batches stay on the calling thread with
+    /// identical semantics. Packets that share a shard (in particular,
+    /// packets that share a slot) execute in their original relative
+    /// order, so the result is bit-for-bit what a single full-space
+    /// engine produces for the same sequence.
+    ///
+    /// On a fault the error reported is the one whose packet came
+    /// earliest in the buffer; its shard stops there, but other shards
+    /// may have completed their packets (unlike the strictly sequential
+    /// single-engine batch).
+    pub fn run_batch(&mut self, phvs: &mut [Phv]) -> Result<u64, RuntimeError> {
+        // Single-shard fast path: one range starting at 0, so routing
+        // resolves to shard 0 and rebasing is the identity — validate in
+        // one pass and run, with none of the multi-shard bookkeeping
+        // (keeps the 1-shard configuration at single-engine speed).
+        if self.shards.len() == 1 {
+            if let Some(bad) = phvs
+                .iter()
+                .map(|phv| phv.get(self.slot_field) as usize)
+                .find(|&slot| slot >= self.total_slots)
+            {
+                self.shard_for_slot(bad)?;
+            }
+            let shard = &mut self.shards[0];
+            let mut total = 0u64;
+            for phv in phvs.iter_mut() {
+                total += u64::from(shard.run(phv)?);
+            }
+            return Ok(total);
+        }
+        // Route + validate up front: no packet runs if any slot is bad.
+        self.shard_of.clear();
+        self.shard_of.reserve(phvs.len());
+        for phv in phvs.iter() {
+            let slot = phv.get(self.slot_field) as usize;
+            self.shard_of.push(self.shard_for_slot(slot)? as u32);
+        }
+        // Rebase every slot field to the shard-local index.
+        for (phv, &s) in phvs.iter_mut().zip(&self.shard_of) {
+            let slot = phv.get(self.slot_field) as usize;
+            phv.set(
+                self.slot_field,
+                (slot - self.ranges[s as usize].start) as u64,
+            );
+        }
+        if phvs.len() < PARALLEL_MIN {
+            // Sequential fallback: original order, strict first-fault.
+            let mut total = 0u64;
+            for (phv, &s) in phvs.iter_mut().zip(&self.shard_of) {
+                total += u64::from(self.shards[s as usize].run(phv)?);
+            }
+            return Ok(total);
+        }
+
+        // Gather per-shard buckets (moves, preserving per-shard order).
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        for (phv, &s) in phvs.iter_mut().zip(&self.shard_of) {
+            self.buckets[s as usize].push(std::mem::take(phv));
+        }
+
+        // One worker per shard: each owns its shard engine and bucket
+        // exclusively — zero cross-shard locking. Shard 0 runs inline on
+        // the calling thread (one spawn saved), empty buckets spawn
+        // nothing.
+        fn run_bucket(
+            shard: &mut CompiledSwitch,
+            bucket: &mut [Phv],
+        ) -> Result<u64, (usize, RuntimeError)> {
+            let mut total = 0u64;
+            for (j, phv) in bucket.iter_mut().enumerate() {
+                match shard.run(phv) {
+                    Ok(p) => total += u64::from(p),
+                    Err(e) => return Err((j, e)),
+                }
+            }
+            Ok(total)
+        }
+        let mut results: Vec<Result<u64, (usize, RuntimeError)>> =
+            Vec::with_capacity(self.shards.len());
+        std::thread::scope(|scope| {
+            let mut iter = self.shards.iter_mut().zip(self.buckets.iter_mut());
+            let (shard0, bucket0) = iter.next().expect("at least one shard");
+            let handles: Vec<_> = iter
+                .map(|(shard, bucket)| {
+                    (!bucket.is_empty()).then(|| scope.spawn(move || run_bucket(shard, bucket)))
+                })
+                .collect();
+            results.push(run_bucket(shard0, bucket0));
+            results.extend(handles.into_iter().map(|h| match h {
+                Some(h) => h.join().expect("shard worker panicked"),
+                None => Ok(0),
+            }));
+        });
+
+        // Scatter the packets back into their original positions.
+        self.cursors.iter_mut().for_each(|c| *c = 0);
+        for (phv, &s) in phvs.iter_mut().zip(&self.shard_of) {
+            let s = s as usize;
+            *phv = std::mem::take(&mut self.buckets[s][self.cursors[s]]);
+            self.cursors[s] += 1;
+        }
+
+        // Deterministic error selection: the fault whose packet appeared
+        // earliest in the caller's buffer wins.
+        let mut total = 0u64;
+        let mut first_fault: Option<(usize, RuntimeError)> = None;
+        for (s, res) in results.into_iter().enumerate() {
+            match res {
+                Ok(t) => total += t,
+                Err((j, e)) => {
+                    let orig = self
+                        .shard_of
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &sh)| sh as usize == s)
+                        .nth(j)
+                        .map(|(i, _)| i)
+                        .unwrap_or(usize::MAX);
+                    if first_fault.as_ref().is_none_or(|&(o, _)| orig < o) {
+                        first_fault = Some((orig, e));
+                    }
+                }
+            }
+        }
+        match first_fault {
+            Some((_, e)) => Err(e),
+            None => Ok(total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Operand};
+    use crate::phv::PhvLayout;
+    use crate::register::{RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, StatefulCall};
+    use crate::stage::Stage;
+    use crate::switch::{SwitchCaps, SwitchProgram};
+    use crate::table::Table;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    /// A per-slot saturating counter program over `slots` register
+    /// entries, with the count echoed into the `count` field.
+    fn counter_program(slots: usize) -> (SwitchProgram, FieldId, FieldId) {
+        let mut layout = PhvLayout::new();
+        let slot = layout.field("slot", 16);
+        let count = layout.field("count", 32);
+        let bump = Action::nop("bump").call(StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Field(slot),
+            cond: SaluCond::Always,
+            on_true: SaluUpdate::AddSat(Operand::Const(1)),
+            on_false: SaluUpdate::Keep,
+            output: Some((count, SaluOutput::New)),
+        });
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout,
+            stages: vec![Stage::new().table(Table::always("count", bump))],
+            arrays: vec![RegisterArraySpec {
+                name: "pkt_count".into(),
+                width_bits: 32,
+                entries: slots,
+                stage: 0,
+            }],
+            recirc_field: None,
+        };
+        (program, slot, count)
+    }
+
+    fn sharded_counter(total: usize, shards: usize) -> (ShardedSwitch, FieldId, FieldId) {
+        let ranges = partition_slots(total, shards);
+        let engines: Vec<CompiledSwitch> = ranges
+            .iter()
+            .map(|r| {
+                let (program, _, _) = counter_program(r.len);
+                CompiledSwitch::compile(&program).unwrap()
+            })
+            .collect();
+        let (_, slot, count) = counter_program(total);
+        let sw = ShardedSwitch::new(engines, ranges, slot).unwrap();
+        (sw, slot, count)
+    }
+
+    #[test]
+    fn partition_is_balanced_and_exact() {
+        for (total, shards) in [(16, 4), (17, 4), (1, 8), (64, 1), (7, 7), (100, 3)] {
+            let ranges = partition_slots(total, shards);
+            check_partition(total, &ranges).unwrap();
+            assert!(ranges.len() <= shards && ranges.len() == shards.min(total));
+            let max = ranges.iter().map(|r| r.len).max().unwrap();
+            let min = ranges.iter().map(|r| r.len).min().unwrap();
+            assert!(max - min <= 1, "{total}/{shards}: unbalanced {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn aligned_partition_keeps_chunks_whole() {
+        let ranges = partition_slots_aligned(100, 4, 16);
+        check_partition(100, &ranges).unwrap();
+        for r in &ranges[..ranges.len() - 1] {
+            assert_eq!(r.start % 16, 0);
+            assert_eq!(r.len % 16, 0);
+        }
+        // A chunk of 16 starting anywhere on a 16-boundary never straddles.
+        for chunk_start in (0..100).step_by(16) {
+            let chunk_len = 16.min(100 - chunk_start);
+            let owner = ranges.iter().position(|r| r.contains(chunk_start)).unwrap();
+            assert!(
+                ranges[owner].contains(chunk_start + chunk_len - 1),
+                "chunk at {chunk_start} straddles shards"
+            );
+        }
+    }
+
+    #[test]
+    fn random_partitions_cover_the_slot_space_exactly_once() {
+        // Property test: for random (total, shards, align), every slot is
+        // covered by exactly one range.
+        let mut rng = SmallRng::seed_from_u64(0x5A4D);
+        for _ in 0..200 {
+            let total = rng.gen_range(1usize..500);
+            let shards = rng.gen_range(1usize..12);
+            let align = rng.gen_range(1usize..40);
+            let ranges = partition_slots_aligned(total, shards, align);
+            check_partition(total, &ranges).unwrap();
+            for slot in 0..total {
+                let owners = ranges.iter().filter(|r| r.contains(slot)).count();
+                assert_eq!(owners, 1, "slot {slot} covered {owners} times");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_partitions_are_rejected() {
+        // Gap.
+        assert!(check_partition(8, &[SlotRange::new(0, 3), SlotRange::new(4, 4)]).is_err());
+        // Overlap.
+        assert!(check_partition(8, &[SlotRange::new(0, 5), SlotRange::new(4, 4)]).is_err());
+        // Short.
+        assert!(check_partition(8, &[SlotRange::new(0, 7)]).is_err());
+        // Past the end.
+        assert!(check_partition(8, &[SlotRange::new(0, 9)]).is_err());
+        // Empty range.
+        assert!(check_partition(8, &[SlotRange::new(0, 0), SlotRange::new(0, 8)]).is_err());
+        // Exact.
+        check_partition(8, &[SlotRange::new(0, 3), SlotRange::new(3, 5)]).unwrap();
+    }
+
+    #[test]
+    fn sharded_counters_match_a_single_engine_bit_for_bit() {
+        let total = 23;
+        let (program, slot, count) = counter_program(total);
+        let mut single = CompiledSwitch::compile(&program).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let stream: Vec<usize> = (0..800).map(|_| rng.gen_range(0..total)).collect();
+        for shards in [1usize, 2, 3, 8] {
+            let (mut sharded, _, _) = sharded_counter(total, shards);
+            let mut phvs: Vec<Phv> = stream
+                .iter()
+                .map(|&s| {
+                    let mut p = single.phv();
+                    p.set(slot, s as u64);
+                    p
+                })
+                .collect();
+            let passes = sharded.run_batch(&mut phvs).unwrap();
+            assert_eq!(passes, stream.len() as u64, "{shards} shards");
+            // Per-packet outputs match the scalar single-engine run.
+            let mut fresh = CompiledSwitch::compile(&program).unwrap();
+            for (i, (&s, phv)) in stream.iter().zip(&phvs).enumerate() {
+                let mut p = fresh.phv();
+                p.set(slot, s as u64);
+                fresh.run(&mut p).unwrap();
+                assert_eq!(
+                    phv.get(count),
+                    p.get(count),
+                    "{shards} shards, packet {i} (slot {s})"
+                );
+            }
+            // Global register state reassembles to the single engine's.
+            if shards == 1 {
+                for &s in &stream {
+                    let mut p = single.phv();
+                    p.set(slot, s as u64);
+                    single.run(&mut p).unwrap();
+                }
+            }
+            let merged = sharded.merged_state();
+            for s in 0..total {
+                assert_eq!(
+                    merged.get(RegArrayId(0), s),
+                    single.register(RegArrayId(0), s),
+                    "{shards} shards, slot {s}"
+                );
+                assert_eq!(
+                    sharded.register(RegArrayId(0), s),
+                    single.register(RegArrayId(0), s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_run_routes_and_rebases() {
+        let (mut sw, slot, count) = sharded_counter(10, 3);
+        // Slot 7 lands in the last shard; bump it twice.
+        for want in 1..=2u64 {
+            let mut p = sw.shard(0).phv();
+            p.set(slot, 7);
+            sw.run(&mut p).unwrap();
+            assert_eq!(p.get(count), want);
+        }
+        assert_eq!(sw.register(RegArrayId(0), 7), 2);
+        // Neighboring slots in other shards untouched.
+        assert_eq!(sw.register(RegArrayId(0), 6), 0);
+        assert_eq!(sw.register(RegArrayId(0), 8), 0);
+    }
+
+    #[test]
+    fn out_of_range_slots_error_before_anything_runs() {
+        let (mut sw, slot, _) = sharded_counter(8, 2);
+        let mut phvs: Vec<Phv> = (0..4)
+            .map(|i| {
+                let mut p = sw.shard(0).phv();
+                p.set(slot, if i == 3 { 99 } else { i });
+                p
+            })
+            .collect();
+        assert!(matches!(
+            sw.run_batch(&mut phvs),
+            Err(RuntimeError::IndexOutOfRange { .. })
+        ));
+        for s in 0..8 {
+            assert_eq!(sw.register(RegArrayId(0), s), 0, "nothing ran");
+        }
+        let mut bad = sw.shard(0).phv();
+        bad.set(slot, 8);
+        assert!(sw.run(&mut bad).is_err());
+    }
+
+    #[test]
+    fn split_and_merge_roundtrip_register_state() {
+        let (program, _, _) = counter_program(12);
+        let mut single = CompiledSwitch::compile(&program).unwrap();
+        for s in 0..12 {
+            single.set_register(RegArrayId(0), s, (s * 3 + 1) as i64);
+        }
+        let ranges = partition_slots(12, 5);
+        let parts = single.register_state().split_ranges(&ranges).unwrap();
+        assert_eq!(parts.len(), 5);
+        let merged = RegisterState::merged(&parts, &ranges).unwrap();
+        assert_eq!(&merged, single.register_state());
+        // Snapshot/restore roundtrip too.
+        let snap = merged.snapshot();
+        let mut zeroed = RegisterState::new(&program.arrays);
+        zeroed.restore(&snap).unwrap();
+        assert_eq!(&zeroed, single.register_state());
+        // Shape mismatch is an error, not corruption.
+        let (other, _, _) = counter_program(7);
+        assert!(RegisterState::new(&other.arrays).restore(&snap).is_err());
+        // So is merging shards whose register widths disagree: a wider
+        // shard's values must not land behind narrower saturation bounds.
+        let narrow = crate::register::RegisterArraySpec {
+            name: "pkt_count".into(),
+            width_bits: 8,
+            entries: parts[1].entries(RegArrayId(0)),
+            stage: 0,
+        };
+        let mut mixed: Vec<RegisterState> = parts.clone();
+        mixed[1] = RegisterState::new(&[narrow]);
+        assert!(RegisterState::merged(&mixed, &ranges).is_err());
+    }
+
+    #[test]
+    fn construction_rejects_mismatched_shards() {
+        let ranges = partition_slots(8, 2);
+        let engines: Vec<CompiledSwitch> = ranges
+            .iter()
+            .map(|r| {
+                let (program, _, _) = counter_program(r.len);
+                CompiledSwitch::compile(&program).unwrap()
+            })
+            .collect();
+        let (_, slot, _) = counter_program(8);
+        // Wrong range count.
+        assert!(ShardedSwitch::new(engines.clone(), vec![SlotRange::new(0, 8)], slot).is_err());
+        // Shard arrays don't span the claimed range.
+        assert!(ShardedSwitch::new(
+            engines.clone(),
+            vec![SlotRange::new(0, 5), SlotRange::new(5, 3)],
+            slot
+        )
+        .is_err());
+        // Unknown slot field.
+        assert!(ShardedSwitch::new(engines.clone(), ranges.clone(), FieldId(99)).is_err());
+        // Valid.
+        ShardedSwitch::new(engines, ranges, slot).unwrap();
+    }
+}

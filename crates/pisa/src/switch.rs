@@ -18,7 +18,7 @@
 //! passes).
 
 use crate::phv::{FieldId, Phv, PhvLayout};
-use crate::register::{RegArrayId, RegisterArray, RegisterArraySpec};
+use crate::register::{RegArrayId, RegisterArraySpec, RegisterState};
 use crate::stage::Stage;
 use serde::{Deserialize, Serialize};
 
@@ -336,20 +336,15 @@ pub struct PacketTrace {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Switch {
     program: SwitchProgram,
-    arrays: Vec<RegisterArray>,
+    state: RegisterState,
 }
 
 impl Switch {
     /// Instantiate a validated program with zeroed registers.
     pub fn new(program: SwitchProgram) -> Result<Self, ProgramError> {
         program.validate()?;
-        let arrays = program
-            .arrays
-            .iter()
-            .cloned()
-            .map(RegisterArray::new)
-            .collect();
-        Ok(Switch { program, arrays })
+        let state = RegisterState::new(&program.arrays);
+        Ok(Switch { program, state })
     }
 
     /// The program this switch runs.
@@ -357,19 +352,32 @@ impl Switch {
         &self.program
     }
 
-    /// The register arrays (for engines that need to copy state).
-    pub(crate) fn arrays(&self) -> &[RegisterArray] {
-        &self.arrays
+    /// The live register state.
+    pub fn register_state(&self) -> &RegisterState {
+        &self.state
+    }
+
+    /// Replace the register state wholesale (e.g. restoring a snapshot
+    /// taken from the other engine). The shape must match the program's
+    /// arrays.
+    pub fn set_register_state(&mut self, state: RegisterState) -> Result<(), RuntimeError> {
+        if !self.state.same_shape(&state) {
+            return Err(RuntimeError::IndexOutOfRange {
+                detail: "register state shape does not match the program's arrays".into(),
+            });
+        }
+        self.state = state;
+        Ok(())
     }
 
     /// Control-plane read of a register entry.
     pub fn register(&self, id: RegArrayId, index: usize) -> i64 {
-        self.arrays[id.0 as usize].get(index)
+        self.state.get(id, index)
     }
 
     /// Control-plane write of a register entry.
     pub fn set_register(&mut self, id: RegArrayId, index: usize, value: i64) {
-        self.arrays[id.0 as usize].set(index, value);
+        self.state.set(id, index, value);
     }
 
     /// A fresh PHV for this program's layout.
@@ -421,7 +429,7 @@ impl Switch {
             if let Some(rf) = self.program.recirc_field {
                 phv.set(rf, 0);
             }
-            let mut touched: Vec<bool> = vec![false; self.arrays.len()];
+            let mut touched: Vec<bool> = vec![false; self.program.arrays.len()];
             for (si, stage) in self.program.stages.iter().enumerate() {
                 for table in &stage.tables {
                     let selected = table.lookup(phv);
@@ -434,13 +442,13 @@ impl Switch {
                             let a = call.array.0 as usize;
                             if touched[a] {
                                 return Err(RuntimeError::RawViolation {
-                                    array: self.arrays[a].spec().name.clone(),
+                                    array: self.program.arrays[a].name.clone(),
                                     pass,
                                 });
                             }
                             touched[a] = true;
-                            self.arrays[a]
-                                .execute(call, phv, &self.program.layout)
+                            self.state
+                                .execute(call, phv)
                                 .map_err(|detail| RuntimeError::IndexOutOfRange { detail })?;
                         }
                     }
