@@ -113,6 +113,10 @@ pub trait Aggregator {
     fn add_wire_multi(&mut self, chunks: &[(usize, &[u64])]) -> Result<(), AggError>;
 
     /// Read `len` slots starting at `start` back as `f64` values.
+    /// Reading must not modify any slot. The switch-backed
+    /// implementations push the whole contiguous range through their
+    /// engine's batch path, so chunked read-outs cost the same per slot
+    /// as batched ingest.
     fn read_range(&mut self, start: usize, len: usize) -> Result<Vec<f64>, AggError>;
 
     /// Control-plane reset of a slot range for round reuse.

@@ -194,11 +194,7 @@ impl Aggregator for FpisaAggregator {
         for &(start, words) in chunks {
             self.check_range(start, words.len())?;
             for (i, &w) in words.iter().enumerate() {
-                let class = self.format.unpack(w).class;
-                if matches!(
-                    class,
-                    fpisa_core::FpClass::Infinity | fpisa_core::FpClass::Nan
-                ) {
+                if !self.format.is_finite_bits(w) {
                     return Err(AggError::NonFinite { slot: start + i });
                 }
             }
@@ -235,10 +231,9 @@ impl Aggregator for FpisaAggregator {
 
     fn read_range(&mut self, start: usize, len: usize) -> Result<Vec<f64>, AggError> {
         self.check_range(start, len)?;
-        let slots: Vec<usize> = (start..start + len).collect();
-        let bits = self.pipe.read_batch(&slots)?;
+        let bits = self.pipe.read_range(start, len)?;
         if let Some(shadow) = &self.shadow {
-            for (&slot, &b) in slots.iter().zip(&bits) {
+            for (slot, &b) in (start..start + len).zip(&bits) {
                 debug_assert_eq!(
                     b,
                     shadow[slot].read_bits(),

@@ -70,8 +70,7 @@ pub struct SwitchMlFixedPoint {
     mirror: Vec<i64>,
     stats: AddStats,
     clipped: u64,
-    scratch: Phv,
-    /// Reusable PHV buffer for the batched ADD path.
+    /// Reusable PHV buffer for the batched ADD and READ paths.
     phv_buf: Vec<Phv>,
 }
 
@@ -97,7 +96,6 @@ impl SwitchMlFixedPoint {
             });
         }
         let (engine, op, slot, value, result, array) = build_engine(slots, 1, 1)?;
-        let scratch = engine.shard(0).phv();
         let qmax = qmax_for(workers);
         Ok(SwitchMlFixedPoint {
             engine,
@@ -112,7 +110,6 @@ impl SwitchMlFixedPoint {
             mirror: vec![0; slots],
             stats: AddStats::default(),
             clipped: 0,
-            scratch,
             phv_buf: Vec::new(),
         })
     }
@@ -175,15 +172,6 @@ impl SwitchMlFixedPoint {
     /// `±qmax`).
     pub fn qmax(&self) -> i64 {
         self.qmax
-    }
-
-    fn run_op(&mut self, opcode: u64, slot: usize, value: u64) -> Result<u64, AggError> {
-        self.scratch.clear();
-        self.scratch.set(self.op, opcode);
-        self.scratch.set(self.slot, slot as u64);
-        self.scratch.set(self.value, value);
-        self.engine.run(&mut self.scratch)?;
-        Ok(self.scratch.get(self.result))
     }
 
     /// Host-side mirror accounting for one folded word (the switch did
@@ -377,13 +365,32 @@ impl Aggregator for SwitchMlFixedPoint {
 
     fn read_range(&mut self, start: usize, len: usize) -> Result<Vec<f64>, AggError> {
         self.check_range(start, len)?;
+        // READ packets ride the same batch path as ingest: whole chunks
+        // through the per-shard batch engine instead of one scalar run
+        // per slot.
+        let needed = len.clamp(1, BATCH_CHUNK);
+        if self.phv_buf.len() < needed {
+            let proto = self.engine.shard(0).phv();
+            self.phv_buf.resize(needed, proto);
+        }
         let mut out = Vec::with_capacity(len);
-        for slot in start..start + len {
-            let raw = self.run_op(OP_READ, slot, 0)?;
-            // Sign-extend the register value from its width.
-            let q = ((raw as i64) << (64 - VALUE_BITS)) >> (64 - VALUE_BITS);
-            debug_assert_eq!(q, self.mirror[slot], "switch and mirror diverged");
-            out.push(q as f64 * self.scale);
+        let mut slot = start;
+        while slot < start + len {
+            let n = needed.min(start + len - slot);
+            for (i, phv) in self.phv_buf[..n].iter_mut().enumerate() {
+                phv.clear();
+                phv.set(self.op, OP_READ);
+                phv.set(self.slot, (slot + i) as u64);
+            }
+            self.engine.run_batch(&mut self.phv_buf[..n])?;
+            for (i, phv) in self.phv_buf[..n].iter().enumerate() {
+                let raw = phv.get(self.result);
+                // Sign-extend the register value from its width.
+                let q = ((raw as i64) << (64 - VALUE_BITS)) >> (64 - VALUE_BITS);
+                debug_assert_eq!(q, self.mirror[slot + i], "switch and mirror diverged");
+                out.push(q as f64 * self.scale);
+            }
+            slot += n;
         }
         Ok(out)
     }

@@ -38,9 +38,42 @@ use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::time::Instant;
 
 /// Identifier of the JSON output shape, bumped on breaking changes.
-/// (`packets_per_sec` was added as a derived per-bench field; additive, so
-/// the schema id is unchanged.)
+/// (`packets_per_sec` was added as a derived per-bench field, and the
+/// `meta` provenance header after it; both additive, so the schema id is
+/// unchanged.)
 pub const SCHEMA: &str = "fpisa-bench/v1";
+
+/// Provenance of a benchmark recording: enough to judge whether two JSON
+/// files are comparable. A 1-core container and an 8-core host produce
+/// wildly different shard curves, and a debug-profile run is meaningless —
+/// the header makes both visible in the recorded artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchMeta {
+    /// Parallelism the harness saw (`std::thread::available_parallelism`);
+    /// 0 if the query failed.
+    pub host_cores: usize,
+    /// Cargo profile the harness was compiled under: `release` or `debug`.
+    pub profile: &'static str,
+    /// Wall-clock seconds since the Unix epoch when the harness started.
+    pub timestamp_unix: u64,
+}
+
+impl BenchMeta {
+    /// Capture the current host/build provenance.
+    pub fn capture() -> Self {
+        BenchMeta {
+            host_cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+            timestamp_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+        }
+    }
+}
 
 /// One benchmark's outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -429,13 +462,25 @@ pub fn run_agg(scale: f64) -> Vec<BenchResult> {
     };
     let big_rounds = ((2.0 * scale) as u64).max(1);
     for shards in [1usize, 2, 4, 8] {
+        // Force the worker budget to the shard count so the curve always
+        // measures the persistent-pool dispatch path it claims to —
+        // without this, a host with fewer cores than shards silently runs
+        // every bucket inline and the curve measures nothing new. The
+        // `meta.host_cores` header in the recorded JSON says whether the
+        // workers actually ran in parallel.
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA)
+            .format(FpFormat::FP16)
+            .slots(big.elements)
+            .shards(shards)
+            .shard_align(big.elements_per_packet)
+            .parallelism(shards);
         bench_allreduce(
             &mut results,
             &format!("agg/allreduce/fpisa_fp16_shards{shards}"),
             &big,
             Box::new(
-                FpisaAggregator::fp16_tofino_sharded(big.elements, shards, big.elements_per_packet)
-                    .expect("preset validates")
+                FpisaAggregator::from_spec(spec)
+                    .expect("spec validates")
                     .with_shadow_stats(false),
             ),
             true,
@@ -461,9 +506,13 @@ fn json_escape(s: &str) -> String {
 
 /// Render results as the `BENCH_accumulator.json` document (hand-formatted
 /// JSON; no serde backend in this environment).
-pub fn to_json(results: &[BenchResult]) -> String {
+pub fn to_json(meta: &BenchMeta, results: &[BenchResult]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!(
+        "  \"meta\": {{\"host_cores\": {}, \"profile\": \"{}\", \"timestamp_unix\": {}}},\n",
+        meta.host_cores, meta.profile, meta.timestamp_unix
+    ));
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -558,9 +607,18 @@ mod tests {
             ns_per_op: 42.0,
             packets_per_sec: 1e9 / 42.0,
         }];
-        let j = to_json(&results);
+        let meta = BenchMeta {
+            host_cores: 4,
+            profile: "release",
+            timestamp_unix: 1_700_000_000,
+        };
+        let j = to_json(&meta, &results);
         assert!(j.starts_with("{\n"));
         assert!(j.contains("\"schema\": \"fpisa-bench/v1\""));
+        assert!(j.contains(
+            "\"meta\": {\"host_cores\": 4, \"profile\": \"release\", \
+             \"timestamp_unix\": 1700000000}"
+        ));
         assert!(j.contains("\"ns_per_op\": 42.000"));
         assert!(j.contains("\"packets_per_sec\": 23809524"));
         assert!(j.trim_end().ends_with('}'));
@@ -577,7 +635,7 @@ mod tests {
             ns_per_op: 1.0,
             packets_per_sec: 1e9,
         }];
-        let j = to_json(&results);
+        let j = to_json(&BenchMeta::capture(), &results);
         assert!(j.contains(r#"weird \"name\"\\path"#));
         assert_eq!(
             j.matches('"').count() % 2,

@@ -29,6 +29,11 @@ fn main() {
         eprintln!("running FPISA benchmarks (release profile recommended)...");
     }
     let scale = if quick { 0.02 } else { 1.0 };
+    let meta = fpisa_bench::BenchMeta::capture();
+    eprintln!(
+        "host: {} core(s), {} profile",
+        meta.host_cores, meta.profile
+    );
     let results = fpisa_bench::run_all(scale);
     let agg_results = fpisa_bench::run_agg(scale);
     for r in results.iter().chain(&agg_results) {
@@ -39,7 +44,7 @@ fn main() {
         return;
     }
     for (path, set) in [(&out_path, &results), (&agg_path, &agg_results)] {
-        let json = fpisa_bench::to_json(set);
+        let json = fpisa_bench::to_json(&meta, set);
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
     }

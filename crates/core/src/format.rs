@@ -161,6 +161,16 @@ impl FpFormat {
     // Unpack / pack
     // ------------------------------------------------------------------
 
+    /// Whether packed bits encode a finite value (not infinity or NaN):
+    /// the exponent-field mask-and-compare alone, for hot ingest paths
+    /// that screen every wire word and don't need a full
+    /// [`FpFormat::unpack`]. Bits above [`FpFormat::total_bits`] are
+    /// ignored.
+    #[inline]
+    pub fn is_finite_bits(&self, bits: u64) -> bool {
+        ((bits >> self.man_bits) as u32) & self.max_exp_field() != self.max_exp_field()
+    }
+
     /// Split packed bits into sign, exponent and fraction fields and classify
     /// the value. Bits above [`FpFormat::total_bits`] are ignored.
     pub fn unpack(&self, bits: u64) -> Unpacked {
@@ -434,6 +444,26 @@ mod tests {
         assert_eq!(f.unpack(0x3F80_0000).class, FpClass::Normal);
         assert_eq!(f.unpack(0x7F80_0000).class, FpClass::Infinity);
         assert_eq!(f.unpack(0x7FC0_0000).class, FpClass::Nan);
+    }
+
+    #[test]
+    fn is_finite_bits_agrees_with_unpack() {
+        for f in [FpFormat::FP32, FpFormat::FP16, FpFormat::BF16] {
+            for bits in [
+                0u64,
+                1,
+                f.value_mask(),
+                f.infinity_bits(false),
+                f.infinity_bits(true),
+                f.nan_bits(),
+                f.encode(1.5),
+                f.encode(-2.0e4),
+                1u64 << f.man_bits,
+            ] {
+                let finite = !matches!(f.unpack(bits).class, FpClass::Infinity | FpClass::Nan);
+                assert_eq!(f.is_finite_bits(bits), finite, "{f:?} bits {bits:#x}");
+            }
+        }
     }
 
     #[test]

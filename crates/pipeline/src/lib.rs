@@ -78,8 +78,8 @@ pub use spec::{format_name, ExecEngine, PipelineSpec, SpecError, MAX_SLOTS};
 
 use fpisa_core::{FpFormat, FpisaConfig};
 use fpisa_pisa::{
-    CompiledSwitch, Phv, ProgramError, ResourceReport, RuntimeError, ShardedSwitch, SlotRange,
-    Switch, SwitchProgram,
+    BatchLanes, CompiledSwitch, Phv, ProgramError, ResourceReport, RuntimeError, ShardedSwitch,
+    SlotRange, Switch, SwitchProgram,
 };
 
 /// Packets per internal batch chunk: small enough that the whole PHV
@@ -87,9 +87,16 @@ use fpisa_pisa::{
 /// large enough to amortize the per-call overhead of the batch APIs.
 const BATCH_CHUNK: usize = 64;
 
-/// Packets per batch chunk on the **sharded** engine: worker threads are
-/// spawned per chunk, so the chunk must be big enough to amortize the
-/// spawn cost across all shards (8192 packets × ~50 containers × 8 B ≈
+/// Packets per chunk on the compiled engine's **SoA lanes** path. The
+/// working set there is per-column (one flat `u64` lane per PHV field,
+/// traversed sequentially), not per-packet, so the chunk can be larger
+/// than [`BATCH_CHUNK`] — each column of 256 packets is 2 KiB, and a
+/// bigger chunk amortizes the per-table dispatch across more packets.
+const SOA_CHUNK: usize = 256;
+
+/// Packets per batch chunk on the **sharded** engine: buckets are handed
+/// to pool workers per chunk, so the chunk must be big enough to amortize
+/// the hand-off across all shards (8192 packets × ~50 containers × 8 B ≈
 /// 3 MiB — cache residency matters less than core utilization here).
 const SHARDED_BATCH_CHUNK: usize = 8192;
 
@@ -127,8 +134,13 @@ pub struct FpisaPipeline {
     engine: Engine,
     /// Scratch PHV reused by the scalar packet APIs.
     scratch: Phv,
-    /// PHV buffer reused by the batch APIs, grown on first use.
+    /// PHV buffer reused by the interpreted/sharded batch APIs, grown on
+    /// first use.
     batch_buf: Vec<Phv>,
+    /// SoA column buffer reused by the compiled engine's batch APIs:
+    /// packets are written straight into field columns — no per-packet
+    /// PHV construction, no transpose at the boundary.
+    lanes: BatchLanes,
     fields: Fields,
     arrays: Arrays,
     spec: PipelineSpec,
@@ -159,10 +171,15 @@ impl FpisaPipeline {
                         CompiledSwitch::compile(&shard_program)
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                Engine::Sharded(
-                    ShardedSwitch::new(engines, ranges, fields.slot)
-                        .expect("shard geometry derives from one validated spec"),
-                )
+                let mut sharded = ShardedSwitch::new(engines, ranges, fields.slot)
+                    .expect("shard geometry derives from one validated spec");
+                if let Some(pm) = spec.parallel_min_threshold() {
+                    sharded = sharded.with_parallel_min(pm);
+                }
+                if let Some(threads) = spec.parallelism_override() {
+                    sharded = sharded.with_parallelism(threads);
+                }
+                Engine::Sharded(sharded)
             }
             ExecEngine::Compiled => Engine::Compiled(CompiledSwitch::compile(&program)?),
         };
@@ -173,6 +190,7 @@ impl FpisaPipeline {
             engine,
             scratch,
             batch_buf: Vec::new(),
+            lanes: BatchLanes::default(),
             fields,
             arrays,
             spec,
@@ -318,11 +336,9 @@ impl FpisaPipeline {
         self.validate_slots(packets.iter().map(|&(s, _)| s))?;
         self.run_batch_impl(
             packets.len(),
-            |phv, i, f| {
+            |i| {
                 let (slot, bits) = packets[i];
-                phv.set(f.op, OP_ADD);
-                phv.set(f.slot, slot as u64);
-                phv.set(f.value, bits);
+                (OP_ADD, slot as u64, bits)
             },
             None,
         )
@@ -339,11 +355,9 @@ impl FpisaPipeline {
         self.validate_slots(packets.iter().map(|&(s, _)| s))?;
         self.run_batch_impl(
             packets.len(),
-            |phv, i, f| {
+            |i| {
                 let (slot, x) = packets[i];
-                phv.set(f.op, OP_ADD);
-                phv.set(f.slot, slot as u64);
-                phv.set(f.value, u64::from(x.to_bits()));
+                (OP_ADD, slot as u64, u64::from(x.to_bits()))
             },
             None,
         )
@@ -399,37 +413,76 @@ impl FpisaPipeline {
         let mut out = Vec::with_capacity(slots.len());
         self.run_batch_impl(
             slots.len(),
-            |phv, i, f| {
-                phv.set(f.op, OP_READ);
-                phv.set(f.slot, slots[i] as u64);
-            },
+            |i| (OP_READ, slots[i] as u64, 0),
             Some(&mut out),
         )?;
         Ok(out)
     }
 
-    /// The shared batch loop: stream `n` packets through the engine in
-    /// L1-resident chunks of the reusable PHV buffer. `fill` writes packet
-    /// `i`'s input fields into a freshly cleared PHV; when `collect` is
-    /// given, every processed PHV's `result` field is appended to it.
+    /// [`FpisaPipeline::read_batch`] over the contiguous slot range
+    /// `start..start + len` — the shape every chunked read-out protocol
+    /// uses — without materializing a slot-index list.
+    pub fn read_range(&mut self, start: usize, len: usize) -> Result<Vec<u64>, RuntimeError> {
+        start
+            .checked_add(len)
+            .filter(|&e| e <= self.slots())
+            .ok_or_else(|| self.slot_error(start.saturating_add(len).saturating_sub(1)))?;
+        let mut out = Vec::with_capacity(len);
+        self.run_batch_impl(len, |i| (OP_READ, (start + i) as u64, 0), Some(&mut out))?;
+        Ok(out)
+    }
+
+    /// The shared batch loop. `fill` yields packet `i`'s `(op, slot,
+    /// value)` input fields; when `collect` is given, every processed
+    /// packet's `result` field is appended to it.
+    ///
+    /// On the compiled engine the packets are written straight into the
+    /// reusable [`BatchLanes`] columns and executed there — no per-packet
+    /// PHV is ever materialized, and read-outs come straight off the
+    /// result column. The interpreted and sharded engines stream chunks
+    /// of the reusable PHV buffer as before.
     fn run_batch_impl(
         &mut self,
         n: usize,
-        fill: impl Fn(&mut Phv, usize, &Fields),
+        fill: impl Fn(usize) -> (u64, u64, u64),
         mut collect: Option<&mut Vec<u64>>,
     ) -> Result<(), RuntimeError> {
+        let fields = self.fields.clone();
+        if let Engine::Compiled(c) = &mut self.engine {
+            let lanes = &mut self.lanes;
+            if lanes.capacity() == 0 {
+                *lanes = BatchLanes::new(c.layout(), SOA_CHUNK.min(n.max(1)));
+            }
+            for start in (0..n).step_by(SOA_CHUNK) {
+                let len = SOA_CHUNK.min(n - start);
+                lanes.begin(len);
+                for k in 0..len {
+                    let (op, slot, value) = fill(start + k);
+                    lanes.set(fields.op, k, op);
+                    lanes.set(fields.slot, k, slot);
+                    lanes.set(fields.value, k, value);
+                }
+                c.run_lanes(lanes)?;
+                if let Some(out) = collect.as_deref_mut() {
+                    out.extend((0..len).map(|k| lanes.get(fields.result, k)));
+                }
+            }
+            return Ok(());
+        }
         self.ensure_batch_buf();
         let chunk = self.batch_chunk();
-        let fields = self.fields.clone();
         for start in (0..n).step_by(chunk) {
             let len = chunk.min(n - start);
             for (k, phv) in self.batch_buf[..len].iter_mut().enumerate() {
                 phv.clear();
-                fill(phv, start + k, &fields);
+                let (op, slot, value) = fill(start + k);
+                phv.set(fields.op, op);
+                phv.set(fields.slot, slot);
+                phv.set(fields.value, value);
             }
             match &mut self.engine {
                 Engine::Interpreted => self.switch.run_batch(&mut self.batch_buf[..len])?,
-                Engine::Compiled(c) => c.run_batch(&mut self.batch_buf[..len])?,
+                Engine::Compiled(_) => unreachable!("compiled engine uses the lanes path"),
                 Engine::Sharded(s) => s.run_batch(&mut self.batch_buf[..len])?,
             };
             if let Some(out) = collect.as_deref_mut() {

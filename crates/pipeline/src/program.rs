@@ -190,7 +190,6 @@ pub struct Fields {
     pub(crate) nfs: Option<FieldId>,
     pub(crate) sig_out: FieldId,
     pub(crate) exp_out: FieldId,
-    pub(crate) t1: FieldId,
     pub(crate) t2: FieldId,
 
     // -- nearest-even rounding (Appendix A.1) --
@@ -342,7 +341,6 @@ pub(crate) fn build_for_spec(
         nfs: caps.metadata_shift.then(|| l.field("nfs", 32)),
         sig_out: l.field("sig_out", 32),
         exp_out: l.field("exp_out", 32),
-        t1: l.field("t1", 32),
         t2: l.field("t2", 32),
         round: d.nearest_even.then(|| RoundFields {
             mask: l.field("r_mask", 32),
@@ -697,19 +695,33 @@ pub(crate) fn build_for_spec(
         ],
         vec![
             Action::nop("pack_zero").set(fd.result, c(0)),
+            // Both pack actions accumulate straight into `result` (every
+            // intermediate fits the format's width), keeping the
+            // same-destination chains adjacent so the compiled engine's
+            // peephole pass fuses them into superinstructions.
             Action::nop("pack_inf")
-                .prim(fd.t1, AluOp::Shl, f(fd.neg), c(fmt.total_bits() as i64 - 1))
+                .prim(
+                    fd.result,
+                    AluOp::Shl,
+                    f(fd.neg),
+                    c(fmt.total_bits() as i64 - 1),
+                )
                 .prim(
                     fd.result,
                     AluOp::Or,
-                    f(fd.t1),
+                    f(fd.result),
                     c(fmt.infinity_bits(false) as i64),
                 ),
             Action::nop("pack_value")
-                .prim(fd.t1, AluOp::Shl, f(fd.neg), c(fmt.total_bits() as i64 - 1))
                 .prim(fd.t2, AluOp::Shl, f(fd.exp_out), c(fmt.man_bits as i64))
-                .prim(fd.t1, AluOp::Or, f(fd.t1), f(fd.t2))
-                .prim(fd.result, AluOp::Or, f(fd.t1), f(fd.frac)),
+                .prim(
+                    fd.result,
+                    AluOp::Shl,
+                    f(fd.neg),
+                    c(fmt.total_bits() as i64 - 1),
+                )
+                .prim(fd.result, AluOp::Or, f(fd.result), f(fd.t2))
+                .prim(fd.result, AluOp::Or, f(fd.result), f(fd.frac)),
         ],
         None,
     )

@@ -170,6 +170,12 @@ pub struct PipelineSpec {
     engine: ExecEngine,
     shards: usize,
     shard_align: usize,
+    /// `None` keeps [`fpisa_pisa::DEFAULT_PARALLEL_MIN`].
+    #[serde(default)]
+    parallel_min: Option<usize>,
+    /// `None` asks the OS (`std::thread::available_parallelism`).
+    #[serde(default)]
+    parallelism: Option<usize>,
 }
 
 impl PipelineSpec {
@@ -186,6 +192,8 @@ impl PipelineSpec {
             engine: ExecEngine::Compiled,
             shards: 1,
             shard_align: 1,
+            parallel_min: None,
+            parallelism: None,
         }
     }
 
@@ -250,6 +258,27 @@ impl PipelineSpec {
         self
     }
 
+    /// Builder: set the sharded engine's single-thread batch threshold —
+    /// batches below this many packets stay on the calling thread
+    /// (default [`fpisa_pisa::DEFAULT_PARALLEL_MIN`]). Only meaningful
+    /// with [`PipelineSpec::shards`] `> 1`; semantics are identical at
+    /// any value.
+    pub fn parallel_min(mut self, packets: usize) -> Self {
+        self.parallel_min = Some(packets);
+        self
+    }
+
+    /// Builder: override the sharded engine's worker-thread budget
+    /// instead of asking the OS. `>= 2` forces the persistent worker pool
+    /// on even where `available_parallelism` reports one core — the knob
+    /// CI smoke runs use to exercise the pool path on single-core hosts.
+    /// Only meaningful with [`PipelineSpec::shards`] `> 1`; semantics are
+    /// identical at any value.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = Some(threads);
+        self
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -292,6 +321,16 @@ impl PipelineSpec {
     /// The shard-boundary alignment in slots.
     pub fn shard_alignment(&self) -> usize {
         self.shard_align
+    }
+
+    /// The configured single-thread batch threshold, if overridden.
+    pub fn parallel_min_threshold(&self) -> Option<usize> {
+        self.parallel_min
+    }
+
+    /// The configured worker-thread budget, if overridden.
+    pub fn parallelism_override(&self) -> Option<usize> {
+        self.parallelism
     }
 
     /// The slot ranges the spec's shards own: a balanced, exact,

@@ -1,0 +1,51 @@
+//! Regression guard for op-tape peephole fusion on the FPISA programs.
+//!
+//! The fused pack/shift pairs on the ADD path are a measured part of the
+//! compiled engine's throughput; a refactor of the program builder or the
+//! lowering pass that silently stops producing fusable adjacent pairs
+//! would not fail any correctness test. This guard pins a floor instead:
+//! the TofinoA ADD tape must keep at least the fusion coverage it shipped
+//! with (4 fused pairs out of a 148-op program when recorded).
+
+use fpisa_pipeline::{build_program, PipelineVariant};
+use fpisa_pisa::CompiledSwitch;
+
+/// Floor on fused pairs for the TofinoA program. Deliberately below the
+/// recorded value (4) so incidental program edits don't trip it, but a
+/// broken fusion pass (0 pairs) always does.
+const TOFINO_A_MIN_FUSED_PAIRS: usize = 3;
+
+#[test]
+fn tofino_a_add_tape_keeps_fusion_coverage() {
+    let (program, _, _) = build_program(PipelineVariant::TofinoA, 16);
+    let cs = CompiledSwitch::compile(&program).expect("FPISA program compiles");
+    let stats = cs.fusion_stats();
+    assert!(
+        stats.fused_pairs >= TOFINO_A_MIN_FUSED_PAIRS,
+        "fusion regressed: {} fused pairs (floor {}), tape {}/{} ops",
+        stats.fused_pairs,
+        TOFINO_A_MIN_FUSED_PAIRS,
+        stats.tape_ops,
+        stats.original_ops,
+    );
+    assert!(
+        stats.coverage() > 0.0,
+        "fusion coverage collapsed to zero on the TofinoA ADD tape"
+    );
+}
+
+#[test]
+fn every_variant_compiles_with_some_fusion() {
+    for variant in PipelineVariant::all() {
+        let (program, _, _) = build_program(variant, 16);
+        let cs = CompiledSwitch::compile(&program).expect("FPISA program compiles");
+        let stats = cs.fusion_stats();
+        assert!(
+            stats.fused_pairs >= 1,
+            "{variant:?}: fusion pass found no pairs at all \
+             (tape {}/{} ops)",
+            stats.tape_ops,
+            stats.original_ops,
+        );
+    }
+}

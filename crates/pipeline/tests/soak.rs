@@ -66,6 +66,59 @@ fn million_packet_soak_tofino_a() {
     soak(PipelineVariant::TofinoA, 0x50AC_0001);
 }
 
+/// The structure-of-arrays engine at experiment scale with *mixed*
+/// traffic: one million ADD packets in SoA chunks, with a batched READ
+/// sweep interleaved every 16 chunks so the read-out tape (and the
+/// ADD→READ op-column flip that defeats the uniform-key fast paths) is
+/// exercised against the reference mid-stream, not only at the end.
+#[test]
+#[ignore = "1M-packet soak; run with --release -- --ignored"]
+fn million_packet_soak_soa_mixed_reads() {
+    let spec = PipelineSpec::new(PipelineVariant::TofinoA).slots(SLOTS);
+    let mut pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+    let cfg = pipe.core_config();
+    let mut refs: Vec<FpisaAccumulator> = (0..SLOTS).map(|_| FpisaAccumulator::new(cfg)).collect();
+
+    let mut rng = SmallRng::seed_from_u64(0x50AC_0003);
+    let mut sent = 0usize;
+    let mut chunks = 0usize;
+    let mut chunk: Vec<(usize, u64)> = Vec::with_capacity(CHUNK);
+    while sent < PACKETS {
+        chunk.clear();
+        for _ in 0..CHUNK.min(PACKETS - sent) {
+            let slot = rng.gen_range(0usize..SLOTS);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let x = sign * 2f32.powi(rng.gen_range(-20..20)) * rng.gen_range(1.0f32..2.0);
+            chunk.push((slot, u64::from(x.to_bits())));
+        }
+        pipe.add_batch(&chunk).expect("finite in-range packets");
+        for &(slot, bits) in &chunk {
+            refs[slot].add_bits_quiet(bits).expect("finite packets");
+        }
+        sent += chunk.len();
+        chunks += 1;
+        if chunks.is_multiple_of(16) {
+            let slots: Vec<usize> = (0..64).map(|_| rng.gen_range(0usize..SLOTS)).collect();
+            let reads = pipe.read_batch(&slots).expect("in-range reads");
+            for (&slot, &bits) in slots.iter().zip(&reads) {
+                assert_eq!(
+                    bits,
+                    refs[slot].read_bits(),
+                    "mid-stream read-out diverged in slot {slot} after {sent} packets"
+                );
+            }
+        }
+    }
+    let reads = pipe.read_batch(&(0..SLOTS).collect::<Vec<_>>()).unwrap();
+    for (slot, reference) in refs.iter().enumerate() {
+        assert_eq!(
+            reads[slot],
+            reference.read_bits(),
+            "read-out diverged in slot {slot} after 1M packets"
+        );
+    }
+}
+
 #[test]
 #[ignore = "1M-packet soak; run with --release -- --ignored"]
 fn million_packet_soak_extended_full() {

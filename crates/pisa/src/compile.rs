@@ -33,9 +33,44 @@
 //! before stateful calls, the dynamic RAW check before each register
 //! access) — property-tested over random programs and differentially tested
 //! against the interpreter by the FPISA pipeline suite.
+//!
+//! ## Data-oriented batch execution
+//!
+//! On top of the per-packet fast path, the engine has a
+//! structure-of-arrays batch mode ([`CompiledSwitch::run_lanes`] /
+//! [`CompiledSwitch::run_batch_soa`]): packets live in [`BatchLanes`]
+//! columns (one flat lane per PHV field) and execution is *table-major* —
+//! for each table, resolve the action of every packet (gates evaluated
+//! batch-wide first, so a table no packet can match is skipped without
+//! touching its matcher), then run the op tape. When the whole batch
+//! resolved to the same action the tape runs *instruction-major*: each op
+//! streams across all lanes in a branch-light inner loop. Divergent
+//! batches (different table entries per packet) fall back to per-packet
+//! tape execution over strided lane views — same code, same semantics.
+//! Stateful calls always apply in packet order, so per-slot update order
+//! (and thus every register value and SALU output) is bit-for-bit the
+//! per-packet engine's.
+//!
+//! The SoA mode is only entered for programs where table-major order is
+//! observably identical to packet-major order (see
+//! [`CompiledSwitch::soa_eligible`]): no recirculation, each register
+//! array touched from at most one table, at most one stateful call per
+//! action. Everything else — and every scalar entry point — takes the
+//! per-packet path unchanged.
+//!
+//! ## Op-tape fusion
+//!
+//! Lowering also runs a peephole pass over each action's primitive tape:
+//! adjacent ops writing the same destination fuse into one superinstruction
+//! when the second reads the first's result (the FPISA extract path's
+//! shift-then-mask chains, compare-into-select pairs), and a store
+//! overwritten before anyone reads it is dropped. The intermediate value is
+//! masked to the destination width between the two ops, so results are
+//! bit-for-bit unchanged. [`CompiledSwitch::fusion_stats`] reports
+//! coverage, and the pipeline crate guards a floor on the FPISA ADD tape.
 
 use crate::action::{AluOp, Operand, Primitive};
-use crate::phv::{FieldId, Phv, PhvLayout};
+use crate::phv::{BatchLanes, FieldId, Phv, PhvLayout};
 use crate::register::{
     ArrayMeta, CmpOp, RegArrayId, RegisterState, SaluCond, SaluOutput, SaluUpdate,
 };
@@ -168,37 +203,90 @@ struct CompiledTable {
     matcher: Matcher,
     /// Index into the global action table run on a miss.
     default_action: Option<u32>,
+    /// Whether batch execution should test the key columns for
+    /// uniformity before per-packet matching. Set (after the whole
+    /// program is lowered) only when no action anywhere writes any of
+    /// this table's key fields: such keys arrive uniform whenever the
+    /// caller's batch is single-op (the common agg workload), while a
+    /// key touched by any action diverges by construction and the scan
+    /// would be pure overhead.
+    scan_uniform: bool,
+    /// Split-key LUT dispatch (see [`SplitKey`]): set when some key
+    /// fields are action-written but their total width is tiny.
+    split: Option<SplitKey>,
+}
+
+/// Widest combined varying-key width (bits) for which
+/// [`CompiledTable::lookup_lanes`] dispatches through a per-batch action
+/// LUT instead of per-packet matching.
+const SPLIT_LUT_BITS: u32 = 6;
+
+/// Split-key dispatch plan for a table whose key tuple mixes *stable*
+/// fields (never written by any action — an opcode) with a few bits of
+/// *varying* fields (computed per packet — a compare outcome, a sign).
+/// When the stable columns are batch-uniform, the matcher outcome is a
+/// function of just the varying bits: enumerate all `2^width` combos once
+/// through the scalar lookup into a tiny action LUT, then resolve every
+/// lane with one shift/or + indexed load — no gate evaluation, key
+/// packing, or matcher probe in the packet loop.
+#[derive(Debug, Clone)]
+struct SplitKey {
+    /// Key fields no action writes; checked for batch uniformity at
+    /// runtime (vacuously uniform when empty).
+    stable: Box<[u16]>,
+    /// `(field, shift, field mask)` of each action-written key field
+    /// inside the compact LUT index.
+    varying: Box<[(u16, u32, u64)]>,
+    /// Total varying width; LUT has `1 << width` entries
+    /// (≤ [`SPLIT_LUT_BITS`]).
+    width: u32,
 }
 
 impl CompiledTable {
     /// The key tuple packed into one `u64` (total key width ≤ 64 bits).
+    /// `vals` is a strided value store: field `f` of the packet at hand
+    /// lives at `f * stride + lane` (a scalar PHV slice is `stride == 1`,
+    /// `lane == 0`; a [`BatchLanes`] column buffer is `stride == cap`,
+    /// `lane == i`).
     #[inline]
-    fn packed_key(&self, vals: &[u64]) -> u64 {
+    fn packed_key(&self, vals: &[u64], stride: usize, lane: usize) -> u64 {
         let mut key = 0u64;
         for (&f, &s) in self.key_fields.iter().zip(self.key_shifts.iter()) {
-            key |= vals[f as usize] << s;
+            key |= vals[f as usize * stride + lane] << s;
         }
         key
     }
 
     /// First (= best, thanks to the pre-sort) matching scan entry.
     #[inline]
-    fn scan_hit<'a>(&self, scan: &'a [ScanEntry], vals: &[u64]) -> Option<&'a Cand> {
+    fn scan_hit<'a>(
+        &self,
+        scan: &'a [ScanEntry],
+        vals: &[u64],
+        stride: usize,
+        lane: usize,
+    ) -> Option<&'a Cand> {
         scan.iter()
             .find(|e| {
                 e.pats
                     .iter()
                     .zip(self.key_fields.iter())
-                    .all(|(pat, &f)| pat.matches(vals[f as usize]))
+                    .all(|(pat, &f)| pat.matches(vals[f as usize * stride + lane]))
             })
             .map(|e| &e.cand)
     }
 
     /// The interpreter's `Table::lookup`, against the lowered form.
     #[inline]
-    fn lookup(&self, vals: &[u64], keybuf: &mut Vec<u64>) -> Option<u32> {
+    fn lookup(
+        &self,
+        vals: &[u64],
+        stride: usize,
+        lane: usize,
+        keybuf: &mut Vec<u64>,
+    ) -> Option<u32> {
         for g in self.gate.iter() {
-            if vals[g.field as usize] & g.mask != g.val {
+            if vals[g.field as usize * stride + lane] & g.mask != g.val {
                 return self.default_action;
             }
         }
@@ -208,17 +296,17 @@ impl CompiledTable {
                 // The packed key is `< slots.len()` by construction: every
                 // component is masked to its field width and the widths sum
                 // to `slots.len().ilog2()`.
-                let a = slots[self.packed_key(vals) as usize];
+                let a = slots[self.packed_key(vals, stride, lane) as usize];
                 (a != MISS).then_some(a)
             }
             Matcher::DenseKeyed { mask, slots } => {
-                let key = self.packed_key(vals);
+                let key = self.packed_key(vals, stride, lane);
                 let (k, a) = slots[(key & mask) as usize];
                 (a != MISS && k == key).then_some(a)
             }
             Matcher::PackedHash { map, scan } => {
-                let exact = map.get(&self.packed_key(vals));
-                match (exact, self.scan_hit(scan, vals)) {
+                let exact = map.get(&self.packed_key(vals, stride, lane));
+                match (exact, self.scan_hit(scan, vals, stride, lane)) {
                     (None, None) => None,
                     (Some(c), None) | (None, Some(c)) => Some(c.action),
                     (Some(e), Some(s)) => Some(if s.beats(e) { s.action } else { e.action }),
@@ -226,18 +314,208 @@ impl CompiledTable {
             }
             Matcher::WideHash { map, scan } => {
                 keybuf.clear();
-                keybuf.extend(self.key_fields.iter().map(|&f| vals[f as usize]));
+                keybuf.extend(
+                    self.key_fields
+                        .iter()
+                        .map(|&f| vals[f as usize * stride + lane]),
+                );
                 let exact = map.get(keybuf.as_slice());
-                match (exact, self.scan_hit(scan, vals)) {
+                match (exact, self.scan_hit(scan, vals, stride, lane)) {
                     (None, None) => None,
                     (Some(c), None) | (None, Some(c)) => Some(c.action),
                     (Some(e), Some(s)) => Some(if s.beats(e) { s.action } else { e.action }),
                 }
             }
-            Matcher::Scan(scan) => self.scan_hit(scan, vals).map(|c| c.action),
+            Matcher::Scan(scan) => self.scan_hit(scan, vals, stride, lane).map(|c| c.action),
         };
         hit.or(self.default_action)
     }
+
+    /// Whether every key field holds the same value in all `n` live
+    /// lanes. Both the gate and the matcher read *only* key fields, so a
+    /// uniform key tuple means every lane resolves identically and one
+    /// scalar [`Self::lookup`] answers for the whole batch.
+    #[inline]
+    fn keys_uniform(&self, buf: &[u64], cap: usize, n: usize) -> bool {
+        cols_uniform(buf, cap, n, &self.key_fields)
+    }
+
+    /// Batch lookup: resolve `act_of[i]` for every live lane, with the
+    /// per-table work hoisted out of the packet loop — when the key
+    /// columns are batch-uniform a single scalar lookup resolves every
+    /// lane, otherwise gates are evaluated batch-wide first (a table no
+    /// live packet can match short-circuits to the default without
+    /// touching the matcher at all, which is what makes op-dispatched
+    /// programs cheap in batch mode: an ADD batch skips every READ-only
+    /// table in one pass over the op lane), and the matcher dispatch
+    /// happens once per table instead of once per packet.
+    ///
+    /// `act_of[i]` is the resolved action index, or [`MISS`] when neither
+    /// an entry nor a default applies. Returns `Some(a)` when the whole
+    /// batch is known to have resolved to the single action `a` (`act_of`
+    /// is still filled), letting the caller skip its own uniformity scan.
+    #[allow(clippy::too_many_arguments)] // one call site; all are reused scratch
+    fn lookup_lanes(
+        &self,
+        buf: &[u64],
+        cap: usize,
+        n: usize,
+        act_of: &mut [u32],
+        pass: &mut [bool],
+        keybuf: &mut Vec<u64>,
+        row: &mut [u64],
+    ) -> Option<u32> {
+        let dflt = self.default_action.unwrap_or(MISS);
+        if let Matcher::Const(a) = &self.matcher {
+            let a = a.unwrap_or(dflt);
+            act_of[..n].fill(a);
+            return Some(a);
+        }
+        if self.scan_uniform && self.keys_uniform(buf, cap, n) {
+            let a = self.lookup(buf, cap, 0, keybuf).unwrap_or(MISS);
+            act_of[..n].fill(a);
+            return Some(a);
+        }
+        if let Some(s) = &self.split {
+            let m = 1usize << s.width;
+            if n >= m && cols_uniform(buf, cap, n, &s.stable) {
+                // Enumerate the varying-bit combos through the scalar
+                // lookup (stable fields seeded from lane 0), then resolve
+                // each lane with one indexed load.
+                for &f in s.stable.iter() {
+                    row[f as usize] = buf[f as usize * cap];
+                }
+                let mut lut = [MISS; 1 << SPLIT_LUT_BITS];
+                let mut first_a = MISS;
+                let mut all_same = true;
+                for (combo, slot) in lut.iter_mut().enumerate().take(m) {
+                    for &(f, sh, fmask) in s.varying.iter() {
+                        row[f as usize] = (combo as u64 >> sh) & fmask;
+                    }
+                    let a = self.lookup(row, 1, 0, keybuf).unwrap_or(MISS);
+                    *slot = a;
+                    if combo == 0 {
+                        first_a = a;
+                    } else {
+                        all_same &= a == first_a;
+                    }
+                }
+                if all_same {
+                    act_of[..n].fill(first_a);
+                    return Some(first_a);
+                }
+                let idx_mask = m - 1;
+                for (i, a) in act_of.iter_mut().enumerate().take(n) {
+                    let mut combo = 0usize;
+                    for &(f, sh, _) in s.varying.iter() {
+                        combo |= (buf[f as usize * cap + i] as usize) << sh;
+                    }
+                    *a = lut[combo & idx_mask];
+                }
+                return None;
+            }
+        }
+        let gated = !self.gate.is_empty();
+        if gated {
+            let mut any = false;
+            for (i, p) in pass.iter_mut().enumerate().take(n) {
+                let mut ok = true;
+                for g in self.gate.iter() {
+                    ok &= buf[g.field as usize * cap + i] & g.mask == g.val;
+                }
+                *p = ok;
+                any |= ok;
+            }
+            if !any {
+                act_of[..n].fill(dflt);
+                return Some(dflt);
+            }
+        }
+        match &self.matcher {
+            // Unreachable (handled above), kept for match completeness.
+            Matcher::Const(a) => act_of[..n].fill(a.unwrap_or(dflt)),
+            Matcher::Dense(slots) => {
+                for (i, a) in act_of.iter_mut().enumerate().take(n) {
+                    let hit = slots[self.packed_key(buf, cap, i) as usize];
+                    *a = if hit == MISS { dflt } else { hit };
+                }
+            }
+            Matcher::DenseKeyed { mask, slots } => {
+                for (i, a) in act_of.iter_mut().enumerate().take(n) {
+                    if gated && !pass[i] {
+                        *a = dflt;
+                        continue;
+                    }
+                    let key = self.packed_key(buf, cap, i);
+                    let (k, hit) = slots[(key & mask) as usize];
+                    *a = if hit != MISS && k == key { hit } else { dflt };
+                }
+            }
+            Matcher::PackedHash { map, scan } => {
+                for (i, a) in act_of.iter_mut().enumerate().take(n) {
+                    if gated && !pass[i] {
+                        *a = dflt;
+                        continue;
+                    }
+                    let exact = map.get(&self.packed_key(buf, cap, i));
+                    let hit = match (exact, self.scan_hit(scan, buf, cap, i)) {
+                        (None, None) => None,
+                        (Some(c), None) | (None, Some(c)) => Some(c.action),
+                        (Some(e), Some(s)) => Some(if s.beats(e) { s.action } else { e.action }),
+                    };
+                    *a = hit.unwrap_or(dflt);
+                }
+            }
+            Matcher::WideHash { map, scan } => {
+                for (i, a) in act_of.iter_mut().enumerate().take(n) {
+                    if gated && !pass[i] {
+                        *a = dflt;
+                        continue;
+                    }
+                    keybuf.clear();
+                    keybuf.extend(self.key_fields.iter().map(|&f| buf[f as usize * cap + i]));
+                    let exact = map.get(keybuf.as_slice());
+                    let hit = match (exact, self.scan_hit(scan, buf, cap, i)) {
+                        (None, None) => None,
+                        (Some(c), None) | (None, Some(c)) => Some(c.action),
+                        (Some(e), Some(s)) => Some(if s.beats(e) { s.action } else { e.action }),
+                    };
+                    *a = hit.unwrap_or(dflt);
+                }
+            }
+            Matcher::Scan(scan) => {
+                for (i, a) in act_of.iter_mut().enumerate().take(n) {
+                    if gated && !pass[i] {
+                        *a = dflt;
+                        continue;
+                    }
+                    *a = self
+                        .scan_hit(scan, buf, cap, i)
+                        .map(|c| c.action)
+                        .unwrap_or(dflt);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Whether every listed field's column holds one value across all `n`
+/// live lanes. Lane-major with an early exit: data-dependent columns
+/// diverge within the first lane or two, so a miss costs a handful of
+/// compares, while a hit costs `fields × n` compares — far cheaper than
+/// `n` matcher probes.
+#[inline]
+fn cols_uniform(buf: &[u64], cap: usize, n: usize, fields: &[u16]) -> bool {
+    for i in 1..n {
+        for &f in fields {
+            let base = f as usize * cap;
+            if buf[base + i] != buf[base] {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// One lowered action: ranges into the shared primitive and stateful op
@@ -263,24 +541,151 @@ enum CompiledOperand {
 
 impl CompiledOperand {
     #[inline]
-    fn raw(&self, vals: &[u64]) -> u64 {
+    fn raw(&self, vals: &[u64], stride: usize, lane: usize) -> u64 {
         match *self {
-            CompiledOperand::Field { idx, .. } => vals[idx as usize],
+            CompiledOperand::Field { idx, .. } => vals[idx as usize * stride + lane],
             CompiledOperand::Const(c) => c as u64,
         }
     }
 
     #[inline]
-    fn signed(&self, vals: &[u64]) -> i64 {
+    fn signed(&self, vals: &[u64], stride: usize, lane: usize) -> i64 {
         match *self {
-            CompiledOperand::Field { idx, sx } => ((vals[idx as usize] << sx) as i64) >> sx,
+            CompiledOperand::Field { idx, sx } => {
+                ((vals[idx as usize * stride + lane] << sx) as i64) >> sx
+            }
             CompiledOperand::Const(c) => c,
         }
+    }
+
+    /// [`CompiledOperand::raw`] through a raw column-buffer pointer, used
+    /// by the instruction-major lane sweeps where the bounds check would
+    /// defeat autovectorization.
+    ///
+    /// # Safety
+    /// `base` must point to a live column buffer of at least
+    /// `layout_fields × cap` values for the layout this operand was
+    /// lowered against, and `lane < cap`.
+    #[inline]
+    unsafe fn raw_at(&self, base: *const u64, cap: usize, lane: usize) -> u64 {
+        match *self {
+            CompiledOperand::Field { idx, .. } => unsafe { *base.add(idx as usize * cap + lane) },
+            CompiledOperand::Const(c) => c as u64,
+        }
+    }
+
+    /// Sign-extending [`CompiledOperand::raw_at`].
+    ///
+    /// # Safety
+    /// As [`CompiledOperand::raw_at`].
+    #[inline]
+    unsafe fn signed_at(&self, base: *const u64, cap: usize, lane: usize) -> i64 {
+        match *self {
+            CompiledOperand::Field { idx, sx } => unsafe {
+                ((*base.add(idx as usize * cap + lane) << sx) as i64) >> sx
+            },
+            CompiledOperand::Const(c) => c,
+        }
+    }
+
+    /// Whether this operand reads PHV field `dst` (the fusion pass's
+    /// data-dependence check; syntactic, which is sound in both
+    /// directions — see [`fuse_action_tape`]).
+    #[inline]
+    fn reads(&self, dst: u32) -> bool {
+        matches!(*self, CompiledOperand::Field { idx, .. } if idx == dst)
+    }
+}
+
+/// Mirror of [`Primitive::execute`]'s ALU over a strided value store
+/// (unmasked result; callers apply the destination mask).
+#[inline(always)]
+fn eval_alu(
+    op: AluOp,
+    a: &CompiledOperand,
+    b: &CompiledOperand,
+    vals: &[u64],
+    stride: usize,
+    lane: usize,
+) -> u64 {
+    match op {
+        AluOp::Set => a.raw(vals, stride, lane),
+        AluOp::Add => a
+            .raw(vals, stride, lane)
+            .wrapping_add(b.raw(vals, stride, lane)),
+        AluOp::Sub => a
+            .raw(vals, stride, lane)
+            .wrapping_sub(b.raw(vals, stride, lane)),
+        AluOp::And => a.raw(vals, stride, lane) & b.raw(vals, stride, lane),
+        AluOp::Or => a.raw(vals, stride, lane) | b.raw(vals, stride, lane),
+        AluOp::Xor => a.raw(vals, stride, lane) ^ b.raw(vals, stride, lane),
+        AluOp::Shl => {
+            let d = b.raw(vals, stride, lane);
+            if d >= 64 {
+                0
+            } else {
+                a.raw(vals, stride, lane) << d
+            }
+        }
+        AluOp::ShrLogic => {
+            let d = b.raw(vals, stride, lane);
+            if d >= 64 {
+                0
+            } else {
+                a.raw(vals, stride, lane) >> d
+            }
+        }
+        AluOp::ShrArith => {
+            let d = b.raw(vals, stride, lane).min(63);
+            (a.signed(vals, stride, lane) >> d) as u64
+        }
+        AluOp::CmpEq => (a.raw(vals, stride, lane) == b.raw(vals, stride, lane)) as u64,
+        AluOp::CmpNe => (a.raw(vals, stride, lane) != b.raw(vals, stride, lane)) as u64,
+        AluOp::CmpLt => (a.signed(vals, stride, lane) < b.signed(vals, stride, lane)) as u64,
+        AluOp::CmpLe => (a.signed(vals, stride, lane) <= b.signed(vals, stride, lane)) as u64,
+        AluOp::CmpGt => (a.signed(vals, stride, lane) > b.signed(vals, stride, lane)) as u64,
+        AluOp::CmpGe => (a.signed(vals, stride, lane) >= b.signed(vals, stride, lane)) as u64,
+    }
+}
+
+/// The same ALU over already-fetched operand values (both views eagerly
+/// available) — the second stage of a fused superinstruction, where the
+/// left or right input is the first stage's intermediate.
+#[inline(always)]
+fn apply_alu(op: AluOp, araw: u64, asig: i64, braw: u64, bsig: i64) -> u64 {
+    match op {
+        AluOp::Set => araw,
+        AluOp::Add => araw.wrapping_add(braw),
+        AluOp::Sub => araw.wrapping_sub(braw),
+        AluOp::And => araw & braw,
+        AluOp::Or => araw | braw,
+        AluOp::Xor => araw ^ braw,
+        AluOp::Shl => {
+            if braw >= 64 {
+                0
+            } else {
+                araw << braw
+            }
+        }
+        AluOp::ShrLogic => {
+            if braw >= 64 {
+                0
+            } else {
+                araw >> braw
+            }
+        }
+        AluOp::ShrArith => (asig >> braw.min(63)) as u64,
+        AluOp::CmpEq => (araw == braw) as u64,
+        AluOp::CmpNe => (araw != braw) as u64,
+        AluOp::CmpLt => (asig < bsig) as u64,
+        AluOp::CmpLe => (asig <= bsig) as u64,
+        AluOp::CmpGt => (asig > bsig) as u64,
+        AluOp::CmpGe => (asig >= bsig) as u64,
     }
 }
 
 /// One op-tape entry: [`Primitive`] with the destination offset/mask and
-/// both operands pre-resolved, executing on the raw PHV value slice.
+/// both operands pre-resolved, executing on a strided value store.
 #[derive(Debug, Clone, Copy)]
 struct CompiledPrim {
     dst: u32,
@@ -293,42 +698,288 @@ struct CompiledPrim {
 impl CompiledPrim {
     /// Mirror of [`Primitive::execute`] over pre-resolved offsets.
     #[inline]
-    fn execute(&self, vals: &mut [u64]) {
-        let out: u64 = match self.op {
-            AluOp::Set => self.a.raw(vals),
-            AluOp::Add => self.a.raw(vals).wrapping_add(self.b.raw(vals)),
-            AluOp::Sub => self.a.raw(vals).wrapping_sub(self.b.raw(vals)),
-            AluOp::And => self.a.raw(vals) & self.b.raw(vals),
-            AluOp::Or => self.a.raw(vals) | self.b.raw(vals),
-            AluOp::Xor => self.a.raw(vals) ^ self.b.raw(vals),
-            AluOp::Shl => {
-                let d = self.b.raw(vals);
+    fn execute(&self, vals: &mut [u64], stride: usize, lane: usize) {
+        let out = eval_alu(self.op, &self.a, &self.b, vals, stride, lane);
+        vals[self.dst as usize * stride + lane] = out & self.dst_mask;
+    }
+
+    /// Instruction-major batch execution: this one op across `n` lanes,
+    /// with the ALU dispatch hoisted out of the packet loop so each arm is
+    /// a tight load/compute/store loop over the columns.
+    fn execute_lane(&self, buf: &mut [u64], cap: usize, n: usize) {
+        self.execute_lane_impl::<false>(buf, cap, n, &[], 0);
+    }
+
+    /// Predicated instruction-major execution: the op still sweeps every
+    /// lane, but the store is a branchless select keeping lanes whose
+    /// resolved action is not `sel` untouched. Computing a discarded lane
+    /// is safe — primitives are total on `u64` (shifts are guarded) — and
+    /// cheaper than a data-dependent branch per lane.
+    fn execute_lane_pred(&self, buf: &mut [u64], cap: usize, n: usize, act: &[u32], sel: u32) {
+        self.execute_lane_impl::<true>(buf, cap, n, act, sel);
+    }
+
+    /// The shared sweep body. Column access goes through a raw base
+    /// pointer (`raw_at`/`signed_at`) rather than slice indexing: the
+    /// offsets were validated against the layout when the program was
+    /// lowered, and a per-lane bounds check in these loops is exactly the
+    /// branch that stops the compiler from vectorizing them.
+    fn execute_lane_impl<const PRED: bool>(
+        &self,
+        buf: &mut [u64],
+        cap: usize,
+        n: usize,
+        act: &[u32],
+        sel: u32,
+    ) {
+        let d0 = self.dst as usize * cap;
+        // SAFETY precondition for every access below: `buf` holds one
+        // `cap`-sized column per layout field (the BatchLanes invariant),
+        // `dst` and all field operands index layout fields, and lanes run
+        // `0..n` with `n ≤ cap` — so every offset is in bounds. `act` is
+        // only read under PRED, where the caller passes `len ≥ n`.
+        debug_assert!(d0 + n <= buf.len());
+        debug_assert!(!PRED || act.len() >= n);
+        let mask = self.dst_mask;
+        let (a, b) = (&self.a, &self.b);
+        let base = buf.as_mut_ptr();
+        macro_rules! lanes {
+            (|$i:ident| $e:expr) => {
+                for $i in 0..n {
+                    // SAFETY: see the function-level precondition.
+                    unsafe {
+                        let out: u64 = $e;
+                        let v = out & mask;
+                        let d = base.add(d0 + $i);
+                        *d = if !PRED || *act.get_unchecked($i) == sel {
+                            v
+                        } else {
+                            *d
+                        };
+                    }
+                }
+            };
+        }
+        match self.op {
+            AluOp::Set => lanes!(|i| a.raw_at(base, cap, i)),
+            AluOp::Add => lanes!(|i| a.raw_at(base, cap, i).wrapping_add(b.raw_at(base, cap, i))),
+            AluOp::Sub => lanes!(|i| a.raw_at(base, cap, i).wrapping_sub(b.raw_at(base, cap, i))),
+            AluOp::And => lanes!(|i| a.raw_at(base, cap, i) & b.raw_at(base, cap, i)),
+            AluOp::Or => lanes!(|i| a.raw_at(base, cap, i) | b.raw_at(base, cap, i)),
+            AluOp::Xor => lanes!(|i| a.raw_at(base, cap, i) ^ b.raw_at(base, cap, i)),
+            AluOp::Shl => lanes!(|i| {
+                let d = b.raw_at(base, cap, i);
                 if d >= 64 {
                     0
                 } else {
-                    self.a.raw(vals) << d
+                    a.raw_at(base, cap, i) << d
                 }
-            }
-            AluOp::ShrLogic => {
-                let d = self.b.raw(vals);
+            }),
+            AluOp::ShrLogic => lanes!(|i| {
+                let d = b.raw_at(base, cap, i);
                 if d >= 64 {
                     0
                 } else {
-                    self.a.raw(vals) >> d
+                    a.raw_at(base, cap, i) >> d
                 }
+            }),
+            AluOp::ShrArith => lanes!(|i| {
+                let d = b.raw_at(base, cap, i).min(63);
+                (a.signed_at(base, cap, i) >> d) as u64
+            }),
+            AluOp::CmpEq => lanes!(|i| (a.raw_at(base, cap, i) == b.raw_at(base, cap, i)) as u64),
+            AluOp::CmpNe => lanes!(|i| (a.raw_at(base, cap, i) != b.raw_at(base, cap, i)) as u64),
+            AluOp::CmpLt => {
+                lanes!(|i| (a.signed_at(base, cap, i) < b.signed_at(base, cap, i)) as u64)
             }
-            AluOp::ShrArith => {
-                let d = self.b.raw(vals).min(63);
-                (self.a.signed(vals) >> d) as u64
+            AluOp::CmpLe => {
+                lanes!(|i| (a.signed_at(base, cap, i) <= b.signed_at(base, cap, i)) as u64)
             }
-            AluOp::CmpEq => (self.a.raw(vals) == self.b.raw(vals)) as u64,
-            AluOp::CmpNe => (self.a.raw(vals) != self.b.raw(vals)) as u64,
-            AluOp::CmpLt => (self.a.signed(vals) < self.b.signed(vals)) as u64,
-            AluOp::CmpLe => (self.a.signed(vals) <= self.b.signed(vals)) as u64,
-            AluOp::CmpGt => (self.a.signed(vals) > self.b.signed(vals)) as u64,
-            AluOp::CmpGe => (self.a.signed(vals) >= self.b.signed(vals)) as u64,
+            AluOp::CmpGt => {
+                lanes!(|i| (a.signed_at(base, cap, i) > b.signed_at(base, cap, i)) as u64)
+            }
+            AluOp::CmpGe => {
+                lanes!(|i| (a.signed_at(base, cap, i) >= b.signed_at(base, cap, i)) as u64)
+            }
+        }
+    }
+}
+
+/// A fused superinstruction: two adjacent same-destination primitives where
+/// the second reads the first's result. The intermediate is masked (and,
+/// where the second op wants it signed, sign-extended) exactly as the
+/// destination container would have held it, so the pair is bit-for-bit the
+/// sequential execution — minus one dispatch and one store per packet.
+#[derive(Debug, Clone, Copy)]
+struct FusedPrim {
+    dst: u32,
+    dst_mask: u64,
+    /// `64 − dst width`: sign-extension shift for the intermediate.
+    sx: u32,
+    op1: AluOp,
+    a: CompiledOperand,
+    b: CompiledOperand,
+    op2: AluOp,
+    /// The second op's *other* operand.
+    c: CompiledOperand,
+    /// Whether the intermediate feeds the second op's left slot.
+    inter_left: bool,
+}
+
+impl FusedPrim {
+    #[inline]
+    fn execute(&self, vals: &mut [u64], stride: usize, lane: usize) {
+        let t = eval_alu(self.op1, &self.a, &self.b, vals, stride, lane) & self.dst_mask;
+        let ts = ((t << self.sx) as i64) >> self.sx;
+        let craw = self.c.raw(vals, stride, lane);
+        let csig = self.c.signed(vals, stride, lane);
+        let out = if self.inter_left {
+            apply_alu(self.op2, t, ts, craw, csig)
+        } else {
+            apply_alu(self.op2, craw, csig, t, ts)
         };
-        vals[self.dst as usize] = out & self.dst_mask;
+        vals[self.dst as usize * stride + lane] = out & self.dst_mask;
+    }
+
+    /// [`FusedPrim::execute`] with a branchless predicated store (see
+    /// [`CompiledPrim::execute_lane_pred`]).
+    #[inline]
+    fn execute_pred(&self, vals: &mut [u64], stride: usize, lane: usize, keep: bool) {
+        let t = eval_alu(self.op1, &self.a, &self.b, vals, stride, lane) & self.dst_mask;
+        let ts = ((t << self.sx) as i64) >> self.sx;
+        let craw = self.c.raw(vals, stride, lane);
+        let csig = self.c.signed(vals, stride, lane);
+        let out = if self.inter_left {
+            apply_alu(self.op2, t, ts, craw, csig)
+        } else {
+            apply_alu(self.op2, craw, csig, t, ts)
+        };
+        let d = self.dst as usize * stride + lane;
+        vals[d] = if keep { out & self.dst_mask } else { vals[d] };
+    }
+}
+
+/// One entry of the (fused) op tape.
+#[derive(Debug, Clone, Copy)]
+enum TapeOp {
+    Prim(CompiledPrim),
+    Fused2(FusedPrim),
+}
+
+impl TapeOp {
+    #[inline]
+    fn execute(&self, vals: &mut [u64], stride: usize, lane: usize) {
+        match self {
+            TapeOp::Prim(p) => p.execute(vals, stride, lane),
+            TapeOp::Fused2(f) => f.execute(vals, stride, lane),
+        }
+    }
+
+    #[inline]
+    fn execute_lane(&self, buf: &mut [u64], cap: usize, n: usize) {
+        match self {
+            TapeOp::Prim(p) => p.execute_lane(buf, cap, n),
+            TapeOp::Fused2(f) => {
+                for i in 0..n {
+                    f.execute(buf, cap, i);
+                }
+            }
+        }
+    }
+
+    /// Predicated instruction-major execution: lanes whose resolved
+    /// action is not `sel` keep their value (branchless select stores).
+    #[inline]
+    fn execute_lane_pred(&self, buf: &mut [u64], cap: usize, n: usize, act: &[u32], sel: u32) {
+        match self {
+            TapeOp::Prim(p) => p.execute_lane_pred(buf, cap, n, act, sel),
+            TapeOp::Fused2(f) => {
+                for (i, &a) in act.iter().enumerate().take(n) {
+                    f.execute_pred(buf, cap, i, a == sel);
+                }
+            }
+        }
+    }
+}
+
+/// Compile-time fusion statistics, reported by
+/// [`CompiledSwitch::fusion_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Primitive count before fusion (as authored, post-lowering).
+    pub original_ops: usize,
+    /// Tape entries after fusion (each fused pair counts once).
+    pub tape_ops: usize,
+    /// Fused superinstructions emitted.
+    pub fused_pairs: usize,
+    /// Stores dropped because the next op overwrote them unread.
+    pub dead_stores: usize,
+}
+
+impl FusionStats {
+    /// Fraction of original ops eliminated by fusion and dead-store
+    /// removal: `1 − tape_ops / original_ops` (0.0 for an empty tape).
+    pub fn coverage(&self) -> f64 {
+        if self.original_ops == 0 {
+            0.0
+        } else {
+            1.0 - self.tape_ops as f64 / self.original_ops as f64
+        }
+    }
+}
+
+/// The peephole fusion pass, run per action at compile time.
+///
+/// Two rewrites, both semantics-preserving because an op's only effect is
+/// its destination store and the pair is adjacent within one action (so the
+/// intermediate value is unobservable — no table lookup, stateful call, or
+/// other op can see it):
+///
+/// * `dst = f(..); dst = g(.., dst, ..)` → one [`FusedPrim`];
+/// * `dst = f(..); dst = g(..)` where `g` does not read `dst` → drop the
+///   first op (dead store).
+///
+/// The dependence check is syntactic. That stays sound for ops that ignore
+/// an operand (e.g. `Set` never reads its right input): the fused second
+/// stage evaluates exactly the ops the sequential pair would have, so an
+/// operand the ALU ignores is ignored either way.
+fn fuse_action_tape(prims: &[CompiledPrim], tape: &mut Vec<TapeOp>, stats: &mut FusionStats) {
+    stats.original_ops += prims.len();
+    let mut i = 0;
+    while i < prims.len() {
+        let p = prims[i];
+        if let Some(&q) = prims.get(i + 1) {
+            if q.dst == p.dst {
+                let ar = q.a.reads(p.dst);
+                let br = q.b.reads(p.dst);
+                if !ar && !br {
+                    // q overwrites p's store before anything reads it.
+                    stats.dead_stores += 1;
+                    i += 1;
+                    continue;
+                }
+                if ar != br {
+                    tape.push(TapeOp::Fused2(FusedPrim {
+                        dst: p.dst,
+                        dst_mask: p.dst_mask,
+                        sx: p.dst_mask.leading_zeros(),
+                        op1: p.op,
+                        a: p.a,
+                        b: p.b,
+                        op2: q.op,
+                        c: if ar { q.b } else { q.a },
+                        inter_left: ar,
+                    }));
+                    stats.fused_pairs += 1;
+                    i += 2;
+                    continue;
+                }
+                // Both operands read dst: representable only with a wider
+                // superinstruction; leave the pair as-is.
+            }
+        }
+        tape.push(TapeOp::Prim(p));
+        i += 1;
     }
 }
 
@@ -361,12 +1012,12 @@ impl CompiledCond {
     }
 
     #[inline]
-    fn eval(&self, stored: i64, vals: &[u64]) -> bool {
+    fn eval(&self, stored: i64, vals: &[u64], stride: usize, lane: usize) -> bool {
         match self {
             CompiledCond::Always => true,
-            CompiledCond::MetaNonZero(f) => vals[*f as usize] != 0,
+            CompiledCond::MetaNonZero(f) => vals[*f as usize * stride + lane] != 0,
             CompiledCond::RegCmp { cmp, rhs } => {
-                let rhs = rhs.signed(vals);
+                let rhs = rhs.signed(vals, stride, lane);
                 match cmp {
                     CmpOp::Eq => stored == rhs,
                     CmpOp::Ne => stored != rhs,
@@ -376,8 +1027,12 @@ impl CompiledCond {
                     CmpOp::Ge => stored >= rhs,
                 }
             }
-            CompiledCond::Or(p) => p.0.eval(stored, vals) || p.1.eval(stored, vals),
-            CompiledCond::And(p) => p.0.eval(stored, vals) && p.1.eval(stored, vals),
+            CompiledCond::Or(p) => {
+                p.0.eval(stored, vals, stride, lane) || p.1.eval(stored, vals, stride, lane)
+            }
+            CompiledCond::And(p) => {
+                p.0.eval(stored, vals, stride, lane) && p.1.eval(stored, vals, stride, lane)
+            }
         }
     }
 }
@@ -416,33 +1071,45 @@ impl CompiledUpdate {
 
     /// Mirror of [`SaluUpdate::apply`] over the lowered form.
     #[inline]
-    fn apply(&self, stored: i64, meta: &ArrayMeta, vals: &[u64]) -> i64 {
+    fn apply(
+        &self,
+        stored: i64,
+        meta: &ArrayMeta,
+        vals: &[u64],
+        stride: usize,
+        lane: usize,
+    ) -> i64 {
         match *self {
             CompiledUpdate::Keep => stored,
-            CompiledUpdate::Write(op) => crate::register::truncate(op.signed(vals), meta.width),
+            CompiledUpdate::Write(op) => {
+                crate::register::truncate(op.signed(vals, stride, lane), meta.width)
+            }
             CompiledUpdate::AddSat(op) => crate::register::saturating(
-                stored as i128 + op.signed(vals) as i128,
+                stored as i128 + op.signed(vals, stride, lane) as i128,
                 meta.min,
                 meta.max,
             ),
-            CompiledUpdate::AddWrap(op) => {
-                crate::register::truncate(stored.wrapping_add(op.signed(vals)), meta.width)
-            }
+            CompiledUpdate::AddWrap(op) => crate::register::truncate(
+                stored.wrapping_add(op.signed(vals, stride, lane)),
+                meta.width,
+            ),
             CompiledUpdate::ShiftRightAddSat { shift, addend } => {
-                let d = shift.raw(vals).min(63) as u32;
+                let d = shift.raw(vals, stride, lane).min(63) as u32;
                 let shifted = stored >> d;
                 crate::register::saturating(
-                    shifted as i128 + addend.signed(vals) as i128,
+                    shifted as i128 + addend.signed(vals, stride, lane) as i128,
                     meta.min,
                     meta.max,
                 )
             }
-            CompiledUpdate::MaxSigned(op) => {
-                stored.max(crate::register::truncate(op.signed(vals), meta.width))
-            }
-            CompiledUpdate::MinSigned(op) => {
-                stored.min(crate::register::truncate(op.signed(vals), meta.width))
-            }
+            CompiledUpdate::MaxSigned(op) => stored.max(crate::register::truncate(
+                op.signed(vals, stride, lane),
+                meta.width,
+            )),
+            CompiledUpdate::MinSigned(op) => stored.min(crate::register::truncate(
+                op.signed(vals, stride, lane),
+                meta.width,
+            )),
         }
     }
 }
@@ -476,8 +1143,8 @@ pub struct CompiledSwitch {
     /// Tables flattened across stages, in execution order.
     tables: Box<[CompiledTable]>,
     actions: Box<[CompiledAction]>,
-    /// The contiguous primitive op tape.
-    prims: Box<[CompiledPrim]>,
+    /// The contiguous (fused) primitive op tape.
+    prims: Box<[TapeOp]>,
     /// The contiguous stateful op tape.
     stateful: Box<[CompiledStateful]>,
     /// The flat register file behind the slot-range-partitionable
@@ -488,6 +1155,19 @@ pub struct CompiledSwitch {
     touched: Vec<bool>,
     /// Wide hash key scratch, reused across lookups.
     keybuf: Vec<u64>,
+    /// Whether table-major SoA execution is observably identical to
+    /// packet-major execution for this program (see
+    /// [`CompiledSwitch::soa_eligible`]).
+    soa_simple: bool,
+    /// Fusion coverage of the lowered tape.
+    fusion: FusionStats,
+    /// SoA scratch, reused across batches: the lane buffer, the per-packet
+    /// resolved action, the batch gate flags, and the per-packet fallback
+    /// value row.
+    lanes: BatchLanes,
+    act_of: Vec<u32>,
+    gate_pass: Vec<bool>,
+    rowbuf: Vec<u64>,
 }
 
 impl CompiledSwitch {
@@ -496,20 +1176,44 @@ impl CompiledSwitch {
         program.validate()?;
         let mut tables = Vec::new();
         let mut actions = Vec::new();
-        let mut prims = Vec::new();
+        let mut prims: Vec<TapeOp> = Vec::new();
         let mut stateful = Vec::new();
+        let mut fusion = FusionStats::default();
+        let mut action_prims: Vec<CompiledPrim> = Vec::new();
+        // SoA eligibility: no recirculation, each register array touched
+        // from at most one table, at most one stateful call per action.
+        // Under those rules a single pass in table-major order is
+        // observably the same as packet-major order, and the dynamic RAW
+        // check can never fire (each packet touches each array at most
+        // once per pass).
+        let mut soa_simple = program.recirc_field.is_none();
+        let mut array_table: Vec<Option<usize>> = vec![None; program.arrays.len()];
         for stage in &program.stages {
             for table in &stage.tables {
+                let t_idx = tables.len();
                 let base = actions.len() as u32;
                 for action in &table.actions {
                     let p0 = prims.len() as u32;
-                    prims.extend(
+                    action_prims.clear();
+                    action_prims.extend(
                         action
                             .primitives
                             .iter()
                             .map(|p| lower_prim(p, &program.layout)),
                     );
+                    fuse_action_tape(&action_prims, &mut prims, &mut fusion);
                     let s0 = stateful.len() as u32;
+                    if action.stateful.len() > 1 {
+                        soa_simple = false;
+                    }
+                    for call in &action.stateful {
+                        let a = usize::from(call.array.0);
+                        match array_table[a] {
+                            None => array_table[a] = Some(t_idx),
+                            Some(t) if t == t_idx => {}
+                            Some(_) => soa_simple = false,
+                        }
+                    }
                     stateful.extend(action.stateful.iter().map(|call| CompiledStateful {
                         array: u32::from(call.array.0),
                         index: lower_operand(call.index, &program.layout),
@@ -532,6 +1236,49 @@ impl CompiledSwitch {
                 tables.push(compile_table(table, base, &program.layout));
             }
         }
+        fusion.tape_ops = prims.len();
+        // Uniform-key scanning pays off only for tables keyed entirely on
+        // fields no action ever writes (header inputs like an opcode):
+        // those columns arrive batch-uniform for single-op batches, while
+        // a key any action computes diverges lane by lane. Tables mixing
+        // stable fields with a few bits of computed key get the split-key
+        // LUT plan instead.
+        let mut written: std::collections::HashSet<u16> = std::collections::HashSet::new();
+        for stage in &program.stages {
+            for table in &stage.tables {
+                for action in &table.actions {
+                    written.extend(action.primitives.iter().map(|p| p.dst.0));
+                    written.extend(
+                        action
+                            .stateful
+                            .iter()
+                            .filter_map(|c| c.output.map(|(f, _)| f.0)),
+                    );
+                }
+            }
+        }
+        for t in &mut tables {
+            let (varying, stable): (Vec<u16>, Vec<u16>) =
+                t.key_fields.iter().partition(|f| written.contains(f));
+            t.scan_uniform = varying.is_empty();
+            if t.scan_uniform {
+                continue;
+            }
+            let mut packed = Vec::with_capacity(varying.len());
+            let mut width = 0u32;
+            for f in varying {
+                let bits = program.layout.spec(FieldId(f)).bits;
+                packed.push((f, width, PhvLayout::mask(bits)));
+                width += bits;
+            }
+            if width <= SPLIT_LUT_BITS {
+                t.split = Some(SplitKey {
+                    stable: stable.into_boxed_slice(),
+                    varying: packed.into_boxed_slice(),
+                    width,
+                });
+            }
+        }
         let state = RegisterState::new(&program.arrays);
         let touched = vec![false; program.arrays.len()];
         Ok(CompiledSwitch {
@@ -545,7 +1292,29 @@ impl CompiledSwitch {
             state,
             touched,
             keybuf: Vec::new(),
+            soa_simple,
+            fusion,
+            lanes: BatchLanes::new(&program.layout, 1),
+            act_of: Vec::new(),
+            gate_pass: Vec::new(),
+            rowbuf: Vec::new(),
         })
+    }
+
+    /// Compile-time fusion statistics for the lowered op tape.
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.fusion
+    }
+
+    /// Whether this program qualifies for table-major SoA batch execution:
+    /// no recirculation, each register array touched from at most one
+    /// table, and at most one stateful call per action. Primitives are
+    /// packet-local and stateful updates apply in packet order within
+    /// their one table, so under these rules the SoA schedule is
+    /// bit-for-bit the per-packet schedule. Ineligible programs silently
+    /// take the per-packet path from every batch entry point.
+    pub fn soa_eligible(&self) -> bool {
+        self.soa_simple
     }
 
     /// The PHV layout of the compiled program.
@@ -591,6 +1360,12 @@ impl CompiledSwitch {
     /// order, same RAW enforcement, same recirculation semantics, same
     /// errors — via the pre-resolved dispatch structures.
     pub fn run(&mut self, phv: &mut Phv) -> Result<u32, RuntimeError> {
+        self.run_vals(phv.values_mut())
+    }
+
+    /// The per-packet engine over a raw value row (a PHV's value slice, or
+    /// one gathered lane row on the SoA fallback path).
+    fn run_vals(&mut self, vals: &mut [u64]) -> Result<u32, RuntimeError> {
         let CompiledSwitch {
             tables,
             actions,
@@ -606,7 +1381,6 @@ impl CompiledSwitch {
         let (array_meta, regs) = state.parts_mut();
         let limit = (*recirc_limit).max(1);
         let recirc_idx = recirc_field.map(|rf| rf.0 as usize);
-        let vals = phv.values_mut();
         let mut passes = 0u32;
         loop {
             let pass = passes;
@@ -618,12 +1392,12 @@ impl CompiledSwitch {
             }
             touched.fill(false);
             for t in tables.iter() {
-                let Some(ai) = t.lookup(vals, keybuf) else {
+                let Some(ai) = t.lookup(vals, 1, 0, keybuf) else {
                     continue;
                 };
                 let action = actions[ai as usize];
                 for p in &prims[action.prims.0 as usize..action.prims.1 as usize] {
-                    p.execute(vals);
+                    p.execute(vals, 1, 0);
                 }
                 for cs in &stateful[action.stateful.0 as usize..action.stateful.1 as usize] {
                     let a = cs.array as usize;
@@ -635,20 +1409,15 @@ impl CompiledSwitch {
                     }
                     touched[a] = true;
                     let meta = &array_meta[a];
-                    let idx = cs.index.raw(vals) as usize;
+                    let idx = cs.index.raw(vals, 1, 0) as usize;
                     if idx >= meta.entries {
-                        return Err(RuntimeError::IndexOutOfRange {
-                            detail: format!(
-                                "index {idx} out of range for register array `{}` ({} entries)",
-                                meta.name, meta.entries
-                            ),
-                        });
+                        return Err(oor_error(idx, meta));
                     }
                     let slot = meta.offset + idx;
                     let old = regs[slot];
-                    let taken = cs.cond.eval(old, vals);
+                    let taken = cs.cond.eval(old, vals, 1, 0);
                     let update = if taken { &cs.on_true } else { &cs.on_false };
-                    let new = update.apply(old, meta, vals);
+                    let new = update.apply(old, meta, vals, 1, 0);
                     regs[slot] = new;
                     if let Some((dst, mask, out)) = cs.output {
                         let v = match out {
@@ -671,12 +1440,325 @@ impl CompiledSwitch {
     /// Process a buffer of packets back to back, returning the total pass
     /// count. Stops at the first faulting packet (packets before it have
     /// been applied; the faulting PHV is left as the fault found it).
+    ///
+    /// Batches of [`SOA_MIN`] packets or more on an
+    /// [eligible](CompiledSwitch::soa_eligible) program take the SoA path
+    /// ([`CompiledSwitch::run_batch_soa`]); everything else runs
+    /// per-packet. Results are bit-for-bit identical either way.
     pub fn run_batch(&mut self, phvs: &mut [Phv]) -> Result<u64, RuntimeError> {
+        self.run_batch_indexed(phvs).map_err(|(_, e)| e)
+    }
+
+    /// [`CompiledSwitch::run_batch`], but faults carry the index of the
+    /// faulting packet (the sharding layer needs it to report the earliest
+    /// fault in original batch order).
+    pub(crate) fn run_batch_indexed(
+        &mut self,
+        phvs: &mut [Phv],
+    ) -> Result<u64, (usize, RuntimeError)> {
+        if self.soa_simple && phvs.len() >= SOA_MIN {
+            return self.run_batch_soa_indexed(phvs);
+        }
         let mut total = 0u64;
-        for phv in phvs {
-            total += u64::from(self.run(phv)?);
+        for (i, phv) in phvs.iter_mut().enumerate() {
+            total += u64::from(self.run(phv).map_err(|e| (i, e))?);
         }
         Ok(total)
+    }
+
+    /// Process a batch through the structure-of-arrays engine: transpose
+    /// the PHVs into [`BatchLanes`] columns, execute table-major, and
+    /// transpose back. Semantics are exactly [`CompiledSwitch::run_batch`]
+    /// run per packet — same results, register state, pass counts and
+    /// faults (packets before a faulting packet are fully applied, the
+    /// faulting PHV is left as the fault found it, later packets are
+    /// untouched). Programs that are not
+    /// [SoA-eligible](CompiledSwitch::soa_eligible) fall back to the
+    /// per-packet engine internally.
+    pub fn run_batch_soa(&mut self, phvs: &mut [Phv]) -> Result<u64, RuntimeError> {
+        self.run_batch_soa_indexed(phvs).map_err(|(_, e)| e)
+    }
+
+    fn run_batch_soa_indexed(&mut self, phvs: &mut [Phv]) -> Result<u64, (usize, RuntimeError)> {
+        if !self.soa_simple {
+            let mut total = 0u64;
+            for (i, phv) in phvs.iter_mut().enumerate() {
+                total += u64::from(self.run(phv).map_err(|e| (i, e))?);
+            }
+            return Ok(total);
+        }
+        if phvs.is_empty() {
+            return Ok(0);
+        }
+        let mut lanes = std::mem::take(&mut self.lanes);
+        lanes.load(phvs);
+        let res = self.run_lanes_simple(&mut lanes);
+        match res {
+            Ok(total) => {
+                lanes.store(phvs, phvs.len());
+                self.lanes = lanes;
+                Ok(total)
+            }
+            Err((i, e)) => {
+                // Packets before the fault are fully applied, the faulting
+                // packet is left as the fault found it, later packets'
+                // PHVs keep their input values (never touched).
+                lanes.store(phvs, i + 1);
+                self.lanes = lanes;
+                Err((i, e))
+            }
+        }
+    }
+
+    /// Execute a batch held directly in [`BatchLanes`] — the zero-copy
+    /// entry point for callers that fill columns natively (the pipeline's
+    /// batched add/read paths) instead of transposing PHVs. Returns the
+    /// total pass count.
+    ///
+    /// On an [eligible](CompiledSwitch::soa_eligible) program this is the
+    /// table-major SoA engine; otherwise each lane row is gathered,
+    /// run per-packet, and scattered back. On a fault, packets before the
+    /// faulting one are fully applied, the faulting packet's lanes are
+    /// left as the fault found them, and later packets' lanes are
+    /// unspecified (their register state is untouched).
+    pub fn run_lanes(&mut self, lanes: &mut BatchLanes) -> Result<u64, RuntimeError> {
+        if lanes.is_empty() {
+            return Ok(0);
+        }
+        if self.soa_simple {
+            return self.run_lanes_simple(lanes).map_err(|(_, e)| e);
+        }
+        let mut row = std::mem::take(&mut self.rowbuf);
+        row.resize(self.layout.len(), 0);
+        let mut result = Ok(0u64);
+        let mut total = 0u64;
+        for i in 0..lanes.len() {
+            lanes.read_row(i, &mut row);
+            match self.run_vals(&mut row) {
+                Ok(p) => {
+                    lanes.write_row(i, &row);
+                    total += u64::from(p);
+                }
+                Err(e) => {
+                    lanes.write_row(i, &row);
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.rowbuf = row;
+        result.map(|_| total)
+    }
+
+    /// The table-major SoA engine core. Requires `soa_simple`.
+    ///
+    /// Fault handling is *limit narrowing*: a packet whose stateful call
+    /// indexes out of range stops being live (`limit` shrinks to exclude
+    /// it) while earlier packets keep executing the remaining tables, so
+    /// when the loop ends every packet before the earliest fault has been
+    /// fully applied — exactly the per-packet contract. Bounds are
+    /// pre-scanned per table before any register write (an index operand
+    /// only reads its own packet's lanes, which phase C never changes for
+    /// other packets), so no write ever needs rolling back.
+    fn run_lanes_simple(&mut self, lanes: &mut BatchLanes) -> Result<u64, (usize, RuntimeError)> {
+        debug_assert!(self.soa_simple);
+        let CompiledSwitch {
+            layout,
+            tables,
+            actions,
+            prims,
+            stateful,
+            state,
+            keybuf,
+            act_of,
+            gate_pass,
+            rowbuf,
+            ..
+        } = self;
+        let (array_meta, regs) = state.parts_mut();
+        let (buf, cap, n) = lanes.raw_parts_mut();
+        act_of.clear();
+        act_of.resize(n, MISS);
+        gate_pass.clear();
+        gate_pass.resize(n, false);
+        rowbuf.resize(layout.len(), 0);
+        let mut limit = n;
+        let mut fault: Option<(usize, RuntimeError)> = None;
+        for t in tables.iter() {
+            if limit == 0 {
+                break;
+            }
+            // Phase A: resolve every live packet's action, batch-wide.
+            // `Some(a)` means the table already proved the whole batch
+            // resolved to action `a` (uniform keys / constant / gated
+            // out) and the act_of scan can be skipped.
+            let hint = t.lookup_lanes(buf, cap, limit, act_of, gate_pass, keybuf, rowbuf);
+            let first = hint.unwrap_or(act_of[0]);
+            let uniform = hint.is_some() || act_of[..limit].iter().all(|&a| a == first);
+            if uniform && first == MISS {
+                continue; // no live packet runs anything in this table
+            }
+            if uniform {
+                // Phase B: instruction-major — each op sweeps the batch.
+                let action = actions[first as usize];
+                for op in &prims[action.prims.0 as usize..action.prims.1 as usize] {
+                    op.execute_lane(buf, cap, limit);
+                }
+                // Phase C: stateful, always in packet order. One action
+                // for the whole batch lets the call/array resolution be
+                // hoisted out of both packet loops; the bounds pre-scan
+                // still runs first so the first out-of-range packet
+                // faults and narrows `limit` before anything is applied
+                // for it.
+                if action.stateful.0 == action.stateful.1 {
+                    continue;
+                }
+                let cs = &stateful[action.stateful.0 as usize];
+                let meta = &array_meta[cs.array as usize];
+                for i in 0..limit {
+                    let idx = cs.index.raw(buf, cap, i) as usize;
+                    if idx >= meta.entries {
+                        fault = Some((i, oor_error(idx, meta)));
+                        limit = i;
+                        break;
+                    }
+                }
+                for i in 0..limit {
+                    let idx = cs.index.raw(buf, cap, i) as usize;
+                    let slot = meta.offset + idx;
+                    let old = regs[slot];
+                    let taken = cs.cond.eval(old, buf, cap, i);
+                    let update = if taken { &cs.on_true } else { &cs.on_false };
+                    let new = update.apply(old, meta, buf, cap, i);
+                    regs[slot] = new;
+                    if let Some((dst, mask, out)) = cs.output {
+                        let v = match out {
+                            SaluOutput::Old => old as u64,
+                            SaluOutput::New => new as u64,
+                            SaluOutput::Predicate => u64::from(taken),
+                        };
+                        buf[dst as usize * cap + i] = v & mask;
+                    }
+                }
+                continue;
+            }
+            // Phase B, divergent. When the batch split over only a few
+            // distinct actions (a two-entry skip/sign table), run each
+            // action's tape instruction-major with predicated stores —
+            // every op still sweeps all lanes, but non-member lanes keep
+            // their value, so the result is bit-for-bit the per-packet
+            // walk (primitives read and write only their own lane).
+            // Batches touching many actions fall back to per-packet tape
+            // walks, where predication would multiply the work.
+            const MAX_GROUPED: usize = 4;
+            let mut distinct = [MISS; MAX_GROUPED];
+            let mut nd = 0usize;
+            for &a in &act_of[..limit] {
+                if a == MISS || distinct[..nd].contains(&a) {
+                    continue;
+                }
+                if nd == MAX_GROUPED {
+                    nd = usize::MAX;
+                    break;
+                }
+                distinct[nd] = a;
+                nd += 1;
+            }
+            if nd != usize::MAX {
+                for &a in &distinct[..nd] {
+                    let action = actions[a as usize];
+                    for op in &prims[action.prims.0 as usize..action.prims.1 as usize] {
+                        op.execute_lane_pred(buf, cap, limit, act_of, a);
+                    }
+                }
+            } else {
+                for (i, &a) in act_of.iter().enumerate().take(limit) {
+                    if a == MISS {
+                        continue;
+                    }
+                    let action = actions[a as usize];
+                    for op in &prims[action.prims.0 as usize..action.prims.1 as usize] {
+                        op.execute(buf, cap, i);
+                    }
+                }
+            }
+            // Phase C: stateful, always in packet order (soa_simple
+            // guarantees at most one call per action). Pre-scan bounds
+            // first: the first packet with an out-of-range index faults
+            // and narrows `limit` before anything is applied for it.
+            let table_has_stateful = act_of[..limit].iter().any(|&a| {
+                a != MISS && {
+                    let action = actions[a as usize];
+                    action.stateful.0 != action.stateful.1
+                }
+            });
+            if !table_has_stateful {
+                continue;
+            }
+            for (i, &a) in act_of.iter().enumerate().take(limit) {
+                if a == MISS {
+                    continue;
+                }
+                let action = actions[a as usize];
+                if action.stateful.0 == action.stateful.1 {
+                    continue;
+                }
+                let cs = &stateful[action.stateful.0 as usize];
+                let meta = &array_meta[cs.array as usize];
+                let idx = cs.index.raw(buf, cap, i) as usize;
+                if idx >= meta.entries {
+                    fault = Some((i, oor_error(idx, meta)));
+                    limit = i;
+                    break;
+                }
+            }
+            for i in 0..limit {
+                let a = act_of[i];
+                if a == MISS {
+                    continue;
+                }
+                let action = actions[a as usize];
+                if action.stateful.0 == action.stateful.1 {
+                    continue;
+                }
+                let cs = &stateful[action.stateful.0 as usize];
+                let meta = &array_meta[cs.array as usize];
+                let idx = cs.index.raw(buf, cap, i) as usize;
+                let slot = meta.offset + idx;
+                let old = regs[slot];
+                let taken = cs.cond.eval(old, buf, cap, i);
+                let update = if taken { &cs.on_true } else { &cs.on_false };
+                let new = update.apply(old, meta, buf, cap, i);
+                regs[slot] = new;
+                if let Some((dst, mask, out)) = cs.output {
+                    let v = match out {
+                        SaluOutput::Old => old as u64,
+                        SaluOutput::New => new as u64,
+                        SaluOutput::Predicate => u64::from(taken),
+                    };
+                    buf[dst as usize * cap + i] = v & mask;
+                }
+            }
+        }
+        match fault {
+            // soa_simple programs run exactly one pass per packet.
+            None => Ok(n as u64),
+            Some((i, e)) => Err((i, e)),
+        }
+    }
+}
+
+/// Smallest batch routed through the SoA engine by
+/// [`CompiledSwitch::run_batch`]: below this, transpose overhead beats the
+/// dispatch savings.
+pub const SOA_MIN: usize = 16;
+
+fn oor_error(idx: usize, meta: &ArrayMeta) -> RuntimeError {
+    RuntimeError::IndexOutOfRange {
+        detail: format!(
+            "index {idx} out of range for register array `{}` ({} entries)",
+            meta.name, meta.entries
+        ),
     }
 }
 
@@ -908,6 +1990,10 @@ fn compile_table(table: &Table, action_base: u32, layout: &PhvLayout) -> Compile
         gate,
         matcher,
         default_action,
+        // Both patched by `CompiledSwitch::compile` once every action in
+        // the program has been seen.
+        scan_uniform: false,
+        split: None,
     }
 }
 
@@ -1319,6 +2405,223 @@ mod tests {
                 batch.register(RegArrayId(0), idx),
                 scalar.register(RegArrayId(0), idx)
             );
+        }
+    }
+
+    /// A small op-dispatched program with divergence (per-port actions),
+    /// a stateful accumulator and an op-gated READ-only table — the shape
+    /// the SoA engine is built for.
+    fn soa_program(entries: usize) -> (SwitchProgram, FieldId, FieldId, FieldId) {
+        let mut l = PhvLayout::new();
+        let op = l.field("op", 2);
+        let port = l.field("port", 4);
+        let val = l.field("val", 16);
+        let acc = l.field("acc", 32);
+        let scaled =
+            Action::nop("scaled").prim(val, AluOp::Shl, Operand::Field(val), Operand::Const(1));
+        let masked =
+            Action::nop("masked").prim(val, AluOp::And, Operand::Field(val), Operand::Const(0xFF));
+        let classify = Table::keyed(
+            "classify",
+            vec![(port, MatchKind::Exact)],
+            vec![scaled, masked],
+            Some(1),
+        )
+        .entry(vec![KeyMatch::Exact(3)], 0, 0)
+        .entry(vec![KeyMatch::Exact(7)], 0, 0);
+        let bump = Action::nop("bump").call(StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Field(port),
+            cond: SaluCond::RegCmp {
+                cmp: CmpOp::Lt,
+                rhs: Operand::Const(1 << 20),
+            },
+            on_true: SaluUpdate::AddSat(Operand::Field(val)),
+            on_false: SaluUpdate::Keep,
+            output: Some((acc, SaluOutput::New)),
+        });
+        let add_tbl = Table::keyed("add", vec![(op, MatchKind::Exact)], vec![bump], None).entry(
+            vec![KeyMatch::Exact(0)],
+            0,
+            0,
+        );
+        // READ-only table: an ADD batch must gate-skip it wholesale.
+        let flag =
+            Action::nop("flag").prim(acc, AluOp::Set, Operand::Const(0x77), Operand::Const(0));
+        let read_tbl = Table::keyed("read_flags", vec![(op, MatchKind::Exact)], vec![flag], None)
+            .entry(vec![KeyMatch::Exact(1)], 0, 0);
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![
+                Stage::new().table(classify),
+                Stage::new().table(add_tbl),
+                Stage::new().table(read_tbl),
+            ],
+            arrays: vec![RegisterArraySpec {
+                name: "acc_reg".into(),
+                width_bits: 32,
+                entries,
+                stage: 1,
+            }],
+            recirc_field: None,
+        };
+        (program, op, port, val)
+    }
+
+    #[test]
+    fn soa_batch_matches_scalar_bit_for_bit() {
+        let (program, op, port, val) = soa_program(16);
+        let mut scalar = CompiledSwitch::compile(&program).unwrap();
+        assert!(scalar.soa_eligible());
+        let mut soa = scalar.clone();
+        let mut phvs: Vec<Phv> = (0..200u64)
+            .map(|i| {
+                let mut p = soa.phv();
+                p.set(op, i % 3 % 2); // mix ADD and READ packets
+                p.set(port, i % 16);
+                p.set(val, 100 + i);
+                p
+            })
+            .collect();
+        let mut expect = phvs.clone();
+        let total = soa.run_batch_soa(&mut phvs).unwrap();
+        assert_eq!(total, 200);
+        let mut scalar_total = 0u64;
+        for p in &mut expect {
+            scalar_total += u64::from(scalar.run(p).unwrap());
+        }
+        assert_eq!(total, scalar_total);
+        assert_eq!(phvs, expect, "SoA PHVs diverged from scalar");
+        assert_eq!(
+            soa.register_state(),
+            scalar.register_state(),
+            "SoA register state diverged"
+        );
+    }
+
+    #[test]
+    fn soa_fault_semantics_match_scalar() {
+        // 8 register entries but a 4-bit port: ports 8..16 fault.
+        let (program, op, port, val) = soa_program(8);
+        let mut scalar = CompiledSwitch::compile(&program).unwrap();
+        let mut soa = scalar.clone();
+        let template = scalar.phv();
+        let build = |i: u64| {
+            let mut p = template.clone();
+            p.set(op, 0);
+            p.set(port, if i == 23 { 12 } else { i % 8 }); // packet 23 faults
+            p.set(val, i);
+            p
+        };
+        let mut phvs: Vec<Phv> = (0..64).map(build).collect();
+        let mut expect: Vec<Phv> = (0..64).map(build).collect();
+        let soa_err = soa.run_batch_soa(&mut phvs).unwrap_err();
+        let mut scalar_err = None;
+        for (i, p) in expect.iter_mut().enumerate() {
+            if let Err(e) = scalar.run(p) {
+                scalar_err = Some((i, e));
+                break;
+            }
+        }
+        let (fault_at, scalar_err) = scalar_err.expect("scalar must fault too");
+        assert_eq!(fault_at, 23);
+        assert_eq!(soa_err, scalar_err);
+        // Applied packets and the faulting packet agree; later packets
+        // keep their input values.
+        assert_eq!(&phvs[..=fault_at], &expect[..=fault_at]);
+        for (i, p) in phvs.iter().enumerate().skip(fault_at + 1) {
+            assert_eq!(*p, build(i as u64), "packet {i} must be untouched");
+        }
+        assert_eq!(soa.register_state(), scalar.register_state());
+    }
+
+    #[test]
+    fn soa_eligibility_rules() {
+        let (program, ..) = soa_program(16);
+        assert!(CompiledSwitch::compile(&program).unwrap().soa_eligible());
+
+        // Recirculation disqualifies.
+        let mut with_recirc = program.clone();
+        let recirc = with_recirc.layout.field("recirc", 1);
+        with_recirc.recirc_field = Some(recirc);
+        assert!(!CompiledSwitch::compile(&with_recirc)
+            .unwrap()
+            .soa_eligible());
+
+        // The same array touched from a second table disqualifies.
+        let mut two_tables = program.clone();
+        let bump2 = Action::nop("bump2").call(StatefulCall {
+            array: RegArrayId(0),
+            index: Operand::Const(0),
+            cond: SaluCond::Always,
+            on_true: SaluUpdate::AddSat(Operand::Const(1)),
+            on_false: SaluUpdate::Keep,
+            output: None,
+        });
+        two_tables.stages[1] = two_tables.stages[1]
+            .clone()
+            .table(Table::always("again", bump2));
+        assert!(!CompiledSwitch::compile(&two_tables).unwrap().soa_eligible());
+    }
+
+    #[test]
+    fn fusion_fuses_shift_mask_chains_and_drops_dead_stores() {
+        let mut l = PhvLayout::new();
+        let v = l.field("v", 32);
+        let e = l.field("e", 8);
+        let x = l.field("x", 8);
+        // The FPISA extract idiom: e = (v >> 10) & 0x1F — must fuse into
+        // one superinstruction. x = 1 then x = 5 — the first store is dead.
+        let a = Action::nop("extract")
+            .prim(e, AluOp::ShrLogic, Operand::Field(v), Operand::Const(10))
+            .prim(e, AluOp::And, Operand::Field(e), Operand::Const(0x1F))
+            .prim(x, AluOp::Set, Operand::Const(1), Operand::Const(0))
+            .prim(x, AluOp::Set, Operand::Const(5), Operand::Const(0));
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(Table::always("t", a))],
+            arrays: vec![],
+            recirc_field: None,
+        };
+        let cs = CompiledSwitch::compile(&program).unwrap();
+        let stats = cs.fusion_stats();
+        assert_eq!(stats.original_ops, 4);
+        assert_eq!(stats.fused_pairs, 1);
+        assert_eq!(stats.dead_stores, 1);
+        assert_eq!(stats.tape_ops, 2);
+        assert!(stats.coverage() > 0.4);
+        // And the fused tape is still bit-for-bit the interpreter.
+        for vv in [0u64, 0xFFFF_FFFF, 0x0003_FC00, 0xDEAD_BEEF] {
+            let p = run_both(&program, |p| p.set(v, vv));
+            assert_eq!(p.get(e), (vv >> 10) & 0x1F);
+            assert_eq!(p.get(x), 5);
+        }
+    }
+
+    #[test]
+    fn fused_signed_intermediate_sign_extends_like_the_container() {
+        let mut l = PhvLayout::new();
+        let v = l.field("v", 8);
+        let d = l.field("d", 8);
+        // d = v - 1; d = d >> 1 (arithmetic): the intermediate must be
+        // sign-extended from the 8-bit container, exactly as a store/load
+        // pair would behave.
+        let a = Action::nop("chain")
+            .prim(d, AluOp::Sub, Operand::Field(v), Operand::Const(1))
+            .prim(d, AluOp::ShrArith, Operand::Field(d), Operand::Const(1));
+        let program = SwitchProgram {
+            caps: SwitchCaps::tofino(),
+            layout: l,
+            stages: vec![Stage::new().table(Table::always("t", a))],
+            arrays: vec![],
+            recirc_field: None,
+        };
+        let cs = CompiledSwitch::compile(&program).unwrap();
+        assert_eq!(cs.fusion_stats().fused_pairs, 1);
+        for vv in 0..=255u64 {
+            run_both(&program, |p| p.set(v, vv));
         }
     }
 

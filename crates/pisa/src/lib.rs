@@ -47,7 +47,15 @@
 //!   scans for ternary/range entries, contiguous op tapes for actions —
 //!   and processes packets (or whole batches via
 //!   [`compile::CompiledSwitch::run_batch`]) with zero per-packet
-//!   allocation, several times faster.
+//!   allocation, several times faster. At compile time adjacent tape ops
+//!   are **peephole-fused** into superinstructions
+//!   ([`compile::FusionStats`] reports coverage), and programs meeting a
+//!   static eligibility test additionally get **data-oriented batch
+//!   execution**: the batch is transposed into a structure-of-arrays
+//!   [`phv::BatchLanes`] buffer (one flat column per PHV field) and each
+//!   instruction runs across all packets in a branch-light inner loop,
+//!   falling back per-packet on divergence — bit-for-bit identical either
+//!   way.
 //!
 //! Equivalence is enforced by property tests over random programs (PHV,
 //! register state, pass counts and errors must agree packet by packet) and
@@ -62,10 +70,10 @@
 //! ([`shard::partition_slots`], optionally chunk-aligned), each owned by
 //! one compiled shard, packets are routed by a caller-supplied slot
 //! field and rebased to shard-local indices, and
-//! [`shard::ShardedSwitch::run_batch`] fans a packet buffer out across
-//! `std::thread::scope` workers with zero cross-shard locking — still
-//! bit-for-bit identical to a single full-space engine, because routing
-//! preserves the per-slot packet order.
+//! [`shard::ShardedSwitch::run_batch`] fans a packet buffer out across a
+//! persistent channel-fed worker pool with zero cross-shard locking —
+//! still bit-for-bit identical to a single full-space engine, because
+//! routing preserves the per-slot packet order.
 
 pub mod action;
 pub mod compile;
@@ -78,14 +86,14 @@ pub mod switch;
 pub mod table;
 
 pub use action::{Action, AluOp, Operand, Primitive};
-pub use compile::CompiledSwitch;
-pub use phv::{FieldId, FieldSpec, Phv, PhvLayout};
+pub use compile::{CompiledSwitch, FusionStats, SOA_MIN};
+pub use phv::{BatchLanes, FieldId, FieldSpec, Phv, PhvLayout};
 pub use register::{
     check_partition, CmpOp, RegArrayId, RegisterArraySpec, RegisterSnapshot, RegisterState,
     SaluCond, SaluOutput, SaluUpdate, SlotRange, StatefulCall,
 };
 pub use resources::{ResourceReport, StageResources};
-pub use shard::{partition_slots, partition_slots_aligned, ShardedSwitch};
+pub use shard::{partition_slots, partition_slots_aligned, ShardedSwitch, DEFAULT_PARALLEL_MIN};
 pub use stage::Stage;
 pub use switch::{
     PacketTrace, ProgramError, RuntimeError, Switch, SwitchCaps, SwitchProgram, TraceEntry,

@@ -188,6 +188,172 @@ impl Phv {
     }
 }
 
+/// A structure-of-arrays batch of packets: one flat column (lane) per PHV
+/// field, so the compiled engine's batch mode can execute one instruction
+/// across every packet in a tight inner loop instead of walking one packet
+/// through the whole pipeline at a time.
+///
+/// The layout is column-major: field `f`'s value for packet `i` lives at
+/// `buf[f * cap + i]`. A batch is either filled directly (`begin` + `set`,
+/// the zero-copy path `fpisa-pipeline` uses) or transposed from existing
+/// [`Phv`]s at the batch boundary (`load` / `store`).
+#[derive(Debug, Clone, Default)]
+pub struct BatchLanes {
+    buf: Vec<u64>,
+    /// Per-field container mask, in layout order.
+    masks: Vec<u64>,
+    /// Lane stride: the allocated packet capacity.
+    cap: usize,
+    /// Live packet count (`<= cap`).
+    len: usize,
+}
+
+impl BatchLanes {
+    /// A lanes buffer for `layout` with room for `cap` packets. The buffer
+    /// grows on demand, so `cap` is only a pre-allocation hint.
+    pub fn new(layout: &PhvLayout, cap: usize) -> Self {
+        let masks: Vec<u64> = layout
+            .fields
+            .iter()
+            .map(|f| PhvLayout::mask(f.bits))
+            .collect();
+        let cap = Self::pad_cap(cap.max(1));
+        BatchLanes {
+            buf: vec![0; masks.len() * cap],
+            masks,
+            cap,
+            len: 0,
+        }
+    }
+
+    /// Keep the column stride off large powers of two: at 4096 packets a
+    /// column is exactly 32 KiB, so *every* column of a packet maps to
+    /// the same L1 set and the per-packet walks (transpose, divergent
+    /// tape fallback) thrash an 8-way set with ~50 lines. One extra cache
+    /// line of padding staggers consecutive columns across sets.
+    fn pad_cap(cap: usize) -> usize {
+        if cap >= 512 {
+            cap + 8
+        } else {
+            cap
+        }
+    }
+
+    fn ensure_cap(&mut self, len: usize) {
+        if len > self.cap {
+            // Discard and reallocate: callers overwrite (load) or zero
+            // (begin) the active region anyway.
+            self.cap = Self::pad_cap(len.next_power_of_two());
+            self.buf = vec![0; self.masks.len() * self.cap];
+        }
+    }
+
+    /// Start a fresh batch of `len` zeroed packets (a cleared lane batch is
+    /// indistinguishable from `len` fresh [`Phv::new`] packets).
+    pub fn begin(&mut self, len: usize) {
+        self.ensure_cap(len);
+        self.len = len;
+        for f in 0..self.masks.len() {
+            let base = f * self.cap;
+            self.buf[base..base + len].fill(0);
+        }
+    }
+
+    /// Transpose a batch of PHVs in (every field of every packet is
+    /// overwritten; no prior clear needed).
+    ///
+    /// This is half the fixed cost of SoA execution over a PHV buffer, so
+    /// the inner walk is a single strided pointer chase per packet — the
+    /// ~50 column cache lines it touches stay L1-resident across
+    /// consecutive packets (8 packets share each line).
+    pub fn load(&mut self, phvs: &[Phv]) {
+        self.ensure_cap(phvs.len());
+        self.len = phvs.len();
+        let cap = self.cap;
+        let base = self.buf.as_mut_ptr();
+        for (i, p) in phvs.iter().enumerate() {
+            debug_assert_eq!(p.values.len(), self.masks.len(), "PHV layout mismatch");
+            let n = self.masks.len().min(p.values.len());
+            for f in 0..n {
+                // SAFETY: `f < masks.len()` and `i < len <= cap`, and
+                // `buf.len() == masks.len() * cap`.
+                unsafe { *base.add(f * cap + i) = *p.values.get_unchecked(f) };
+            }
+        }
+    }
+
+    /// Transpose the first `upto` packets back out into PHVs.
+    pub fn store(&self, phvs: &mut [Phv], upto: usize) {
+        let cap = self.cap;
+        let base = self.buf.as_ptr();
+        for (i, p) in phvs[..upto].iter_mut().enumerate() {
+            debug_assert_eq!(p.values.len(), self.masks.len(), "PHV layout mismatch");
+            let n = self.masks.len().min(p.values.len());
+            for f in 0..n {
+                // SAFETY: as in `load`; `upto <= len <= cap` is the
+                // caller's contract, checked by the slice above.
+                unsafe { *p.values.get_unchecked_mut(f) = *base.add(f * cap + i) };
+            }
+        }
+    }
+
+    /// Live packet count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds no packets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated packet capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Raw (zero-extended) value of a field for packet `i`.
+    #[inline]
+    pub fn get(&self, id: FieldId, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        self.buf[id.0 as usize * self.cap + i]
+    }
+
+    /// Write a field for packet `i`, truncating to its declared width.
+    #[inline]
+    pub fn set(&mut self, id: FieldId, i: usize, value: u64) {
+        debug_assert!(i < self.len);
+        let f = id.0 as usize;
+        self.buf[f * self.cap + i] = value & self.masks[f];
+    }
+
+    /// Copy packet `i` into a flat value row (compiled-engine fallback).
+    #[inline]
+    pub(crate) fn read_row(&self, i: usize, row: &mut [u64]) {
+        for (f, v) in row.iter_mut().enumerate() {
+            *v = self.buf[f * self.cap + i];
+        }
+    }
+
+    /// Copy a flat value row back into packet `i`.
+    #[inline]
+    pub(crate) fn write_row(&mut self, i: usize, row: &[u64]) {
+        for (f, &v) in row.iter().enumerate() {
+            self.buf[f * self.cap + i] = v;
+        }
+    }
+
+    /// The raw column buffer and its stride, for the compiled engine's
+    /// batch execution (which pre-resolves every field offset and mask).
+    #[inline]
+    pub(crate) fn raw_parts_mut(&mut self) -> (&mut [u64], usize, usize) {
+        (&mut self.buf, self.cap, self.len)
+    }
+}
+
 /// Sign-extend the low `bits` bits of `value` into an `i64`.
 #[inline]
 pub fn sign_extend(value: u64, bits: u32) -> i64 {
@@ -297,5 +463,42 @@ mod tests {
         assert_eq!(sign_extend(0, 1), 0);
         assert_eq!(sign_extend(u64::MAX, 64), -1);
         assert_eq!(sign_extend(0x8000_0000, 32), i32::MIN as i64);
+    }
+
+    #[test]
+    fn batch_lanes_transpose_roundtrip_and_masking() {
+        let mut l = PhvLayout::new();
+        let a = l.field("a", 8);
+        let b = l.field("b", 32);
+        let mut phvs: Vec<Phv> = (0..10)
+            .map(|i| {
+                let mut p = Phv::new(&l);
+                p.set(a, i as u64);
+                p.set(b, 0x1000 + i as u64);
+                p
+            })
+            .collect();
+        let mut lanes = BatchLanes::new(&l, 4); // smaller than the batch: must grow
+        lanes.load(&phvs);
+        assert_eq!(lanes.len(), 10);
+        assert!(lanes.capacity() >= 10);
+        for i in 0..10 {
+            assert_eq!(lanes.get(a, i), i as u64);
+            assert_eq!(lanes.get(b, i), 0x1000 + i as u64);
+        }
+        // Writes truncate to field width, exactly like Phv::set.
+        lanes.set(a, 3, 0x1FF);
+        assert_eq!(lanes.get(a, 3), 0xFF);
+        lanes.store(&mut phvs, 10);
+        assert_eq!(phvs[3].get(a), 0xFF);
+        assert_eq!(phvs[9].get(b), 0x1009);
+
+        // A begun batch is indistinguishable from fresh PHVs.
+        lanes.begin(6);
+        assert_eq!(lanes.len(), 6);
+        for i in 0..6 {
+            assert_eq!(lanes.get(a, i), 0);
+            assert_eq!(lanes.get(b, i), 0);
+        }
     }
 }

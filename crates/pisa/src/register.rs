@@ -174,12 +174,14 @@ impl SaluUpdate {
     }
 }
 
+#[inline(always)]
 pub(crate) fn truncate(v: i64, width: u32) -> i64 {
     sign_extend(v as u64 & crate::phv::PhvLayout::mask(width), width)
 }
 
 /// Signed `(min, max)` representable at `width` bits — the saturation
 /// bounds every execution engine must share.
+#[inline(always)]
 pub(crate) fn width_bounds(width: u32) -> (i64, i64) {
     if width >= 64 {
         (i64::MIN, i64::MAX)
@@ -188,6 +190,7 @@ pub(crate) fn width_bounds(width: u32) -> (i64, i64) {
     }
 }
 
+#[inline(always)]
 pub(crate) fn saturating(v: i128, min: i64, max: i64) -> i64 {
     if v > max as i128 {
         max

@@ -21,10 +21,16 @@
 //!   slot, and the field is rebased to the shard-local index on the way
 //!   in;
 //! * [`ShardedSwitch::run_batch`] partitions a packet buffer by shard and
-//!   runs the shards on `std::thread::scope` workers with **zero
-//!   cross-shard locking**: each worker owns its shard's `&mut
-//!   CompiledSwitch` and its own packet bucket, so there is nothing to
-//!   contend on.
+//!   feeds the buckets to a **persistent worker pool** — long-lived
+//!   worker threads created once on the first large batch and fed over
+//!   channels, with **zero cross-shard locking**: each worker owns its
+//!   shard's `&mut CompiledSwitch` and its own packet bucket for the
+//!   duration of the batch, so there is nothing to contend on. (Earlier
+//!   revisions spawned a fresh `std::thread::scope` per batch; at the
+//!   8192-packet batches the pipeline feeds, thread spawn/join overhead
+//!   inverted the shard scaling curve.) Each bucket runs through
+//!   [`CompiledSwitch::run_batch`], so eligible programs get the SoA
+//!   engine per shard.
 //!
 //! Because routing preserves the relative order of packets that share a
 //! slot (indeed, of packets that share a *shard*), the register state and
@@ -32,15 +38,20 @@
 //! sequence through a single full-space engine — the invariant the
 //! pipeline differential suite enforces for every sharded configuration.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
 use crate::compile::CompiledSwitch;
 use crate::phv::{FieldId, Phv};
 use crate::register::{check_partition, RegArrayId, RegisterState, SlotRange};
 use crate::switch::RuntimeError;
 
-/// Below this many packets a `run_batch` call stays on the calling thread
-/// (worker spawn overhead would dominate); sharded semantics — routing,
-/// rebasing, per-shard state — are identical either way.
-const PARALLEL_MIN: usize = 128;
+/// Default for [`ShardedSwitch::with_parallel_min`]: below this many
+/// packets a `run_batch` call stays on the calling thread (handing work
+/// to pool workers would cost more than it saves); sharded semantics —
+/// routing, rebasing, per-shard state — are identical either way.
+pub const DEFAULT_PARALLEL_MIN: usize = 128;
 
 /// Split `0..total` into at most `shards` contiguous, non-empty, balanced
 /// ranges (fewer when `total < shards`). The result always satisfies
@@ -72,9 +83,114 @@ pub fn partition_slots_aligned(total: usize, shards: usize, align: usize) -> Vec
     out
 }
 
+/// Run one shard's bucket through the batch engine (SoA when the program
+/// qualifies). The error index is the packet's position *within the
+/// bucket*.
+fn run_bucket(
+    shard: &mut CompiledSwitch,
+    bucket: &mut [Phv],
+) -> Result<u64, (usize, RuntimeError)> {
+    shard.run_batch_indexed(bucket)
+}
+
+/// One bucket's outcome: total pass count, or the first fault as
+/// (position within the bucket, error).
+type BucketResult = Result<u64, (usize, RuntimeError)>;
+
+/// One unit of pool work: a shard engine plus the packet bucket routed to
+/// it for the current batch.
+///
+/// Raw pointers rather than references because the job travels through a
+/// `'static` channel while being used strictly *inside* one `run_batch`
+/// call: `run_batch` never returns (or unwinds) before every dispatched
+/// job's completion has been received, and each job points at a distinct
+/// shard and a distinct bucket, so the worker holds the only live access.
+struct ShardJob {
+    shard_idx: usize,
+    shard: *mut CompiledSwitch,
+    bucket: *mut Phv,
+    len: usize,
+}
+
+// SAFETY: see [`ShardJob`] — exclusive disjoint access, bounded by the
+// dispatch/drain window inside a single `run_batch` call.
+unsafe impl Send for ShardJob {}
+
+enum Done {
+    Finished(usize, Result<u64, (usize, RuntimeError)>),
+    Panicked,
+}
+
+fn worker_loop(jobs: mpsc::Receiver<ShardJob>, done: mpsc::Sender<Done>) {
+    while let Ok(job) = jobs.recv() {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: `run_batch` guarantees exclusive in-bounds access
+            // for the duration of the job (see `ShardJob`).
+            let shard = unsafe { &mut *job.shard };
+            let bucket = unsafe { std::slice::from_raw_parts_mut(job.bucket, job.len) };
+            run_bucket(shard, bucket)
+        }));
+        let msg = match res {
+            Ok(r) => Done::Finished(job.shard_idx, r),
+            // A completion is sent even on panic so the dispatcher's
+            // drain loop can never deadlock; it re-raises after draining.
+            Err(_) => Done::Panicked,
+        };
+        if done.send(msg).is_err() {
+            break;
+        }
+    }
+}
+
+/// Long-lived shard workers, created once and fed one bucket per batch
+/// over per-worker channels. Worker `i` serves shard `i + 1` (shard 0
+/// always runs inline on the dispatching thread). Dropping the pool
+/// closes the job channels, which ends each worker's `recv` loop.
+struct WorkerPool {
+    job_tx: Vec<mpsc::Sender<ShardJob>>,
+    done_rx: mpsc::Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize) -> Self {
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut job_tx = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<ShardJob>();
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(rx, done)));
+            job_tx.push(tx);
+        }
+        WorkerPool {
+            job_tx,
+            done_rx,
+            handles,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.job_tx.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
 /// N compiled shards behind one switch interface, each owning a slot
 /// range. See the [module docs](self) for the execution model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedSwitch {
     shards: Vec<CompiledSwitch>,
     ranges: Box<[SlotRange]>,
@@ -82,6 +198,15 @@ pub struct ShardedSwitch {
     /// global slot index every packet is routed (and rebased) by.
     slot_field: FieldId,
     total_slots: usize,
+    /// Batches below this size skip bucketing and run sequentially on the
+    /// calling thread ([`Self::with_parallel_min`]).
+    parallel_min: usize,
+    /// Worker-thread budget override ([`Self::with_parallelism`]); `None`
+    /// means ask the OS (`std::thread::available_parallelism`).
+    parallelism: Option<usize>,
+    /// Lazily spawned persistent workers; stays `None` until the first
+    /// batch that actually wants threads.
+    pool: Option<WorkerPool>,
     /// Scratch: shard index per packet of the current batch.
     shard_of: Vec<u32>,
     /// Scratch: per-shard packet buckets (packets are *moved*, not
@@ -89,6 +214,25 @@ pub struct ShardedSwitch {
     buckets: Vec<Vec<Phv>>,
     /// Scratch: scatter-back cursors.
     cursors: Vec<usize>,
+}
+
+impl Clone for ShardedSwitch {
+    fn clone(&self) -> Self {
+        // Worker threads are per-instance; the clone spawns its own on
+        // first demand.
+        ShardedSwitch {
+            shards: self.shards.clone(),
+            ranges: self.ranges.clone(),
+            slot_field: self.slot_field,
+            total_slots: self.total_slots,
+            parallel_min: self.parallel_min,
+            parallelism: self.parallelism,
+            pool: None,
+            shard_of: Vec::new(),
+            buckets: (0..self.shards.len()).map(|_| Vec::new()).collect(),
+            cursors: vec![0; self.shards.len()],
+        }
+    }
 }
 
 impl ShardedSwitch {
@@ -134,9 +278,55 @@ impl ShardedSwitch {
             ranges: ranges.into_boxed_slice(),
             slot_field,
             total_slots,
+            parallel_min: DEFAULT_PARALLEL_MIN,
+            parallelism: None,
+            pool: None,
             shard_of: Vec::new(),
             buckets: (0..n).map(|_| Vec::new()).collect(),
             cursors: vec![0; n],
+        })
+    }
+
+    /// Set the batch size below which [`Self::run_batch`] stays strictly
+    /// on the calling thread (no bucketing, no workers). Default
+    /// [`DEFAULT_PARALLEL_MIN`]. Semantics are identical either way; this
+    /// only tunes where the hand-off overhead stops paying for itself.
+    #[must_use]
+    pub fn with_parallel_min(mut self, packets: usize) -> Self {
+        self.parallel_min = packets;
+        self
+    }
+
+    /// The current single-thread batch threshold.
+    pub fn parallel_min(&self) -> usize {
+        self.parallel_min
+    }
+
+    /// Override the worker-thread budget instead of asking the OS.
+    /// `1` forces every bucket to run sequentially on the calling thread
+    /// (still through the per-shard batch engine); `>= 2` forces the
+    /// persistent pool on even where `available_parallelism` reports a
+    /// single core — useful for exercising the pool under test.
+    #[must_use]
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = Some(threads.max(1));
+        // A budget change flips the pool decision; drop any existing
+        // workers so the next batch re-evaluates.
+        self.pool = None;
+        self
+    }
+
+    /// Whether the persistent worker pool has been spawned (it is lazy:
+    /// `false` until a batch actually wanted threads).
+    pub fn worker_pool_active(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    fn effective_parallelism(&self) -> usize {
+        self.parallelism.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
         })
     }
 
@@ -237,13 +427,15 @@ impl ShardedSwitch {
     /// pass count.
     ///
     /// Every packet's slot is validated **before any packet runs**. Large
-    /// batches are partitioned per shard and executed on one
-    /// `std::thread::scope` worker per shard — no locks, no shared
-    /// mutable state; small batches stay on the calling thread with
-    /// identical semantics. Packets that share a shard (in particular,
-    /// packets that share a slot) execute in their original relative
-    /// order, so the result is bit-for-bit what a single full-space
-    /// engine produces for the same sequence.
+    /// batches are partitioned per shard and fed to the persistent worker
+    /// pool — one long-lived worker per shard beyond the first, each with
+    /// exclusive access to its shard engine and bucket; no locks, no
+    /// shared mutable state. Small batches (below
+    /// [`Self::with_parallel_min`]) and single-thread budgets stay on the
+    /// calling thread with identical semantics. Packets that share a
+    /// shard (in particular, packets that share a slot) execute in their
+    /// original relative order, so the result is bit-for-bit what a
+    /// single full-space engine produces for the same sequence.
     ///
     /// On a fault the error reported is the one whose packet came
     /// earliest in the buffer; its shard stops there, but other shards
@@ -252,8 +444,9 @@ impl ShardedSwitch {
     pub fn run_batch(&mut self, phvs: &mut [Phv]) -> Result<u64, RuntimeError> {
         // Single-shard fast path: one range starting at 0, so routing
         // resolves to shard 0 and rebasing is the identity — validate in
-        // one pass and run, with none of the multi-shard bookkeeping
-        // (keeps the 1-shard configuration at single-engine speed).
+        // one pass and hand the whole buffer to the batch engine (SoA
+        // when the program qualifies), with none of the multi-shard
+        // bookkeeping.
         if self.shards.len() == 1 {
             if let Some(bad) = phvs
                 .iter()
@@ -262,12 +455,7 @@ impl ShardedSwitch {
             {
                 self.shard_for_slot(bad)?;
             }
-            let shard = &mut self.shards[0];
-            let mut total = 0u64;
-            for phv in phvs.iter_mut() {
-                total += u64::from(shard.run(phv)?);
-            }
-            return Ok(total);
+            return self.shards[0].run_batch(phvs);
         }
         // Route + validate up front: no packet runs if any slot is bad.
         self.shard_of.clear();
@@ -284,8 +472,9 @@ impl ShardedSwitch {
                 (slot - self.ranges[s as usize].start) as u64,
             );
         }
-        if phvs.len() < PARALLEL_MIN {
-            // Sequential fallback: original order, strict first-fault.
+        if phvs.len() < self.parallel_min {
+            // Sequential fallback: original order, strict first-fault,
+            // no bucketing and no workers.
             let mut total = 0u64;
             for (phv, &s) in phvs.iter_mut().zip(&self.shard_of) {
                 total += u64::from(self.shards[s as usize].run(phv)?);
@@ -301,39 +490,80 @@ impl ShardedSwitch {
             self.buckets[s as usize].push(std::mem::take(phv));
         }
 
-        // One worker per shard: each owns its shard engine and bucket
-        // exclusively — zero cross-shard locking. Shard 0 runs inline on
-        // the calling thread (one spawn saved), empty buckets spawn
-        // nothing.
-        fn run_bucket(
-            shard: &mut CompiledSwitch,
-            bucket: &mut [Phv],
-        ) -> Result<u64, (usize, RuntimeError)> {
-            let mut total = 0u64;
-            for (j, phv) in bucket.iter_mut().enumerate() {
-                match shard.run(phv) {
-                    Ok(p) => total += u64::from(p),
-                    Err(e) => return Err((j, e)),
+        // Tagged with the shard index so faults can be mapped back to
+        // buffer positions.
+        let mut results: Vec<(usize, BucketResult)> = Vec::with_capacity(self.shards.len());
+
+        if self.effective_parallelism() <= 1 {
+            // One hardware thread: run every bucket inline, in shard
+            // order. Still bucketed — each bucket goes through the batch
+            // engine, so SoA execution applies per shard.
+            for (s, (shard, bucket)) in self
+                .shards
+                .iter_mut()
+                .zip(self.buckets.iter_mut())
+                .enumerate()
+            {
+                if !bucket.is_empty() {
+                    results.push((s, run_bucket(shard, bucket)));
                 }
             }
-            Ok(total)
+        } else {
+            // Dispatch buckets 1.. to the persistent pool; run bucket 0
+            // inline while the workers chew. Both sides derive their
+            // access from raw base pointers so no Rust reference into
+            // `shards`/`buckets` is live during the window.
+            if self.pool.is_none() {
+                self.pool = Some(WorkerPool::spawn(self.shards.len() - 1));
+            }
+            let pool = self.pool.as_ref().expect("just spawned");
+            let shards_ptr = self.shards.as_mut_ptr();
+            let buckets_ptr = self.buckets.as_mut_ptr();
+            let mut dispatched = 0usize;
+            for s in 1..self.shards.len() {
+                // SAFETY: `s` is in bounds; the bucket reference is
+                // transient (dropped before the worker touches the job).
+                let bucket = unsafe { &mut *buckets_ptr.add(s) };
+                if bucket.is_empty() {
+                    continue;
+                }
+                let job = ShardJob {
+                    shard_idx: s,
+                    // SAFETY: in-bounds; each shard index is dispatched
+                    // at most once, so jobs never alias.
+                    shard: unsafe { shards_ptr.add(s) },
+                    bucket: bucket.as_mut_ptr(),
+                    len: bucket.len(),
+                };
+                pool.job_tx[s - 1].send(job).expect("pool worker alive");
+                dispatched += 1;
+            }
+            // SAFETY: shard/bucket 0 are never dispatched to a worker.
+            let inline = {
+                let shard0 = unsafe { &mut *shards_ptr };
+                let bucket0 = unsafe { &mut *buckets_ptr };
+                (!bucket0.is_empty())
+                    .then(|| catch_unwind(AssertUnwindSafe(|| run_bucket(shard0, bucket0))))
+            };
+            // Drain every dispatched completion BEFORE propagating any
+            // inline panic: no job may outlive this call's borrow of the
+            // shards and buckets.
+            let mut worker_panicked = false;
+            for _ in 0..dispatched {
+                match pool.done_rx.recv().expect("pool worker alive") {
+                    Done::Finished(s, res) => results.push((s, res)),
+                    Done::Panicked => worker_panicked = true,
+                }
+            }
+            match inline {
+                Some(Ok(res)) => results.push((0, res)),
+                Some(Err(payload)) => resume_unwind(payload),
+                None => {}
+            }
+            if worker_panicked {
+                panic!("shard worker panicked");
+            }
         }
-        let mut results: Vec<Result<u64, (usize, RuntimeError)>> =
-            Vec::with_capacity(self.shards.len());
-        std::thread::scope(|scope| {
-            let mut iter = self.shards.iter_mut().zip(self.buckets.iter_mut());
-            let (shard0, bucket0) = iter.next().expect("at least one shard");
-            let handles: Vec<_> = iter
-                .map(|(shard, bucket)| {
-                    (!bucket.is_empty()).then(|| scope.spawn(move || run_bucket(shard, bucket)))
-                })
-                .collect();
-            results.push(run_bucket(shard0, bucket0));
-            results.extend(handles.into_iter().map(|h| match h {
-                Some(h) => h.join().expect("shard worker panicked"),
-                None => Ok(0),
-            }));
-        });
 
         // Scatter the packets back into their original positions.
         self.cursors.iter_mut().for_each(|c| *c = 0);
@@ -347,7 +577,7 @@ impl ShardedSwitch {
         // earliest in the caller's buffer wins.
         let mut total = 0u64;
         let mut first_fault: Option<(usize, RuntimeError)> = None;
-        for (s, res) in results.into_iter().enumerate() {
+        for (s, res) in results {
             match res {
                 Ok(t) => total += t,
                 Err((j, e)) => {
@@ -614,6 +844,90 @@ mod tests {
         let mut mixed: Vec<RegisterState> = parts.clone();
         mixed[1] = RegisterState::new(&[narrow]);
         assert!(RegisterState::merged(&mixed, &ranges).is_err());
+    }
+
+    #[test]
+    fn tiny_batches_never_spawn_workers() {
+        // Regression: below `parallel_min` no pool must ever come up,
+        // whatever the claimed thread budget.
+        let (mut sw, slot, _) = sharded_counter(16, 4);
+        sw = sw.with_parallel_min(64).with_parallelism(8);
+        assert_eq!(sw.parallel_min(), 64);
+        for _ in 0..10 {
+            let mut phvs: Vec<Phv> = (0..63)
+                .map(|i| {
+                    let mut p = sw.shard(0).phv();
+                    p.set(slot, i % 16);
+                    p
+                })
+                .collect();
+            sw.run_batch(&mut phvs).unwrap();
+            assert!(!sw.worker_pool_active(), "tiny batch spawned workers");
+        }
+        // One batch at the threshold flips it on.
+        let mut phvs: Vec<Phv> = (0..64)
+            .map(|i| {
+                let mut p = sw.shard(0).phv();
+                p.set(slot, i % 16);
+                p
+            })
+            .collect();
+        sw.run_batch(&mut phvs).unwrap();
+        assert!(sw.worker_pool_active());
+        // A single-thread budget never spawns, at any batch size.
+        let (mut seq, slot, _) = sharded_counter(16, 4);
+        seq = seq.with_parallelism(1).with_parallel_min(1);
+        let mut phvs: Vec<Phv> = (0..500)
+            .map(|i| {
+                let mut p = seq.shard(0).phv();
+                p.set(slot, i % 16);
+                p
+            })
+            .collect();
+        seq.run_batch(&mut phvs).unwrap();
+        assert!(!seq.worker_pool_active());
+    }
+
+    #[test]
+    fn worker_pool_matches_single_engine_across_batches() {
+        // Force the pool on (the CI host may report one core) and check
+        // repeated batches through the same persistent workers stay
+        // bit-for-bit with a full-space engine; clones start poolless.
+        let total = 29;
+        let (program, slot, count) = counter_program(total);
+        let mut single = CompiledSwitch::compile(&program).unwrap();
+        let (sw, _, _) = sharded_counter(total, 4);
+        let mut sw = sw.with_parallelism(4).with_parallel_min(8);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for batch in 0..6 {
+            let slots: Vec<usize> = (0..300).map(|_| rng.gen_range(0..total)).collect();
+            let mut phvs: Vec<Phv> = slots
+                .iter()
+                .map(|&s| {
+                    let mut p = single.phv();
+                    p.set(slot, s as u64);
+                    p
+                })
+                .collect();
+            let passes = sw.run_batch(&mut phvs).unwrap();
+            assert_eq!(passes, 300, "batch {batch}");
+            for (&s, phv) in slots.iter().zip(&phvs) {
+                let mut p = single.phv();
+                p.set(slot, s as u64);
+                single.run(&mut p).unwrap();
+                assert_eq!(phv.get(count), p.get(count), "batch {batch} slot {s}");
+            }
+        }
+        assert!(sw.worker_pool_active());
+        let clone = sw.clone();
+        assert!(!clone.worker_pool_active(), "clones must not share workers");
+        let merged = sw.merged_state();
+        for s in 0..total {
+            assert_eq!(
+                merged.get(RegArrayId(0), s),
+                single.register(RegArrayId(0), s)
+            );
+        }
     }
 
     #[test]

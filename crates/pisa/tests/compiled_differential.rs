@@ -320,6 +320,85 @@ fn compiled_engine_matches_interpreter_on_random_programs() {
     assert!(recirculated > 0, "no recirculation generated");
 }
 
+/// The same equivalence through the structure-of-arrays engine: routing a
+/// whole buffer through `run_batch_soa` (transpose → table-major lane
+/// execution → transpose back, with per-packet fallback for ineligible
+/// programs) must leave PHVs and registers exactly as the interpreter's
+/// packet-at-a-time loop does — including the uniform-key, split-key-LUT
+/// and predicated-group fast paths random programs fall into.
+#[test]
+fn soa_batches_match_interpreter_streams() {
+    let mut soa_runs = 0usize;
+    for seed in 0..32u64 {
+        let (program, mut rng) = random_program(0x50A0_0000 + seed);
+        if program.validate().is_err() {
+            continue;
+        }
+        let mut sw = Switch::new(program.clone()).unwrap();
+        let mut cs = CompiledSwitch::compile(&program).unwrap();
+        if cs.soa_eligible() {
+            soa_runs += 1;
+        }
+        let mut phvs: Vec<Phv> = (0..48)
+            .map(|_| {
+                let mut p = sw.phv();
+                for (id, spec) in program.layout.iter() {
+                    let max = if spec.bits >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << spec.bits) - 1
+                    };
+                    p.set(id, rng.gen_range(0..=max));
+                }
+                p
+            })
+            .collect();
+        let mut interp_phvs = phvs.clone();
+        let batch_result = cs.run_batch_soa(&mut phvs);
+        let mut interp_total = 0u64;
+        let mut interp_err = None;
+        let mut fault_at = interp_phvs.len();
+        for (i, p) in interp_phvs.iter_mut().enumerate() {
+            match sw.run(p) {
+                Ok(n) => interp_total += u64::from(n),
+                Err(e) => {
+                    interp_err = Some(e);
+                    fault_at = i;
+                    break;
+                }
+            }
+        }
+        match (batch_result, interp_err) {
+            (Ok(total), None) => {
+                assert_eq!(total, interp_total, "seed {seed}");
+                assert_eq!(phvs, interp_phvs, "seed {seed}: PHVs diverged");
+            }
+            (Err(ce), Some(ie)) => {
+                assert_eq!(ce, ie, "seed {seed}");
+                // Packets before the fault must be fully applied.
+                assert_eq!(
+                    phvs[..fault_at],
+                    interp_phvs[..fault_at],
+                    "seed {seed}: pre-fault PHVs diverged"
+                );
+            }
+            (got, want) => panic!("seed {seed}: SoA batch {got:?} vs interpreter {want:?}"),
+        }
+        for (ai, spec) in program.arrays.iter().enumerate() {
+            let id = RegArrayId(ai as u16);
+            for idx in 0..spec.entries {
+                assert_eq!(
+                    sw.register(id, idx),
+                    cs.register(id, idx),
+                    "seed {seed}: register {}[{idx}] diverged",
+                    spec.name
+                );
+            }
+        }
+    }
+    assert!(soa_runs > 0, "no SoA-eligible program generated");
+}
+
 /// The same equivalence through the batch API: running a whole buffer
 /// through `run_batch` must leave PHVs and registers exactly as the
 /// interpreter's packet-at-a-time loop does.
