@@ -22,9 +22,9 @@
 use crate::backend::{AggError, AggStats, Aggregator};
 use fpisa_core::AddStats;
 use fpisa_pisa::{
-    partition_slots_aligned, Action, CompiledSwitch, FieldId, KeyMatch, MatchKind, Operand, Phv,
-    PhvLayout, RegArrayId, RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, ShardedSwitch,
-    Stage, StatefulCall, SwitchCaps, SwitchProgram, Table,
+    partition_slots_aligned, prove_shard_safety, verify_program, Action, CompiledSwitch, FieldId,
+    KeyMatch, MatchKind, Operand, Phv, PhvLayout, RegArrayId, RegisterArraySpec, SaluCond,
+    SaluOutput, SaluUpdate, ShardedSwitch, Stage, StatefulCall, SwitchCaps, SwitchProgram, Table,
 };
 
 /// Packet opcode: fold a quantized value into a slot.
@@ -212,9 +212,27 @@ fn build_engine(
 > {
     let ranges = partition_slots_aligned(slots, shards, chunk_align);
     let mut engines = Vec::with_capacity(ranges.len());
+    let mut proofs = Vec::with_capacity(ranges.len());
     let mut fields = None;
     for r in &ranges {
         let (program, op, slot, value, result, array) = build_program(r.len);
+        // Generated code is not exempt from the deny gate: every shard
+        // program must analyze error-free before it compiles.
+        let report = verify_program(&program);
+        if !report.is_clean() {
+            let first = report.errors().next().expect("unclean report has an error");
+            return Err(AggError::BadSpec {
+                detail: format!("generated SwitchML program failed analysis: {first}"),
+            });
+        }
+        proofs.push(
+            prove_shard_safety(&program, slot).map_err(|ds| AggError::BadSpec {
+                detail: format!(
+                    "generated SwitchML program failed the shard-safety proof: {}",
+                    ds.first().map(ToString::to_string).unwrap_or_default()
+                ),
+            })?,
+        );
         engines.push(
             CompiledSwitch::compile(&program).map_err(|e| AggError::BadSpec {
                 detail: format!("generated SwitchML program failed validation: {e}"),
@@ -224,7 +242,9 @@ fn build_engine(
         fields.get_or_insert((op, slot, value, result, array));
     }
     let (op, slot, value, result, array) = fields.expect("at least one shard");
-    let engine = ShardedSwitch::new(engines, ranges, slot).map_err(AggError::Switch)?;
+    let engine = ShardedSwitch::new(engines, ranges, slot)
+        .and_then(|e| e.attach_safety_proofs(&proofs))
+        .map_err(AggError::Switch)?;
     Ok((engine, op, slot, value, result, array))
 }
 
@@ -509,6 +529,22 @@ mod tests {
         let got = agg.read_range(2, 1).unwrap()[0];
         let rel = (got - 800.0).abs() / 800.0;
         assert!(rel < 1e-8, "got {got}");
+    }
+
+    #[test]
+    fn generated_program_analyzes_clean_and_proves_shard_safety() {
+        let (program, _, slot, ..) = build_program(6);
+        let report = verify_program(&program);
+        assert!(report.is_clean(), "analysis errors:\n{report}");
+        let proof = prove_shard_safety(&program, slot).expect("proof must succeed");
+        assert_eq!(proof.slot_field(), slot);
+        assert_eq!(proof.shard_slots(), 6);
+        // And the sharded backend carries the proof end to end.
+        let agg = SwitchMlFixedPoint::new(8, 1.0, 2)
+            .unwrap()
+            .with_shards(2, 1)
+            .unwrap();
+        assert!(agg.engine.slot_safety_proven());
     }
 
     #[test]

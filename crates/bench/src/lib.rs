@@ -177,6 +177,21 @@ pub fn run_all(scale: f64) -> Vec<BenchResult> {
         }));
     }
 
+    // Static analysis throughput: the four-pass analyzer over the richest
+    // built-in program — the per-program cost the `AnalysisLevel::Deny`
+    // default adds to pipeline construction (paid once per compile, not
+    // per packet; `ns_per_op` here is ns per *program*).
+    {
+        let spec = PipelineSpec::new(PipelineVariant::ExtendedFull).slots(64);
+        let pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+        let batch = ops(200);
+        results.push(bench("analysis/verify_program", batch, 10, || {
+            for _ in 0..batch {
+                std::hint::black_box(fpisa_pisa::verify_program(pipe.switch_program()));
+            }
+        }));
+    }
+
     // Pipeline per-packet ADD, cheapest and richest variants, on both
     // engines: `_interp` is the interpreted baseline, the unsuffixed name
     // is the compiled fast path.
@@ -549,7 +564,8 @@ mod tests {
     #[test]
     fn run_all_covers_core_and_pipeline() {
         let results = run_all(0.01);
-        assert_eq!(results.len(), 16);
+        assert_eq!(results.len(), 17);
+        assert!(results.iter().any(|r| r.name == "analysis/verify_program"));
         assert!(results.iter().any(|r| r.name.contains("core/add_f32")));
         assert!(results.iter().any(|r| r.name == "core/add_f32/traced"));
         // Both engines: the interpreted baselines and the compiled paths.

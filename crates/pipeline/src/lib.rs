@@ -78,8 +78,9 @@ pub use spec::{format_name, ExecEngine, PipelineSpec, SpecError, MAX_SLOTS};
 
 use fpisa_core::{FpFormat, FpisaConfig};
 use fpisa_pisa::{
-    BatchLanes, CompiledSwitch, Phv, ProgramError, ResourceReport, RuntimeError, ShardedSwitch,
-    SlotRange, Switch, SwitchProgram,
+    prove_shard_safety, verify_program, AnalysisLevel, AnalysisReport, BatchLanes, CompiledSwitch,
+    Phv, ProgramError, ResourceReport, RuntimeError, ShardedSwitch, SlotRange, Switch,
+    SwitchProgram,
 };
 
 /// Packets per internal batch chunk: small enough that the whole PHV
@@ -99,6 +100,28 @@ const SOA_CHUNK: usize = 256;
 /// the hand-off across all shards (8192 packets × ~50 containers × 8 B ≈
 /// 3 MiB — cache residency matters less than core utilization here).
 const SHARDED_BATCH_CHUNK: usize = 8192;
+
+/// Run the static analyzer over a generated program per the spec's
+/// [`AnalysisLevel`]: `Off` skips it, `Warn` runs it without failing,
+/// `Deny` (the default) rejects error-severity findings with
+/// [`SpecError::Analysis`].
+fn verify_for_spec(spec: &PipelineSpec, program: &SwitchProgram) -> Result<(), SpecError> {
+    if spec.analysis_level() == AnalysisLevel::Off {
+        return Ok(());
+    }
+    let report = verify_program(program);
+    if spec.analysis_level() == AnalysisLevel::Deny && !report.is_clean() {
+        return Err(SpecError::Analysis {
+            errors: report.errors().count(),
+            first: report
+                .errors()
+                .next()
+                .map(ToString::to_string)
+                .unwrap_or_default(),
+        });
+    }
+    Ok(())
+}
 
 /// Which engine holds a pipeline's live register state and runs its
 /// packets.
@@ -157,22 +180,40 @@ impl FpisaPipeline {
         let cfg = spec.core_config()?;
         let (program, fields, arrays) = program::build_for_spec(&spec, &cfg);
         let ranges = spec.shard_ranges();
+        // Verify-on-compile: the analyzer sees every program that will
+        // actually execute — the full-space program here, each shard's
+        // restricted program below.
+        verify_for_spec(&spec, &program)?;
         let engine = match spec.execution_engine() {
             ExecEngine::Interpreted => Engine::Interpreted,
             ExecEngine::Compiled if ranges.len() > 1 => {
                 // One compiled engine per shard, each built from the same
                 // spec restricted to its range's slot count — identical
                 // stages and tables, shard-local register arrays.
+                let mut proofs = Vec::with_capacity(ranges.len());
                 let engines = ranges
                     .iter()
                     .map(|r| {
                         let shard_spec = spec.slots(r.len).shards(1);
                         let (shard_program, _, _) = program::build_for_spec(&shard_spec, &cfg);
-                        CompiledSwitch::compile(&shard_program)
+                        verify_for_spec(&shard_spec, &shard_program)?;
+                        if let Ok(p) = prove_shard_safety(&shard_program, fields.slot) {
+                            proofs.push(p);
+                        }
+                        CompiledSwitch::compile(&shard_program).map_err(SpecError::Program)
                     })
-                    .collect::<Result<Vec<_>, _>>()?;
+                    .collect::<Result<Vec<_>, SpecError>>()?;
                 let mut sharded = ShardedSwitch::new(engines, ranges, fields.slot)
                     .expect("shard geometry derives from one validated spec");
+                // Attach shard-safety proofs when every shard proved —
+                // upgrading the dispatcher's bounds pre-scan into a
+                // verified assumption. Built-in programs always prove;
+                // partial proof sets just leave the dynamic behavior.
+                if proofs.len() == sharded.shard_count() {
+                    sharded = sharded
+                        .attach_safety_proofs(&proofs)
+                        .expect("proofs were produced for these exact shards");
+                }
                 if let Some(pm) = spec.parallel_min_threshold() {
                     sharded = sharded.with_parallel_min(pm);
                 }
@@ -266,6 +307,22 @@ impl FpisaPipeline {
     /// Resource accounting of the running program.
     pub fn resource_report(&self) -> ResourceReport {
         ResourceReport::of(self.switch.program())
+    }
+
+    /// Analyze the running program with the default configuration (see
+    /// [`fpisa_pisa::verify_program`]) — regardless of the spec's
+    /// [`AnalysisLevel`], so a `Warn`/`Off` pipeline can still be
+    /// inspected after the fact.
+    pub fn analysis_report(&self) -> AnalysisReport {
+        verify_program(self.switch.program())
+    }
+
+    /// Whether the pipeline runs on the sharded engine with a
+    /// shard-safety proof attached to every shard (see
+    /// [`fpisa_pisa::prove_shard_safety`]); `false` for unsharded
+    /// engines.
+    pub fn shard_safety_proven(&self) -> bool {
+        matches!(&self.engine, Engine::Sharded(s) if s.slot_safety_proven())
     }
 
     /// The runtime error an out-of-range slot produces, mirroring the

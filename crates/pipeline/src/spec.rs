@@ -34,7 +34,7 @@
 
 use crate::program::{build_for_spec, Arrays, Fields, PipelineVariant};
 use fpisa_core::{FpFormat, FpisaConfig, ReadRounding};
-use fpisa_pisa::{ProgramError, SwitchProgram};
+use fpisa_pisa::{AnalysisLevel, ProgramError, SwitchProgram};
 use serde::{Deserialize, Serialize};
 
 /// Largest slot count the 16-bit `slot` PHV field can address.
@@ -87,6 +87,16 @@ pub enum SpecError {
     /// specs that pass [`PipelineSpec::validate`]; surfaced for
     /// completeness by [`crate::FpisaPipeline::from_spec`]).
     Program(ProgramError),
+    /// The static analyzer found error-severity diagnostics under
+    /// [`fpisa_pisa::AnalysisLevel::Deny`] (never produced by built-in
+    /// programs, which all analyze clean; reachable when program
+    /// generation regresses).
+    Analysis {
+        /// How many error diagnostics the report carried.
+        errors: usize,
+        /// The first error, rendered.
+        first: String,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -126,6 +136,11 @@ impl std::fmt::Display for SpecError {
                 )
             }
             SpecError::Program(e) => write!(f, "generated program failed validation: {e}"),
+            SpecError::Analysis { errors, first } => write!(
+                f,
+                "static analysis rejected the generated program ({errors} error(s); \
+                 first: {first})"
+            ),
         }
     }
 }
@@ -176,6 +191,9 @@ pub struct PipelineSpec {
     /// `None` asks the OS (`std::thread::available_parallelism`).
     #[serde(default)]
     parallelism: Option<usize>,
+    /// Verify-on-compile level: [`AnalysisLevel::Deny`] by default.
+    #[serde(default)]
+    analysis: AnalysisLevel,
 }
 
 impl PipelineSpec {
@@ -194,6 +212,7 @@ impl PipelineSpec {
             shard_align: 1,
             parallel_min: None,
             parallelism: None,
+            analysis: AnalysisLevel::default(),
         }
     }
 
@@ -279,9 +298,27 @@ impl PipelineSpec {
         self
     }
 
+    /// Builder: set the verify-on-compile level. The default,
+    /// [`AnalysisLevel::Deny`], runs the static analyzer over every
+    /// generated program (each shard's program, under sharding) and
+    /// fails [`crate::FpisaPipeline::from_spec`] with
+    /// [`SpecError::Analysis`] on any error-severity finding.
+    /// [`AnalysisLevel::Warn`] analyzes without failing;
+    /// [`AnalysisLevel::Off`] skips the analyzer (shard-safety proofs
+    /// are still attached where they hold).
+    pub fn analysis(mut self, level: AnalysisLevel) -> Self {
+        self.analysis = level;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
+
+    /// The configured verify-on-compile level.
+    pub fn analysis_level(&self) -> AnalysisLevel {
+        self.analysis
+    }
 
     /// The hardware/algorithm variant.
     pub fn variant(&self) -> PipelineVariant {

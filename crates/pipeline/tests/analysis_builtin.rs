@@ -1,0 +1,74 @@
+//! Every built-in program must analyze with **zero errors**: all 18
+//! differential cells (3 variants × 3 formats × 2 roundings), their
+//! sharded forms, and both aggregation backends (exercised in
+//! `fpisa-agg`'s own tests). This is the acceptance bar that makes
+//! [`fpisa_pisa::AnalysisLevel::Deny`] a usable default.
+
+use fpisa_core::{FpFormat, ReadRounding};
+use fpisa_pipeline::{ExecEngine, FpisaPipeline, PipelineSpec, PipelineVariant};
+use fpisa_pisa::{prove_shard_safety, verify_program};
+
+const SLOTS: usize = 8;
+
+fn cells() -> Vec<(PipelineVariant, FpFormat, u32, ReadRounding)> {
+    let mut out = Vec::new();
+    for variant in PipelineVariant::all() {
+        for format in [FpFormat::FP32, FpFormat::FP16, FpFormat::BF16] {
+            out.push((variant, format, 0, ReadRounding::TowardZero));
+            out.push((variant, format, 2, ReadRounding::NearestEven));
+        }
+    }
+    out
+}
+
+/// All 18 cells analyze clean under the default configuration.
+#[test]
+fn all_cells_analyze_clean() {
+    let all = cells();
+    assert_eq!(all.len(), 18);
+    for (variant, format, guard, rounding) in all {
+        let spec = PipelineSpec::new(variant)
+            .format(format)
+            .guard_bits(guard)
+            .read_rounding(rounding)
+            .slots(SLOTS);
+        let pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+        let report = verify_program(pipe.switch_program());
+        assert!(
+            report.is_clean(),
+            "{variant:?}/{format:?}/g{guard}/{rounding:?} has analysis errors:\n{report}"
+        );
+    }
+}
+
+/// Sharded construction proves shard safety for every shard program, and
+/// the pipeline reports it.
+#[test]
+fn sharded_cells_prove_shard_safety() {
+    for (variant, format, guard, rounding) in cells() {
+        let spec = PipelineSpec::new(variant)
+            .format(format)
+            .guard_bits(guard)
+            .read_rounding(rounding)
+            .slots(12)
+            .engine(ExecEngine::Compiled)
+            .shards(3);
+        let pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+        assert!(
+            pipe.shard_safety_proven(),
+            "{variant:?}/{format:?}/g{guard}/{rounding:?}: shard safety not proven"
+        );
+    }
+}
+
+/// The proof machinery itself, against one representative shard program.
+#[test]
+fn shard_proof_matches_slot_space() {
+    let spec = PipelineSpec::new(PipelineVariant::TofinoA).slots(SLOTS);
+    let pipe = FpisaPipeline::from_spec(spec).expect("spec must validate");
+    let slot = pipe.fields().slot;
+    let proof =
+        prove_shard_safety(pipe.switch_program(), slot).expect("built-in program must prove");
+    assert_eq!(proof.slot_field(), slot);
+    assert_eq!(proof.shard_slots(), SLOTS);
+}

@@ -1,0 +1,292 @@
+//! Hardware capability lints against a loadable [`HwProfile`].
+//!
+//! [`crate::switch::SwitchCaps`] is the *program's own* claim about its
+//! target; this pass instead checks a program against an externally
+//! supplied device profile — the shape a P4 compiler's resource fitter
+//! has — so the same program can be linted for Tofino, for the paper's
+//! extended FPISA switch, or for any other device described by a
+//! profile file. Budgets are taken from the per-stage accounting of
+//! [`crate::resources::ResourceReport`].
+//!
+//! A profile serializes with serde and additionally round-trips through
+//! a plain `key = value` text format ([`HwProfile::parse`] /
+//! [`HwProfile::render`]) so device files need no JSON tooling:
+//!
+//! ```text
+//! # Tofino-class device (Table 3 accounting)
+//! name = tofino
+//! stages = 12
+//! tables_per_stage = 16
+//! salus_per_stage = 4
+//! max_table_entries = 65536
+//! hash_bits = 128
+//! tcam_key_bits = 44
+//! phv_bits = 4096
+//! max_register_bits = 64
+//! rsaw = false
+//! metadata_shift = false
+//! ```
+
+use super::{Diagnostic, Loc, Severity};
+use crate::resources::ResourceReport;
+use crate::switch::{SwitchCaps, SwitchProgram};
+use crate::table::MatchKind;
+use serde::{Deserialize, Serialize};
+
+/// A device capability profile the hardware lint pass checks against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwProfile {
+    /// Human-readable device name, echoed in diagnostics.
+    pub name: String,
+    /// Match-action stages.
+    pub stages: usize,
+    /// Tables per stage.
+    pub tables_per_stage: usize,
+    /// Stateful ALUs (register arrays) per stage.
+    pub salus_per_stage: usize,
+    /// Entry capacity of a single table.
+    pub max_table_entries: usize,
+    /// Hash-unit input width — bounds an exact-match table's total key
+    /// bits.
+    pub hash_bits: u64,
+    /// TCAM key width — bounds a ternary/range table's total key bits.
+    pub tcam_key_bits: u64,
+    /// Total PHV budget in bits.
+    pub phv_bits: u64,
+    /// Widest register array element.
+    pub max_register_bits: u32,
+    /// Stateful read-shift-add-write extension present.
+    pub rsaw: bool,
+    /// Stateless 2-operand (metadata-distance) shift present.
+    pub metadata_shift: bool,
+}
+
+impl HwProfile {
+    /// The Tofino-class baseline matching [`SwitchCaps::tofino`] plus
+    /// the Table 3 memory figures.
+    pub fn tofino() -> Self {
+        Self::from_caps(&SwitchCaps::tofino()).named("tofino")
+    }
+
+    /// The paper's proposed extended switch: Tofino plus RSAW and
+    /// metadata shift.
+    pub fn fpisa_extended() -> Self {
+        Self::from_caps(&SwitchCaps::fpisa_extended()).named("fpisa-extended")
+    }
+
+    /// Derive a profile from a program's own capability claim, filling
+    /// the memory figures `SwitchCaps` does not carry with Tofino-class
+    /// defaults.
+    pub fn from_caps(caps: &SwitchCaps) -> Self {
+        HwProfile {
+            name: "caps".into(),
+            stages: caps.stages,
+            tables_per_stage: caps.max_tables_per_stage,
+            salus_per_stage: caps.max_stateful_per_stage,
+            max_table_entries: 65536,
+            hash_bits: 128,
+            tcam_key_bits: 44,
+            phv_bits: caps.phv_bits,
+            max_register_bits: 64,
+            rsaw: caps.rsaw,
+            metadata_shift: caps.metadata_shift,
+        }
+    }
+
+    fn named(mut self, name: &str) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Parse the `key = value` text format; `#` starts a comment.
+    /// Unknown keys and malformed lines are errors so a typo cannot
+    /// silently fall back to a default budget.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Self::tofino().named("unnamed");
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", ln + 1));
+            };
+            let (k, v) = (k.trim(), v.trim());
+            let bad = |what: &str| format!("line {}: `{v}` is not a {what} ({k})", ln + 1);
+            match k {
+                "name" => p.name = v.to_string(),
+                "stages" => p.stages = v.parse().map_err(|_| bad("count"))?,
+                "tables_per_stage" => p.tables_per_stage = v.parse().map_err(|_| bad("count"))?,
+                "salus_per_stage" => p.salus_per_stage = v.parse().map_err(|_| bad("count"))?,
+                "max_table_entries" => p.max_table_entries = v.parse().map_err(|_| bad("count"))?,
+                "hash_bits" => p.hash_bits = v.parse().map_err(|_| bad("bit width"))?,
+                "tcam_key_bits" => p.tcam_key_bits = v.parse().map_err(|_| bad("bit width"))?,
+                "phv_bits" => p.phv_bits = v.parse().map_err(|_| bad("bit width"))?,
+                "max_register_bits" => {
+                    p.max_register_bits = v.parse().map_err(|_| bad("bit width"))?
+                }
+                "rsaw" => p.rsaw = v.parse().map_err(|_| bad("bool"))?,
+                "metadata_shift" => p.metadata_shift = v.parse().map_err(|_| bad("bool"))?,
+                _ => return Err(format!("line {}: unknown key `{k}`", ln + 1)),
+            }
+        }
+        Ok(p)
+    }
+
+    /// Render back to the text format `parse` accepts.
+    pub fn render(&self) -> String {
+        format!(
+            "name = {}\nstages = {}\ntables_per_stage = {}\nsalus_per_stage = {}\n\
+             max_table_entries = {}\nhash_bits = {}\ntcam_key_bits = {}\nphv_bits = {}\n\
+             max_register_bits = {}\nrsaw = {}\nmetadata_shift = {}\n",
+            self.name,
+            self.stages,
+            self.tables_per_stage,
+            self.salus_per_stage,
+            self.max_table_entries,
+            self.hash_bits,
+            self.tcam_key_bits,
+            self.phv_bits,
+            self.max_register_bits,
+            self.rsaw,
+            self.metadata_shift,
+        )
+    }
+}
+
+pub(super) fn run(program: &SwitchProgram, profile: &HwProfile, diags: &mut Vec<Diagnostic>) {
+    let dev = &profile.name;
+    let report = ResourceReport::of(program);
+    let err = |code, loc, message| Diagnostic {
+        severity: Severity::Error,
+        pass: "hw",
+        code,
+        loc,
+        message,
+    };
+    if report.stages_used > profile.stages as u64 {
+        diags.push(err(
+            "stage-budget",
+            Loc::program(),
+            format!(
+                "program uses {} stages; `{dev}` has {}",
+                report.stages_used, profile.stages
+            ),
+        ));
+    }
+    if report.phv_bits > profile.phv_bits {
+        diags.push(err(
+            "phv-budget",
+            Loc::program(),
+            format!(
+                "PHV layout needs {} bits; `{dev}` has {}",
+                report.phv_bits, profile.phv_bits
+            ),
+        ));
+    }
+    for stage in &report.stages {
+        if stage.tables > profile.tables_per_stage as u64 {
+            diags.push(err(
+                "table-budget",
+                Loc::stage(stage.stage),
+                format!(
+                    "{} tables in one stage; `{dev}` fits {}",
+                    stage.tables, profile.tables_per_stage
+                ),
+            ));
+        }
+        if stage.stateful_alus > profile.salus_per_stage as u64 {
+            diags.push(err(
+                "salu-budget",
+                Loc::stage(stage.stage),
+                format!(
+                    "{} stateful ALUs in one stage; `{dev}` has {}",
+                    stage.stateful_alus, profile.salus_per_stage
+                ),
+            ));
+        }
+    }
+    for array in &program.arrays {
+        if array.width_bits > profile.max_register_bits {
+            diags.push(err(
+                "register-width",
+                Loc::stage(array.stage),
+                format!(
+                    "array `{}` elements are {} bits wide; `{dev}` registers max out \
+                     at {}",
+                    array.name, array.width_bits, profile.max_register_bits
+                ),
+            ));
+        }
+    }
+    for (si, stage) in program.stages.iter().enumerate() {
+        for table in &stage.tables {
+            if table.capacity.max(table.entries.len()) > profile.max_table_entries {
+                diags.push(err(
+                    "entry-budget",
+                    Loc::table(si, &table.name),
+                    format!(
+                        "table provisions {} entries; `{dev}` tables hold {}",
+                        table.capacity.max(table.entries.len()),
+                        profile.max_table_entries
+                    ),
+                ));
+            }
+            let key_bits: u64 = table
+                .keys
+                .iter()
+                .map(|&(f, _)| u64::from(program.layout.spec(f).bits))
+                .sum();
+            let uses_tcam = table
+                .keys
+                .iter()
+                .any(|&(_, k)| matches!(k, MatchKind::Ternary | MatchKind::Range));
+            if uses_tcam {
+                if key_bits > profile.tcam_key_bits {
+                    diags.push(err(
+                        "tcam-width",
+                        Loc::table(si, &table.name),
+                        format!(
+                            "ternary key is {key_bits} bits; `{dev}` TCAM keys max out \
+                             at {}",
+                            profile.tcam_key_bits
+                        ),
+                    ));
+                }
+            } else if !table.keys.is_empty() && key_bits > profile.hash_bits {
+                diags.push(err(
+                    "hash-width",
+                    Loc::table(si, &table.name),
+                    format!(
+                        "exact key is {key_bits} bits; `{dev}` hash units take {}",
+                        profile.hash_bits
+                    ),
+                ));
+            }
+            for action in &table.actions {
+                if action.primitives.iter().any(|p| p.is_metadata_shift())
+                    && !profile.metadata_shift
+                {
+                    diags.push(err(
+                        "metadata-shift-unsupported",
+                        Loc::action(si, &table.name, &action.name),
+                        format!(
+                            "2-operand (metadata-distance) shift needs the FPISA ALU \
+                             extension, which `{dev}` lacks"
+                        ),
+                    ));
+                }
+                if action.stateful.iter().any(|c| c.needs_rsaw()) && !profile.rsaw {
+                    diags.push(err(
+                        "rsaw-unsupported",
+                        Loc::action(si, &table.name, &action.name),
+                        format!(
+                            "read-shift-add-write stateful update needs the RSAW \
+                             extension, which `{dev}` lacks"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

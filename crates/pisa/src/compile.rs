@@ -70,6 +70,7 @@
 //! coverage, and the pipeline crate guards a floor on the FPISA ADD tape.
 
 use crate::action::{AluOp, Operand, Primitive};
+use crate::analysis::{AnalysisLevel, AnalysisReport};
 use crate::phv::{BatchLanes, FieldId, Phv, PhvLayout};
 use crate::register::{
     ArrayMeta, CmpOp, RegArrayId, RegisterState, SaluCond, SaluOutput, SaluUpdate,
@@ -78,6 +79,37 @@ use crate::switch::{ProgramError, RuntimeError, Switch, SwitchProgram};
 use crate::table::{KeyMatch, Table};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+
+/// What [`CompiledSwitch::compile_with`] can reject a program for:
+/// structural invalidity (the classic builder errors) or, under
+/// [`AnalysisLevel::Deny`], a static-analysis report carrying errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The program failed [`SwitchProgram::validate`].
+    Program(ProgramError),
+    /// The analyzer found error-severity diagnostics; the full report is
+    /// attached so every finding can be surfaced, not just the first.
+    Analysis(Box<AnalysisReport>),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Program(e) => write!(f, "invalid program: {e}"),
+            CompileError::Analysis(report) => {
+                write!(f, "static analysis rejected the program: {report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ProgramError> for CompileError {
+    fn from(e: ProgramError) -> Self {
+        CompileError::Program(e)
+    }
+}
 
 /// Largest total key width (in bits) lowered to a dense direct-index
 /// array: 2^16 slots of 4 bytes = 256 KiB per table, at most.
@@ -568,6 +600,7 @@ impl CompiledOperand {
     /// lowered against, and `lane < cap`.
     #[inline]
     unsafe fn raw_at(&self, base: *const u64, cap: usize, lane: usize) -> u64 {
+        debug_assert!(lane < cap, "lane {lane} outside column capacity {cap}");
         match *self {
             CompiledOperand::Field { idx, .. } => unsafe { *base.add(idx as usize * cap + lane) },
             CompiledOperand::Const(c) => c as u64,
@@ -580,11 +613,21 @@ impl CompiledOperand {
     /// As [`CompiledOperand::raw_at`].
     #[inline]
     unsafe fn signed_at(&self, base: *const u64, cap: usize, lane: usize) -> i64 {
+        debug_assert!(lane < cap, "lane {lane} outside column capacity {cap}");
         match *self {
             CompiledOperand::Field { idx, sx } => unsafe {
                 ((*base.add(idx as usize * cap + lane) << sx) as i64) >> sx
             },
             CompiledOperand::Const(c) => c,
+        }
+    }
+
+    /// Debug-build check that this operand's column fits a buffer of
+    /// `len` values laid out as `cap`-sized columns with lanes `0..n`.
+    fn column_in_bounds(&self, cap: usize, n: usize, len: usize) -> bool {
+        match *self {
+            CompiledOperand::Field { idx, .. } => idx as usize * cap + n <= len,
+            CompiledOperand::Const(_) => true,
         }
     }
 
@@ -740,6 +783,9 @@ impl CompiledPrim {
         // only read under PRED, where the caller passes `len ≥ n`.
         debug_assert!(d0 + n <= buf.len());
         debug_assert!(!PRED || act.len() >= n);
+        debug_assert!(n <= cap, "lane count {n} exceeds column capacity {cap}");
+        debug_assert!(self.a.column_in_bounds(cap, n, buf.len()));
+        debug_assert!(self.b.column_in_bounds(cap, n, buf.len()));
         let mask = self.dst_mask;
         let (a, b) = (&self.a, &self.b);
         let base = buf.as_mut_ptr();
@@ -1299,6 +1345,28 @@ impl CompiledSwitch {
             gate_pass: Vec::new(),
             rowbuf: Vec::new(),
         })
+    }
+
+    /// Validate, statically analyze, and lower a program in one step —
+    /// the verify-on-compile entry point.
+    ///
+    /// [`AnalysisLevel::Off`] behaves exactly like
+    /// [`CompiledSwitch::compile`]; [`AnalysisLevel::Warn`] runs the
+    /// analyzer but only fails on [`ProgramError`]s; the default
+    /// [`AnalysisLevel::Deny`] additionally rejects any program whose
+    /// [`AnalysisReport`] carries errors, returning the full report so
+    /// callers can print every diagnostic, not just the first.
+    pub fn compile_with(
+        program: &SwitchProgram,
+        level: AnalysisLevel,
+    ) -> Result<Self, CompileError> {
+        if level != AnalysisLevel::Off {
+            let report = crate::analysis::verify_program(program);
+            if level == AnalysisLevel::Deny && !report.is_clean() {
+                return Err(CompileError::Analysis(Box::new(report)));
+            }
+        }
+        Self::compile(program).map_err(CompileError::Program)
     }
 
     /// Compile-time fusion statistics for the lowered op tape.

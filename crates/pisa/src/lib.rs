@@ -74,8 +74,22 @@
 //! persistent channel-fed worker pool with zero cross-shard locking —
 //! still bit-for-bit identical to a single full-space engine, because
 //! routing preserves the per-slot packet order.
+//!
+//! ## Static analysis
+//!
+//! [`analysis`] layers a four-pass verifier on top of validation: PHV
+//! def-use dataflow, register-hazard checks plus a machine-checkable
+//! **shard-partition safety proof** ([`analysis::prove_shard_safety`],
+//! consumed by [`shard::ShardedSwitch::attach_safety_proofs`]),
+//! value-range interval analysis over every action, and hardware
+//! capability lints against a loadable [`analysis::HwProfile`]. The
+//! one-call entry point is [`analysis::verify_program`];
+//! [`compile::CompiledSwitch::compile_with`] gates compilation on the
+//! result ([`analysis::AnalysisLevel`]). Every built-in FPISA pipeline
+//! cell and both aggregation backends analyze clean.
 
 pub mod action;
+pub mod analysis;
 pub mod compile;
 pub mod phv;
 pub mod register;
@@ -86,7 +100,11 @@ pub mod switch;
 pub mod table;
 
 pub use action::{Action, AluOp, Operand, Primitive};
-pub use compile::{CompiledSwitch, FusionStats, SOA_MIN};
+pub use analysis::{
+    prove_shard_safety, verify_program, AnalysisLevel, AnalysisReport, Analyzer, Diagnostic,
+    HwProfile, Loc, ProgramIo, Severity, ShardSafetyProof,
+};
+pub use compile::{CompileError, CompiledSwitch, FusionStats, SOA_MIN};
 pub use phv::{BatchLanes, FieldId, FieldSpec, Phv, PhvLayout};
 pub use register::{
     check_partition, CmpOp, RegArrayId, RegisterArraySpec, RegisterSnapshot, RegisterState,

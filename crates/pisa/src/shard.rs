@@ -42,6 +42,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
+use crate::analysis::ShardSafetyProof;
 use crate::compile::CompiledSwitch;
 use crate::phv::{FieldId, Phv};
 use crate::register::{check_partition, RegArrayId, RegisterState, SlotRange};
@@ -214,6 +215,14 @@ pub struct ShardedSwitch {
     buckets: Vec<Vec<Phv>>,
     /// Scratch: scatter-back cursors.
     cursors: Vec<usize>,
+    /// Set when a shard panicked mid-batch: register and scratch state
+    /// may be inconsistent, so further traffic is refused loudly
+    /// instead of computing garbage (or hanging on a half-drained
+    /// pool).
+    poisoned: bool,
+    /// Whether a shard-safety proof covers every shard (see
+    /// [`Self::attach_safety_proofs`]).
+    safety_proven: bool,
 }
 
 impl Clone for ShardedSwitch {
@@ -231,6 +240,10 @@ impl Clone for ShardedSwitch {
             shard_of: Vec::new(),
             buckets: (0..self.shards.len()).map(|_| Vec::new()).collect(),
             cursors: vec![0; self.shards.len()],
+            // Poison travels with the (possibly inconsistent) register
+            // state; recovery means building a fresh instance.
+            poisoned: self.poisoned,
+            safety_proven: self.safety_proven,
         }
     }
 }
@@ -284,7 +297,83 @@ impl ShardedSwitch {
             shard_of: Vec::new(),
             buckets: (0..n).map(|_| Vec::new()).collect(),
             cursors: vec![0; n],
+            poisoned: false,
+            safety_proven: false,
         })
+    }
+
+    /// Attach per-shard [`ShardSafetyProof`]s (one per shard, from
+    /// [`crate::analysis::prove_shard_safety`] on each shard's program),
+    /// upgrading the dispatcher's dynamic bounds pre-scan into a
+    /// verified assumption: the pre-scan validates exactly the
+    /// hypothesis the proofs are conditioned on (every routing slot in
+    /// range), so a proven switch can never surface
+    /// [`RuntimeError::IndexOutOfRange`] from *inside* a shard — which
+    /// debug builds assert on every fault path.
+    ///
+    /// Each proof must be conditioned on this switch's slot field and
+    /// cover exactly its shard's slot range; mismatched proofs are
+    /// rejected.
+    pub fn attach_safety_proofs(
+        mut self,
+        proofs: &[ShardSafetyProof],
+    ) -> Result<Self, RuntimeError> {
+        let oob = |detail: String| RuntimeError::IndexOutOfRange { detail };
+        if proofs.len() != self.shards.len() {
+            return Err(oob(format!(
+                "{} safety proofs for {} shards",
+                proofs.len(),
+                self.shards.len()
+            )));
+        }
+        for (i, (proof, range)) in proofs.iter().zip(self.ranges.iter()).enumerate() {
+            if proof.slot_field() != self.slot_field {
+                return Err(oob(format!(
+                    "shard {i} proof is conditioned on field id {}, not the routing \
+                     field id {}",
+                    proof.slot_field().0,
+                    self.slot_field.0
+                )));
+            }
+            if proof.shard_slots() != range.len {
+                return Err(oob(format!(
+                    "shard {i} proof covers {} slots but the shard owns {}",
+                    proof.shard_slots(),
+                    range.len
+                )));
+            }
+        }
+        self.safety_proven = true;
+        Ok(self)
+    }
+
+    /// Whether a shard-safety proof covers every shard.
+    pub fn slot_safety_proven(&self) -> bool {
+        self.safety_proven
+    }
+
+    /// Whether an earlier shard panic poisoned this instance.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn assert_unpoisoned(&self) {
+        assert!(
+            !self.poisoned,
+            "ShardedSwitch is poisoned: a shard panicked mid-batch and its register \
+             state may be inconsistent; build a fresh instance to recover"
+        );
+    }
+
+    /// Debug-build consult of the shard-safety proof: a proven switch
+    /// must never see an out-of-range stateful index surface from a
+    /// shard, because the dispatcher validated the routing assumption
+    /// before any packet ran.
+    fn check_shard_fault(&self, e: &RuntimeError) {
+        debug_assert!(
+            !(self.safety_proven && matches!(e, RuntimeError::IndexOutOfRange { .. })),
+            "shard-safety proof violated: a proven shard raised {e:?}"
+        );
     }
 
     /// Set the batch size below which [`Self::run_batch`] stays strictly
@@ -414,13 +503,16 @@ impl ShardedSwitch {
     /// shard's program saw a local packet); every other field carries the
     /// same result the full-space engine would produce.
     pub fn run(&mut self, phv: &mut Phv) -> Result<u32, RuntimeError> {
+        self.assert_unpoisoned();
         let slot = phv.get(self.slot_field) as usize;
         let s = self.shard_for_slot(slot)?;
         let start = self.ranges[s].start;
         if start != 0 {
             phv.set(self.slot_field, (slot - start) as u64);
         }
-        self.shards[s].run(phv)
+        self.shards[s].run(phv).inspect_err(|e| {
+            self.check_shard_fault(e);
+        })
     }
 
     /// Process a buffer of packets across all shards, returning the total
@@ -442,6 +534,7 @@ impl ShardedSwitch {
     /// may have completed their packets (unlike the strictly sequential
     /// single-engine batch).
     pub fn run_batch(&mut self, phvs: &mut [Phv]) -> Result<u64, RuntimeError> {
+        self.assert_unpoisoned();
         // Single-shard fast path: one range starting at 0, so routing
         // resolves to shard 0 and rebasing is the identity — validate in
         // one pass and hand the whole buffer to the batch engine (SoA
@@ -455,7 +548,9 @@ impl ShardedSwitch {
             {
                 self.shard_for_slot(bad)?;
             }
-            return self.shards[0].run_batch(phvs);
+            return self.shards[0].run_batch(phvs).inspect_err(|e| {
+                self.check_shard_fault(e);
+            });
         }
         // Route + validate up front: no packet runs if any slot is bad.
         self.shard_of.clear();
@@ -477,7 +572,13 @@ impl ShardedSwitch {
             // no bucketing and no workers.
             let mut total = 0u64;
             for (phv, &s) in phvs.iter_mut().zip(&self.shard_of) {
-                total += u64::from(self.shards[s as usize].run(phv)?);
+                match self.shards[s as usize].run(phv) {
+                    Ok(t) => total += u64::from(t),
+                    Err(e) => {
+                        self.check_shard_fault(&e);
+                        return Err(e);
+                    }
+                }
             }
             return Ok(total);
         }
@@ -557,10 +658,14 @@ impl ShardedSwitch {
             }
             match inline {
                 Some(Ok(res)) => results.push((0, res)),
-                Some(Err(payload)) => resume_unwind(payload),
+                Some(Err(payload)) => {
+                    self.poisoned = true;
+                    resume_unwind(payload);
+                }
                 None => {}
             }
             if worker_panicked {
+                self.poisoned = true;
                 panic!("shard worker panicked");
             }
         }
@@ -596,7 +701,10 @@ impl ShardedSwitch {
             }
         }
         match first_fault {
-            Some((_, e)) => Err(e),
+            Some((_, e)) => {
+                self.check_shard_fault(&e);
+                Err(e)
+            }
             None => Ok(total),
         }
     }
@@ -954,5 +1062,58 @@ mod tests {
         assert!(ShardedSwitch::new(engines.clone(), ranges.clone(), FieldId(99)).is_err());
         // Valid.
         ShardedSwitch::new(engines, ranges, slot).unwrap();
+    }
+
+    /// Extract a panic payload's message for assertions.
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".into())
+    }
+
+    #[test]
+    fn worker_panic_poisons_the_switch_and_a_fresh_instance_recovers() {
+        let (sw, slot, _) = sharded_counter(8, 2);
+        let mut sw = sw.with_parallelism(2).with_parallel_min(1);
+        // A PHV built from a *foreign, smaller* layout: the slot field
+        // (id 0) exists, so routing and rebasing succeed, but the shard
+        // engine then indexes the missing `count` column and panics —
+        // inside a pool worker, because slot 6 belongs to shard 1 and
+        // only shard 0 runs inline.
+        let mut tiny = PhvLayout::new();
+        let tiny_slot = tiny.field("slot", 16);
+        assert_eq!(tiny_slot, slot);
+        let mut batch = vec![Phv::new(&tiny)];
+        batch[0].set(tiny_slot, 6);
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            let _ = sw.run_batch(&mut batch);
+        }))
+        .expect_err("worker panic must propagate to the caller");
+        assert!(
+            panic_message(payload).contains("shard worker panicked"),
+            "caller must learn the panic came from a shard worker"
+        );
+        // The worker died mid-batch: register state is suspect, so the
+        // instance is poisoned and every further use fails loudly with
+        // an actionable message instead of quietly aggregating on it.
+        assert!(sw.poisoned());
+        let mut probe = sw.shard(0).phv();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            let _ = sw.run(&mut probe);
+        }))
+        .expect_err("poisoned switch must refuse to run");
+        let msg = panic_message(payload);
+        assert!(msg.contains("poisoned"), "got: {msg}");
+        assert!(msg.contains("fresh instance"), "got: {msg}");
+        // Recovery path: a rebuilt switch is healthy and aggregates.
+        let (fresh, fslot, fcount) = sharded_counter(8, 2);
+        let mut fresh = fresh.with_parallelism(2).with_parallel_min(1);
+        let mut phv = fresh.shard(0).phv();
+        phv.set(fslot, 6);
+        fresh.run(&mut phv).unwrap();
+        assert_eq!(phv.get(fcount), 1);
+        assert!(!fresh.poisoned());
     }
 }
