@@ -64,9 +64,12 @@ pub use experiment::{
     GradientWorkload,
 };
 pub use fpisa::FpisaAggregator;
-pub use pool::{AggregationSwitch, IngestDecision, PoolStats, SlotPool};
+pub use pool::{
+    AggregationSwitch, ChunkResync, CompletedChunk, IngestDecision, IngestOutcome, PoolStats,
+    SlotPool,
+};
 pub use protocol::{
-    decode_block_fp, decode_packet, encode_block_fp, encode_packet, AggPacket, FrameError, JobSpec,
-    MAX_WORKERS,
+    crc32, decode_ack, decode_block_fp, decode_packet, encode_ack, encode_block_fp, encode_packet,
+    AckPacket, AggPacket, FrameError, JobSpec, MAX_WORKERS,
 };
 pub use switchml::SwitchMlFixedPoint;

@@ -19,7 +19,7 @@
 //! round clears the backend's slot range for reuse.
 
 use crate::backend::{AggError, Aggregator};
-use crate::protocol::{AggPacket, JobSpec};
+use crate::protocol::{AckPacket, AggPacket, JobSpec};
 use fpisa_pisa::RuntimeError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -53,6 +53,10 @@ pub enum IngestDecision {
     WrongJob,
     /// The worker id is outside the job's fan-in.
     BadWorker,
+    /// The worker was deregistered ([`SlotPool::deregister_worker`]) —
+    /// the job completes rounds without it, and late contributions from
+    /// it are rejected so an already-harvested result cannot be altered.
+    Deregistered,
     /// The chunk index is outside the job.
     BadChunk,
     /// The payload length does not match the chunk's slot range.
@@ -79,7 +83,10 @@ pub struct PoolStats {
     pub future: u64,
     /// Packets rejected for job/worker/chunk/payload mismatches.
     pub malformed: u64,
-    /// Chunk-rounds that reached full fan-in.
+    /// Packets from deregistered workers rejected.
+    pub deregistered: u64,
+    /// Chunk-rounds that reached full fan-in (degraded completions via
+    /// [`SlotPool::deregister_worker`] included).
     pub completed_chunks: u64,
 }
 
@@ -91,7 +98,22 @@ pub struct SlotPool {
     rounds: Vec<u32>,
     /// Contribution bitmap per chunk (bit `w` = worker `w` seen this round).
     seen: Vec<u64>,
+    /// Bitmap of workers still required for completion. Starts at the
+    /// full fan-in; [`SlotPool::deregister_worker`] clears bits so rounds
+    /// complete gracefully with the surviving contributor set.
+    active: u64,
     stats: PoolStats,
+}
+
+/// Per-chunk resync state handed to a restarted worker
+/// ([`SlotPool::worker_resync`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkResync {
+    /// The chunk's current round.
+    pub round: u32,
+    /// Whether the worker's contribution to that round is already
+    /// recorded (so it must *not* resend, only await completion).
+    pub contributed: bool,
 }
 
 impl SlotPool {
@@ -103,6 +125,7 @@ impl SlotPool {
             spec,
             rounds: vec![0; chunks],
             seen: vec![0; chunks],
+            active: full_fan_in(spec.workers),
             stats: PoolStats::default(),
         })
     }
@@ -122,9 +145,25 @@ impl SlotPool {
         self.seen[chunk].count_ones()
     }
 
-    /// Whether every worker has contributed to a chunk this round.
+    /// Whether a specific worker has contributed to a chunk this round.
+    pub fn contributed(&self, chunk: usize, worker: u32) -> bool {
+        worker < self.spec.workers && self.seen[chunk] & (1u64 << worker) != 0
+    }
+
+    /// Bitmap of workers still required for round completion.
+    pub fn active_workers(&self) -> u64 {
+        self.active
+    }
+
+    /// Number of workers still required for round completion.
+    pub fn required_workers(&self) -> u32 {
+        self.active.count_ones()
+    }
+
+    /// Whether every still-active worker has contributed to a chunk this
+    /// round. A pool with no active workers left can never complete.
     pub fn is_complete(&self, chunk: usize) -> bool {
-        self.contributors(chunk) == self.spec.workers
+        self.active != 0 && self.seen[chunk] & self.active == self.active
     }
 
     /// Classify a packet against the current state without mutating it.
@@ -134,6 +173,9 @@ impl SlotPool {
         }
         if pkt.worker >= self.spec.workers {
             return IngestDecision::BadWorker;
+        }
+        if self.active & (1u64 << pkt.worker) == 0 {
+            return IngestDecision::Deregistered;
         }
         let chunk = pkt.chunk as usize;
         if chunk >= self.spec.chunks() {
@@ -152,12 +194,20 @@ impl SlotPool {
         if self.seen[chunk] & (1u64 << pkt.worker) != 0 {
             return IngestDecision::Duplicate;
         }
+        let after = self.seen[chunk] | (1u64 << pkt.worker);
         IngestDecision::Accepted {
-            chunk_complete: self.contributors(chunk) + 1 == self.spec.workers,
+            chunk_complete: after & self.active == self.active,
         }
     }
 
     /// Classify a packet and, if accepted, record the contribution.
+    ///
+    /// The classification happens *inside* this call, against the state
+    /// at this instant — a packet that [`SlotPool::check`] would have
+    /// accepted before an interleaved [`SlotPool::advance_round`] commits
+    /// as [`IngestDecision::StaleRound`], not as a contribution to the
+    /// new round. Callers never need to order their own check/commit
+    /// pairs around round advances.
     pub fn commit(&mut self, pkt: &AggPacket) -> IngestDecision {
         let decision = self.check(pkt);
         match decision {
@@ -171,6 +221,7 @@ impl SlotPool {
             IngestDecision::Duplicate => self.stats.duplicates += 1,
             IngestDecision::StaleRound => self.stats.stale += 1,
             IngestDecision::FutureRound => self.stats.future += 1,
+            IngestDecision::Deregistered => self.stats.deregistered += 1,
             _ => self.stats.malformed += 1,
         }
         decision
@@ -191,10 +242,107 @@ impl SlotPool {
         Ok(self.rounds[chunk])
     }
 
+    /// Deregister a worker: the job's remaining rounds complete with the
+    /// surviving contributor set, and late packets from the worker are
+    /// rejected ([`IngestDecision::Deregistered`]) so a harvested result
+    /// cannot be altered after the fact. Returns the chunks whose
+    /// current round *became* complete through the deregistration — the
+    /// control plane must harvest those exactly as if the last packet
+    /// had just arrived. Idempotent: deregistering twice returns no new
+    /// chunks.
+    pub fn deregister_worker(&mut self, worker: u32) -> Result<Vec<usize>, AggError> {
+        if worker >= self.spec.workers {
+            return Err(AggError::BadSpec {
+                detail: format!(
+                    "worker {worker} outside the job's fan-in of {}",
+                    self.spec.workers
+                ),
+            });
+        }
+        let bit = 1u64 << worker;
+        if self.active & bit == 0 {
+            return Ok(Vec::new());
+        }
+        let was_complete: Vec<bool> = (0..self.spec.chunks())
+            .map(|c| self.is_complete(c))
+            .collect();
+        self.active &= !bit;
+        let newly: Vec<usize> = (0..self.spec.chunks())
+            .filter(|&c| !was_complete[c] && self.is_complete(c))
+            .collect();
+        self.stats.completed_chunks += newly.len() as u64;
+        Ok(newly)
+    }
+
+    /// The recovery API for a restarted worker: its per-chunk resync
+    /// state — current round and whether its contribution to that round
+    /// is already recorded. A worker that lost all volatile state rejoins
+    /// by resending exactly the chunks with `contributed == false` at the
+    /// returned rounds, making restart convergent instead of
+    /// double-counting or deadlocking.
+    pub fn worker_resync(&self, worker: u32) -> Result<Vec<ChunkResync>, AggError> {
+        if worker >= self.spec.workers {
+            return Err(AggError::BadSpec {
+                detail: format!(
+                    "worker {worker} outside the job's fan-in of {}",
+                    self.spec.workers
+                ),
+            });
+        }
+        Ok((0..self.spec.chunks())
+            .map(|c| ChunkResync {
+                round: self.rounds[c],
+                contributed: self.contributed(c, worker),
+            })
+            .collect())
+    }
+
     /// Protocol counters so far.
     pub fn stats(&self) -> &PoolStats {
         &self.stats
     }
+}
+
+/// Bitmap with the low `workers` bits set (`workers <= 64`).
+fn full_fan_in(workers: u32) -> u64 {
+    if workers >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << workers) - 1
+    }
+}
+
+/// A harvested chunk-round: the aggregated values plus the fan-in
+/// provenance a control plane needs to broadcast completion and account
+/// degradation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedChunk {
+    /// Chunk index.
+    pub chunk: usize,
+    /// The round that completed.
+    pub round: u32,
+    /// The round the chunk's slots now serve (`round + 1`).
+    pub new_round: u32,
+    /// How many workers contributed (fewer than the job's fan-in when
+    /// the round completed degraded).
+    pub contributors: u32,
+    /// Bitmap of the workers whose contributions are in the sum.
+    pub contributed: u64,
+    /// The aggregated chunk values.
+    pub values: Vec<f64>,
+}
+
+/// Everything [`AggregationSwitch::ingest_with_ack`] derives from one
+/// data packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestOutcome {
+    /// How the pool classified the packet.
+    pub decision: IngestDecision,
+    /// The acknowledgement the switch answers with (`None`: dropped
+    /// silently).
+    pub ack: Option<AckPacket>,
+    /// The harvested chunk, when this packet completed its round.
+    pub completed: Option<CompletedChunk>,
 }
 
 /// One aggregation switch: a [`SlotPool`] gating an [`Aggregator`]
@@ -306,6 +454,117 @@ impl<B: Aggregator> AggregationSwitch<B> {
         let (start, len) = self.pool.spec().slot_range(chunk);
         self.backend.clear_range(start, len)?;
         self.pool.advance_round(chunk)
+    }
+
+    /// Harvest a complete chunk: capture its aggregated values and fan-in
+    /// provenance, then clear the slots and advance the round in one
+    /// step. Errors if the chunk's round has not completed.
+    pub fn harvest_chunk(&mut self, chunk: usize) -> Result<CompletedChunk, AggError> {
+        self.check_chunk(chunk)?;
+        if !self.pool.is_complete(chunk) {
+            return Err(AggError::BadSpec {
+                detail: format!(
+                    "harvest of chunk {chunk}: round {} has {} of {} contributions",
+                    self.pool.round(chunk),
+                    self.pool.contributors(chunk),
+                    self.pool.required_workers()
+                ),
+            });
+        }
+        let round = self.pool.round(chunk);
+        let contributed = self.pool.seen[chunk];
+        let contributors = self.pool.contributors(chunk);
+        let values = self.read_chunk(chunk)?;
+        let new_round = self.finish_round(chunk)?;
+        Ok(CompletedChunk {
+            chunk,
+            round,
+            new_round,
+            contributors,
+            contributed,
+            values,
+        })
+    }
+
+    /// Ingest one data packet and derive the full protocol outcome: the
+    /// classification, the [`AckPacket`] the switch answers with (if
+    /// any), and — when the packet completed its chunk's round — the
+    /// harvested result, with the round already advanced so every later
+    /// retransmission of the finished round classifies as stale.
+    ///
+    /// Ack semantics per decision:
+    ///
+    /// * `Accepted`/`Duplicate` — `recorded` (to the worker, "my
+    ///   contribution is in" looks the same whether this very packet or
+    ///   an earlier copy delivered it); `complete` mirrors whether the
+    ///   round just finished.
+    /// * `StaleRound` — `complete` with `current_round` pointing at the
+    ///   live round: the worker's round is over (its result may or may
+    ///   not include it), resync and move on.
+    /// * Everything else (malformed, future rounds, deregistered
+    ///   workers) — dropped silently, like a real switch.
+    pub fn ingest_with_ack(&mut self, pkt: &AggPacket) -> Result<IngestOutcome, AggError> {
+        let decision = self.ingest(pkt)?;
+        let chunk = pkt.chunk as usize;
+        let mut completed = None;
+        let ack = match decision {
+            IngestDecision::Accepted { chunk_complete } => {
+                if chunk_complete {
+                    completed = Some(self.harvest_chunk(chunk)?);
+                }
+                Some(self.ack_packet(pkt, true, chunk_complete, completed.as_ref()))
+            }
+            IngestDecision::Duplicate => Some(self.ack_packet(pkt, true, false, None)),
+            IngestDecision::StaleRound => Some(self.ack_packet(pkt, false, true, None)),
+            _ => None,
+        };
+        Ok(IngestOutcome {
+            decision,
+            ack,
+            completed,
+        })
+    }
+
+    /// Build the ack answering `pkt` from the current pool state (and the
+    /// just-harvested chunk, when the packet completed the round).
+    fn ack_packet(
+        &self,
+        pkt: &AggPacket,
+        recorded: bool,
+        complete: bool,
+        completed: Option<&CompletedChunk>,
+    ) -> AckPacket {
+        let chunk = pkt.chunk as usize;
+        AckPacket {
+            job: self.pool.spec().job,
+            worker: pkt.worker,
+            round: pkt.round,
+            chunk: pkt.chunk,
+            contributors: completed
+                .map(|c| c.contributors)
+                .unwrap_or_else(|| self.pool.contributors(chunk)),
+            current_round: self.pool.round(chunk),
+            recorded,
+            complete,
+        }
+    }
+
+    /// Deregister a worker ([`SlotPool::deregister_worker`]) and harvest
+    /// every chunk whose round completed through the deregistration.
+    /// This is the graceful-degradation path: the job finishes with the
+    /// surviving contributor set instead of hanging on a dead worker.
+    pub fn deregister_worker(&mut self, worker: u32) -> Result<Vec<CompletedChunk>, AggError> {
+        let newly = self.pool.deregister_worker(worker)?;
+        newly
+            .into_iter()
+            .map(|chunk| self.harvest_chunk(chunk))
+            .collect()
+    }
+
+    /// Per-chunk resync state for a restarted worker
+    /// ([`SlotPool::worker_resync`]).
+    pub fn resync_worker(&self, worker: u32) -> Result<Vec<ChunkResync>, AggError> {
+        self.pool.worker_resync(worker)
     }
 
     /// The fan-in state.
@@ -575,5 +834,158 @@ mod tests {
             AggregationSwitch::new(spec(), ExactF64::new(5)),
             Err(AggError::BadSpec { .. })
         ));
+    }
+
+    #[test]
+    fn commit_interleaved_with_round_advance_classifies_stale() {
+        // Regression (robustness): a caller that classified a packet via
+        // `check`, then advanced the round (e.g. the control plane
+        // finished the chunk mid-batch), must not be able to commit the
+        // now-stale packet into the new round — `commit` re-classifies
+        // atomically instead of trusting the earlier answer.
+        let mut pool = SlotPool::new(spec()).unwrap();
+        let p = pkt(0, 0, 0, vec![0; 4]);
+        assert!(pool.check(&p).accepted());
+        pool.advance_round(0).unwrap();
+        assert_eq!(pool.commit(&p), IngestDecision::StaleRound);
+        assert_eq!(pool.contributors(0), 0, "no contribution leaked");
+        // Interleave the other direction too: a commit, an advance, then
+        // the same packet again — stale, not duplicate, and the round-1
+        // packet lands cleanly between them.
+        let q = pkt(1, 1, 0, vec![0; 4]);
+        assert!(pool.commit(&q).accepted());
+        pool.advance_round(0).unwrap();
+        assert_eq!(pool.commit(&q), IngestDecision::StaleRound);
+        assert_eq!(pool.stats().stale, 2);
+    }
+
+    #[test]
+    fn deregistered_worker_completes_rounds_degraded() {
+        let mut pool = SlotPool::new(spec()).unwrap();
+        pool.commit(&pkt(0, 0, 0, vec![0; 4]));
+        pool.commit(&pkt(1, 0, 0, vec![0; 4]));
+        pool.commit(&pkt(1, 0, 1, vec![0; 2]));
+        // Worker 2 dies. Chunk 0 (workers 0+1 in) completes through the
+        // deregistration; chunk 1 (only worker 1 in) does not.
+        let newly = pool.deregister_worker(2).unwrap();
+        assert_eq!(newly, vec![0]);
+        assert_eq!(pool.required_workers(), 2);
+        assert!(pool.is_complete(0));
+        assert!(!pool.is_complete(1));
+        // Idempotent, and late packets from the dead worker are rejected.
+        assert_eq!(pool.deregister_worker(2).unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            pool.commit(&pkt(2, 0, 1, vec![0; 2])),
+            IngestDecision::Deregistered
+        );
+        assert_eq!(pool.stats().deregistered, 1);
+        // The survivors complete chunk 1 on their own.
+        assert_eq!(
+            pool.commit(&pkt(0, 0, 1, vec![0; 2])),
+            IngestDecision::Accepted {
+                chunk_complete: true
+            }
+        );
+        // Out-of-range worker ids error.
+        assert!(pool.deregister_worker(7).is_err());
+    }
+
+    #[test]
+    fn worker_resync_reports_rounds_and_contributions() {
+        let mut pool = SlotPool::new(spec()).unwrap();
+        pool.commit(&pkt(1, 0, 0, vec![0; 4]));
+        pool.advance_round(1).unwrap();
+        let rs = pool.worker_resync(1).unwrap();
+        assert_eq!(
+            rs,
+            vec![
+                ChunkResync {
+                    round: 0,
+                    contributed: true
+                },
+                ChunkResync {
+                    round: 1,
+                    contributed: false
+                },
+            ]
+        );
+        assert!(pool.worker_resync(3).is_err());
+    }
+
+    #[test]
+    fn ingest_with_ack_drives_the_worker_state_machine() {
+        let mut sw = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+        let grad: [f64; 6] = [1.0; 6];
+        let mk = |w: u32, r: u32| {
+            let words: Vec<u64> = grad.iter().map(|x| x.to_bits()).collect();
+            JobSpec {
+                job: 9,
+                workers: 3,
+                elements: 6,
+                elements_per_packet: 4,
+            }
+            .packetize(w, r, &words)
+        };
+        // First contribution: recorded, not complete.
+        let out = sw.ingest_with_ack(&mk(0, 0)[0]).unwrap();
+        let ack = out.ack.unwrap();
+        assert!(ack.recorded && !ack.complete);
+        assert_eq!((ack.contributors, ack.current_round), (1, 0));
+        assert!(out.completed.is_none());
+        // A retransmission of it: the duplicate is *recorded* to the
+        // sender — indistinguishable from the first ack, which is the
+        // point: "my duplicate was dropped idempotently" ≠ "lost".
+        let dup = sw.ingest_with_ack(&mk(0, 0)[0]).unwrap();
+        assert_eq!(dup.decision, IngestDecision::Duplicate);
+        let dack = dup.ack.unwrap();
+        assert!(dack.recorded && !dack.complete);
+        // The last contribution completes and auto-harvests the round.
+        sw.ingest_with_ack(&mk(1, 0)[0]).unwrap();
+        let last = sw.ingest_with_ack(&mk(2, 0)[0]).unwrap();
+        let lack = last.ack.unwrap();
+        assert!(lack.recorded && lack.complete);
+        assert_eq!(lack.current_round, 1, "round already advanced");
+        let done = last.completed.unwrap();
+        assert_eq!(done.values, vec![3.0; 4]);
+        assert_eq!((done.round, done.new_round, done.contributors), (0, 1, 3));
+        assert_eq!(done.contributed, 0b111);
+        // A straggler of the finished round: stale ack pointing at the
+        // live round — the recovery signal for workers that missed the
+        // completion broadcast.
+        let stale = sw.ingest_with_ack(&mk(1, 0)[0]).unwrap();
+        assert_eq!(stale.decision, IngestDecision::StaleRound);
+        let sack = stale.ack.unwrap();
+        assert!(!sack.recorded && sack.complete);
+        assert_eq!((sack.round, sack.current_round), (0, 1));
+        // Malformed packets are dropped silently.
+        let mut bad = mk(0, 1)[0].clone();
+        bad.worker = 9;
+        let out = sw.ingest_with_ack(&bad).unwrap();
+        assert_eq!(out.decision, IngestDecision::BadWorker);
+        assert!(out.ack.is_none());
+    }
+
+    #[test]
+    fn harvest_requires_completion_and_switch_deregister_harvests() {
+        let mut sw = AggregationSwitch::new(spec(), ExactF64::new(6)).unwrap();
+        assert!(matches!(sw.harvest_chunk(0), Err(AggError::BadSpec { .. })));
+        let grad: [f64; 6] = [2.0; 6];
+        let words: Vec<u64> = grad.iter().map(|x| x.to_bits()).collect();
+        for w in [0u32, 2] {
+            for p in sw.pool().spec().packetize(w, 0, &words) {
+                sw.ingest(&p).unwrap();
+            }
+        }
+        // Worker 1 permanently dead: both chunks complete degraded, with
+        // the survivors' sums and the shortfall visible in the harvest.
+        let done = sw.deregister_worker(1).unwrap();
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert_eq!(c.contributors, 2);
+            assert_eq!(c.contributed, 0b101);
+            assert!(c.values.iter().all(|&v| v == 4.0));
+        }
+        assert_eq!(sw.pool().round(0), 1, "rounds advanced");
+        assert_eq!(sw.read_all().unwrap(), vec![0.0; 6], "slots cleared");
     }
 }

@@ -19,6 +19,20 @@
 //! signed mantissas, the MSFP-style format whose switch-side counterpart
 //! replicates the exponent register across a slot range
 //! ([`fpisa_core::BlockFpAccumulator`]).
+//!
+//! Every frame — data, block and [`AckPacket`] — ends in a CRC-32
+//! trailer ([`crc32`], [`FRAME_TRAILER_BYTES`]). Decoding verifies it, so
+//! a frame corrupted in flight is rejected as
+//! [`FrameError::BadChecksum`] instead of silently folding garbage into
+//! the aggregation state; CRC-32 detects every single-bit and every
+//! two-bit error at these frame sizes. The [`AckPacket`] is the
+//! switch-to-worker half of the protocol: it tells a worker that its
+//! contribution is **recorded** for a round (whether the triggering
+//! packet was accepted or dropped as an idempotent duplicate), how many
+//! workers the chunk has fanned in, whether the round **completed**, and
+//! the chunk's **current round** — enough for a worker to distinguish
+//! "my duplicate was dropped idempotently" from "my packet was lost",
+//! and for a restarted or stale worker to resync onto the live round.
 
 use fpisa_core::BlockFp;
 use serde::{Deserialize, Serialize};
@@ -27,10 +41,17 @@ use serde::{Deserialize, Serialize};
 pub const PACKET_MAGIC: [u8; 4] = *b"FPAG";
 /// Framing magic of block-floating-point payloads (`"FPBK"`).
 pub const BLOCK_MAGIC: [u8; 4] = *b"FPBK";
-/// Wire format version emitted by this crate.
-pub const WIRE_VERSION: u8 = 1;
+/// Framing magic of switch-to-worker acknowledgements (`"FPAK"`).
+pub const ACK_MAGIC: [u8; 4] = *b"FPAK";
+/// Wire format version emitted by this crate (v2 added the CRC-32
+/// trailer and the acknowledgement frame).
+pub const WIRE_VERSION: u8 = 2;
 /// Header bytes preceding an [`AggPacket`] payload.
 pub const PACKET_HEADER_BYTES: usize = 22;
+/// Bytes of an [`AckPacket`] frame before the trailer.
+pub const ACK_HEADER_BYTES: usize = 26;
+/// CRC-32 trailer bytes terminating every frame.
+pub const FRAME_TRAILER_BYTES: usize = 4;
 /// Most workers a job can fan in — the per-chunk contribution bitmap is one
 /// 64-bit word.
 pub const MAX_WORKERS: u32 = 64;
@@ -155,6 +176,14 @@ pub enum FrameError {
         /// Name of the offending field.
         field: String,
     },
+    /// The CRC-32 trailer does not match the frame contents — the frame
+    /// was corrupted in flight.
+    BadChecksum {
+        /// Checksum the trailer carries.
+        declared: u32,
+        /// Checksum of the bytes actually received.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -181,6 +210,12 @@ impl std::fmt::Display for FrameError {
                     "header field `{field}` does not fit its 16-bit wire width"
                 )
             }
+            FrameError::BadChecksum { declared, actual } => {
+                write!(
+                    f,
+                    "frame checksum {declared:#010x} does not match contents ({actual:#010x})"
+                )
+            }
         }
     }
 }
@@ -188,6 +223,45 @@ impl std::fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 use crate::backend::AggError;
+
+/// The CRC-32 (IEEE reflected, as in Ethernet) every frame's trailer
+/// carries over all preceding bytes.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Append the CRC-32 trailer to a frame under construction.
+fn seal_frame(mut frame: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Split a received frame into contents and verified trailer. `min_len`
+/// is the smallest valid frame (header plus trailer).
+fn open_frame(bytes: &[u8], min_len: usize) -> Result<&[u8], FrameError> {
+    if bytes.len() < min_len {
+        return Err(FrameError::TooShort {
+            have: bytes.len(),
+            need: min_len,
+        });
+    }
+    let (contents, trailer) = bytes.split_at(bytes.len() - FRAME_TRAILER_BYTES);
+    let declared = u32::from_le_bytes(trailer.try_into().unwrap());
+    let actual = crc32(contents);
+    if declared != actual {
+        return Err(FrameError::BadChecksum { declared, actual });
+    }
+    Ok(contents)
+}
 
 /// Serialize a packet, packing each payload word at `word_bytes` bytes
 /// (2, 4 or 8 — FP16/BF16, FP32/fixed-point, f64 reference).
@@ -226,17 +300,12 @@ pub fn encode_packet(pkt: &AggPacket, word_bytes: u8) -> Result<Vec<u8>, FrameEr
         }
         out.extend_from_slice(&w.to_le_bytes()[..word_bytes as usize]);
     }
-    Ok(out)
+    Ok(seal_frame(out))
 }
 
 /// Parse a packet frame produced by [`encode_packet`].
-pub fn decode_packet(bytes: &[u8]) -> Result<AggPacket, FrameError> {
-    if bytes.len() < PACKET_HEADER_BYTES {
-        return Err(FrameError::TooShort {
-            have: bytes.len(),
-            need: PACKET_HEADER_BYTES,
-        });
-    }
+pub fn decode_packet(frame: &[u8]) -> Result<AggPacket, FrameError> {
+    let bytes = open_frame(frame, PACKET_HEADER_BYTES + FRAME_TRAILER_BYTES)?;
     if bytes[0..4] != PACKET_MAGIC {
         return Err(FrameError::BadMagic);
     }
@@ -299,18 +368,13 @@ pub fn encode_block_fp(block: &BlockFp) -> Vec<u8> {
     for &m in &block.mantissas {
         out.extend_from_slice(&m.to_le_bytes()[..mb]);
     }
-    out
+    seal_frame(out)
 }
 
 /// Parse a block-floating-point frame produced by [`encode_block_fp`].
-pub fn decode_block_fp(bytes: &[u8]) -> Result<BlockFp, FrameError> {
+pub fn decode_block_fp(frame: &[u8]) -> Result<BlockFp, FrameError> {
     const HEADER: usize = 12;
-    if bytes.len() < HEADER {
-        return Err(FrameError::TooShort {
-            have: bytes.len(),
-            need: HEADER,
-        });
-    }
+    let bytes = open_frame(frame, HEADER + FRAME_TRAILER_BYTES)?;
     if bytes[0..4] != BLOCK_MAGIC {
         return Err(FrameError::BadMagic);
     }
@@ -350,6 +414,99 @@ pub fn decode_block_fp(bytes: &[u8]) -> Result<BlockFp, FrameError> {
     })
 }
 
+/// The switch-to-worker acknowledgement for one data packet (or one
+/// completion broadcast): everything a worker needs to drive its
+/// retransmission state machine over a lossy network.
+///
+/// Three situations, distinguished by the fields:
+///
+/// * **recorded, not complete** — the contribution is in (the triggering
+///   packet was accepted, *or* dropped as an idempotent duplicate of an
+///   earlier acceptance — to the worker the two are the same); stop
+///   retransmitting, await completion.
+/// * **complete** — the chunk's round reached full fan-in;
+///   `current_round` names the next round the switch accepts.
+/// * **`current_round > round`** — the acked round is already over (the
+///   triggering packet classified as stale). A worker that missed the
+///   completion broadcast, or restarted, resyncs onto `current_round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckPacket {
+    /// Job identifier.
+    pub job: u32,
+    /// Worker the ack is addressed to.
+    pub worker: u32,
+    /// Round the ack refers to (the triggering packet's round).
+    pub round: u32,
+    /// Chunk index.
+    pub chunk: u32,
+    /// Workers recorded for the chunk's current round so far (at round
+    /// completion: the full contributor count, which under graceful
+    /// degradation may be fewer than the job's fan-in).
+    pub contributors: u32,
+    /// The chunk's current round at the switch, after any completion
+    /// triggered by the acked packet.
+    pub current_round: u32,
+    /// The addressed worker's contribution is recorded in `round`.
+    pub recorded: bool,
+    /// The chunk's `round` reached completion.
+    pub complete: bool,
+}
+
+/// Serialize an acknowledgement frame.
+pub fn encode_ack(ack: &AckPacket) -> Result<Vec<u8>, FrameError> {
+    if ack.worker > u16::MAX as u32 {
+        return Err(FrameError::HeaderFieldTooWide {
+            field: "worker".into(),
+        });
+    }
+    if ack.contributors > u16::MAX as u32 {
+        return Err(FrameError::HeaderFieldTooWide {
+            field: "contributors".into(),
+        });
+    }
+    let mut out = Vec::with_capacity(ACK_HEADER_BYTES + FRAME_TRAILER_BYTES);
+    out.extend_from_slice(&ACK_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(u8::from(ack.recorded) | (u8::from(ack.complete) << 1));
+    out.extend_from_slice(&ack.job.to_le_bytes());
+    out.extend_from_slice(&(ack.worker as u16).to_le_bytes());
+    out.extend_from_slice(&ack.round.to_le_bytes());
+    out.extend_from_slice(&ack.chunk.to_le_bytes());
+    out.extend_from_slice(&(ack.contributors as u16).to_le_bytes());
+    out.extend_from_slice(&ack.current_round.to_le_bytes());
+    debug_assert_eq!(out.len(), ACK_HEADER_BYTES);
+    Ok(seal_frame(out))
+}
+
+/// Parse an acknowledgement frame produced by [`encode_ack`].
+pub fn decode_ack(frame: &[u8]) -> Result<AckPacket, FrameError> {
+    let bytes = open_frame(frame, ACK_HEADER_BYTES + FRAME_TRAILER_BYTES)?;
+    if bytes.len() != ACK_HEADER_BYTES {
+        return Err(FrameError::LengthMismatch {
+            declared: ACK_HEADER_BYTES,
+            actual: bytes.len(),
+        });
+    }
+    if bytes[0..4] != ACK_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes[4] != WIRE_VERSION {
+        return Err(FrameError::BadVersion(bytes[4]));
+    }
+    let flags = bytes[5];
+    let le32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    Ok(AckPacket {
+        job: le32(6),
+        worker: u16::from_le_bytes(bytes[10..12].try_into().unwrap()) as u32,
+        round: le32(12),
+        chunk: le32(16),
+        contributors: u16::from_le_bytes(bytes[20..22].try_into().unwrap()) as u32,
+        current_round: le32(22),
+        recorded: flags & 1 != 0,
+        complete: flags & 2 != 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +521,14 @@ mod tests {
         }
     }
 
+    /// Recompute the trailer after deliberately mutating frame contents,
+    /// so a test can exercise the *semantic* decode error behind the
+    /// checksum (a real corruption is caught by the checksum first).
+    fn reseal(mut frame: Vec<u8>) -> Vec<u8> {
+        frame.truncate(frame.len() - FRAME_TRAILER_BYTES);
+        seal_frame(frame)
+    }
+
     #[test]
     fn packet_roundtrips_at_every_word_width() {
         for (wb, words) in [
@@ -375,7 +540,7 @@ mod tests {
             let bytes = encode_packet(&p, wb).unwrap();
             assert_eq!(
                 bytes.len(),
-                PACKET_HEADER_BYTES + p.payload.len() * wb as usize
+                PACKET_HEADER_BYTES + p.payload.len() * wb as usize + FRAME_TRAILER_BYTES
             );
             assert_eq!(decode_packet(&bytes).unwrap(), p, "word_bytes {wb}");
         }
@@ -383,10 +548,11 @@ mod tests {
 
     #[test]
     fn fp16_on_the_wire_halves_the_payload() {
+        let overhead = PACKET_HEADER_BYTES + FRAME_TRAILER_BYTES;
         let p = pkt(vec![0x3C00; 64]);
         let half = encode_packet(&p, 2).unwrap().len();
         let full = encode_packet(&p, 4).unwrap().len();
-        assert_eq!(full - PACKET_HEADER_BYTES, 2 * (half - PACKET_HEADER_BYTES));
+        assert_eq!(full - overhead, 2 * (half - overhead));
     }
 
     #[test]
@@ -431,16 +597,37 @@ mod tests {
             decode_packet(&good[..10]),
             Err(FrameError::TooShort { .. })
         ));
+        // A corrupted byte fails the checksum before anything else looks
+        // at it; the semantic errors below need a resealed frame.
+        let mut corrupt = good.clone();
+        corrupt[0] = b'X';
+        assert!(matches!(
+            decode_packet(&corrupt),
+            Err(FrameError::BadChecksum { .. })
+        ));
         let mut bad_magic = good.clone();
         bad_magic[0] = b'X';
-        assert_eq!(decode_packet(&bad_magic), Err(FrameError::BadMagic));
+        assert_eq!(decode_packet(&reseal(bad_magic)), Err(FrameError::BadMagic));
         let mut bad_ver = good.clone();
         bad_ver[4] = 9;
-        assert_eq!(decode_packet(&bad_ver), Err(FrameError::BadVersion(9)));
+        assert_eq!(
+            decode_packet(&reseal(bad_ver)),
+            Err(FrameError::BadVersion(9))
+        );
         let mut truncated = good.clone();
         truncated.pop();
+        // Losing a trailer byte shifts the checksum window.
         assert!(matches!(
             decode_packet(&truncated),
+            Err(FrameError::BadChecksum { .. })
+        ));
+        // One whole payload word removed, frame resealed: the count field
+        // now disagrees with the body.
+        let mut short_body = good.clone();
+        short_body.truncate(good.len() - FRAME_TRAILER_BYTES - 4);
+        short_body = seal_frame(short_body);
+        assert!(matches!(
+            decode_packet(&short_body),
             Err(FrameError::LengthMismatch { .. })
         ));
     }
@@ -504,7 +691,7 @@ mod tests {
             let bytes = encode_block_fp(&b);
             assert_eq!(
                 bytes.len(),
-                12 + b.len() * block_mantissa_bytes(man_bits),
+                12 + b.len() * block_mantissa_bytes(man_bits) + FRAME_TRAILER_BYTES,
                 "man_bits {man_bits}"
             );
             assert_eq!(decode_block_fp(&bytes).unwrap(), b, "man_bits {man_bits}");
@@ -513,11 +700,11 @@ mod tests {
 
     #[test]
     fn block_fp_wire_is_smaller_than_scalar_fp32() {
-        // 64 elements at 8-bit mantissas: ~9 bytes of header + 128 bytes of
+        // 64 elements at 8-bit mantissas: header + trailer + 128 bytes of
         // mantissas vs 256 bytes of FP32 — the §3.3 amortization.
         let vals = vec![0.5f32; 64];
         let b = BlockFp::from_f32(&vals, 8);
-        assert!(encode_block_fp(&b).len() < 64 * 4 / 2 + 16);
+        assert!(encode_block_fp(&b).len() < 64 * 4 / 2 + 32);
     }
 
     #[test]
@@ -526,15 +713,75 @@ mod tests {
         let good = encode_block_fp(&b);
         let mut bad = good.clone();
         bad[1] = b'Q';
-        assert_eq!(decode_block_fp(&bad), Err(FrameError::BadMagic));
+        assert_eq!(decode_block_fp(&reseal(bad)), Err(FrameError::BadMagic));
         let mut wide = good.clone();
         wide[5] = 42;
-        assert_eq!(decode_block_fp(&wide), Err(FrameError::BadWordWidth(42)));
+        assert_eq!(
+            decode_block_fp(&reseal(wide)),
+            Err(FrameError::BadWordWidth(42))
+        );
+        let mut corrupt = good.clone();
+        corrupt[6] ^= 0x10;
+        assert!(matches!(
+            decode_block_fp(&corrupt),
+            Err(FrameError::BadChecksum { .. })
+        ));
         let mut trunc = good;
         trunc.truncate(13);
         assert!(matches!(
             decode_block_fp(&trunc),
-            Err(FrameError::LengthMismatch { .. })
+            Err(FrameError::TooShort { .. })
         ));
+    }
+
+    #[test]
+    fn ack_roundtrips_and_rejects_corruption() {
+        let ack = AckPacket {
+            job: 7,
+            worker: 41,
+            round: 3,
+            chunk: 11,
+            contributors: 63,
+            current_round: 4,
+            recorded: true,
+            complete: false,
+        };
+        let bytes = encode_ack(&ack).unwrap();
+        assert_eq!(bytes.len(), ACK_HEADER_BYTES + FRAME_TRAILER_BYTES);
+        assert_eq!(decode_ack(&bytes).unwrap(), ack);
+        // Every flag combination survives the trip.
+        for (recorded, complete) in [(false, false), (false, true), (true, true)] {
+            let a = AckPacket {
+                recorded,
+                complete,
+                ..ack
+            };
+            assert_eq!(decode_ack(&encode_ack(&a).unwrap()).unwrap(), a);
+        }
+        // Corruption anywhere is caught by the trailer.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x04;
+            assert!(decode_ack(&bad).is_err(), "flipped byte {i}");
+        }
+        // A data frame is not an ack.
+        let data = encode_packet(&pkt(vec![1]), 4).unwrap();
+        assert!(decode_ack(&data).is_err());
+        // Oversized header fields are an encode-side error.
+        let wide = AckPacket {
+            worker: 1 << 16,
+            ..ack
+        };
+        assert!(matches!(
+            encode_ack(&wide),
+            Err(FrameError::HeaderFieldTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE CRC-32 check value ("123456789" → 0xCBF43926).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

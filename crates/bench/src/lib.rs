@@ -27,7 +27,11 @@
 //! * the in-network aggregation protocol ([`run_agg`], written to
 //!   `BENCH_agg.json`): full all-reduce rounds — packetize, slot-pool
 //!   fan-in, compiled switch program, read-out, round reset — on the
-//!   FPISA FP16 and SwitchML fixed-point backends.
+//!   FPISA FP16 and SwitchML fixed-point backends;
+//! * the adversarial network simulator ([`run_netsim`], written to
+//!   `BENCH_netsim.json`): whole chaos all-reduces through
+//!   `fpisa-netsim`, lossless and at 10% loss, reporting both the
+//!   wall-clock cost of simulating and the simulated protocol time.
 
 use fpisa_agg::{
     AggregationSwitch, Aggregator, FpisaAggregator, GradientWorkload, SwitchMlFixedPoint,
@@ -505,6 +509,86 @@ pub fn run_agg(scale: f64) -> Vec<BenchResult> {
     results
 }
 
+/// Run the network-simulation benchmark set (`BENCH_netsim.json`): a full
+/// chaos all-reduce through `fpisa-netsim` per op batch, lossless and
+/// under 10% loss + duplication + reordering. Each scenario reports two
+/// rows: the wall-clock cost of simulating it (`netsim/allreduce/...`,
+/// ops = element additions, same unit as the `agg/allreduce` benches) and
+/// the *simulated* time the protocol needed (`.../simtime`, where
+/// `ns_per_op` is simulated nanoseconds per element addition and
+/// `packets_per_sec` is the simulated aggregation throughput under the
+/// default §5.3 host cost model). The loss run is asserted bit-identical
+/// to the lossless run before anything is timed.
+pub fn run_netsim(scale: f64) -> Vec<BenchResult> {
+    use fpisa_netsim::{run_allreduce, ChaosWorkload, FaultPlan, SimConfig};
+
+    let rounds = ((6.0 * scale) as u32).max(1);
+    let workload = ChaosWorkload {
+        workers: 8,
+        elements: 256,
+        elements_per_packet: 64,
+        rounds,
+        seed: 0xBE7C,
+    };
+    let spec = workload.spec(1);
+    let gradients = workload.gradients();
+    let ops = u64::from(workload.workers) * workload.elements as u64 * u64::from(rounds);
+    let backend = || FpisaAggregator::fp16_tofino(workload.elements).expect("preset validates");
+    let loss10 = || {
+        FaultPlan::new(0xBE7C)
+            .drop(0.10)
+            .duplicate(0.05)
+            .reorder(0.05, 40_000)
+    };
+
+    // Chaos invariance gate: a benchmark of a broken protocol would be
+    // a meaningless number.
+    let clean = run_allreduce(
+        spec,
+        backend(),
+        &gradients,
+        FaultPlan::lossless(0xBE7C),
+        SimConfig::default(),
+    )
+    .expect("lossless run completes");
+    let lossy = run_allreduce(spec, backend(), &gradients, loss10(), SimConfig::default())
+        .expect("loss10 run completes");
+    assert_eq!(
+        clean.results, lossy.results,
+        "loss10 diverged from lossless — not benchmarking a broken protocol"
+    );
+
+    let mut results = Vec::new();
+    for (label, plan, report) in [
+        ("lossless", FaultPlan::lossless(0xBE7C), &clean),
+        ("loss10", loss10(), &lossy),
+    ] {
+        results.push(bench(format!("netsim/allreduce/{label}"), ops, 5, || {
+            let r = run_allreduce(
+                spec,
+                backend(),
+                &gradients,
+                plan.clone(),
+                SimConfig::default(),
+            )
+            .expect("simulation completes");
+            std::hint::black_box(r.trace_hash);
+        }));
+        // Simulated time is a property of the run, not the host: report
+        // it as a synthetic single-batch result.
+        let sim_ns = report.sim_ns.max(1);
+        results.push(BenchResult {
+            name: format!("netsim/allreduce/{label}/simtime"),
+            batch_ops: ops,
+            batches: 1,
+            median_batch_ns: sim_ns,
+            ns_per_op: sim_ns as f64 / ops as f64,
+            packets_per_sec: ops as f64 / sim_ns as f64 * 1e9,
+        });
+    }
+    results
+}
+
 /// Escape a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -611,6 +695,37 @@ mod tests {
             assert!(r.median_batch_ns > 0, "{} measured nothing", r.name);
             assert!(r.packets_per_sec > 0.0, "{} has no rate", r.name);
         }
+    }
+
+    #[test]
+    fn run_netsim_covers_both_scenarios_with_sim_and_wall_time() {
+        let results = run_netsim(0.2);
+        assert_eq!(results.len(), 4);
+        for name in [
+            "netsim/allreduce/lossless",
+            "netsim/allreduce/lossless/simtime",
+            "netsim/allreduce/loss10",
+            "netsim/allreduce/loss10/simtime",
+        ] {
+            assert!(
+                results.iter().any(|r| r.name == name),
+                "missing bench row {name}"
+            );
+        }
+        for r in &results {
+            assert!(r.median_batch_ns > 0, "{} measured nothing", r.name);
+            assert!(r.packets_per_sec > 0.0, "{} has no rate", r.name);
+        }
+        // The simulated-time rows are host-independent: loss must cost
+        // simulated time relative to lossless.
+        let sim = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .median_batch_ns
+        };
+        assert!(sim("netsim/allreduce/loss10/simtime") > sim("netsim/allreduce/lossless/simtime"));
     }
 
     #[test]

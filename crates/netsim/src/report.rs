@@ -1,0 +1,183 @@
+//! Run accounting: counters, degradation shortfalls, results, and the
+//! rendered tables chaos tests assert against.
+//!
+//! Every observable of a simulated run lands here — tests compare
+//! [`RunReport`]s (and their [`RunReport::trace_hash`]) instead of
+//! scraping logs, and sweeps render through
+//! [`fpisa_hw::report::render_columns`] like every other table in the
+//! workspace.
+
+use fpisa_agg::PoolStats;
+use fpisa_hw::report::render_columns;
+
+/// One chunk-round that finished without full fan-in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shortfall {
+    pub round: u32,
+    pub chunk: u32,
+    /// Workers whose contributions made it into the sum.
+    pub contributors: u32,
+    /// Workers missing from the sum (deregistered before contributing).
+    pub missing: Vec<u32>,
+}
+
+/// Everything a simulated run produced. `PartialEq` + the trace hash make
+/// "same seed ⇒ same run" a one-line assertion.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Simulated time at which the run ended.
+    pub sim_ns: u64,
+    /// Events processed.
+    pub events: u64,
+    /// FNV-1a hash over every processed `(time, event)` pair — two runs
+    /// with equal hashes took the same trajectory event for event.
+    pub trace_hash: u64,
+
+    /// Data frames handed to the NIC (first sends + retransmissions).
+    pub sent: u64,
+    /// Data frames that reached the switch and decoded cleanly.
+    pub delivered: u64,
+    /// Frame copies dropped in flight (data and ACK directions).
+    pub dropped: u64,
+    /// Frames duplicated in flight.
+    pub duplicated: u64,
+    /// Frame copies corrupted in flight.
+    pub corrupted: u64,
+    /// Corrupted/garbled frames rejected by CRC or frame decode.
+    pub corrupt_rejected: u64,
+    /// Retransmissions (includes completion probes from `AwaitDone`).
+    pub retransmits: u64,
+    /// Retransmission timers that fired and were honored.
+    pub timeouts: u64,
+    /// ACK frames the switch emitted (direct ACKs + completion notices).
+    pub acks_sent: u64,
+    /// ACK frames delivered to a live worker and decoded cleanly.
+    pub acks_delivered: u64,
+    /// ACK frames that arrived at a dead worker.
+    pub acks_ignored: u64,
+
+    /// Chunk-rounds that completed (degraded ones included).
+    pub completed_rounds: u64,
+    /// Chunk-rounds that completed without full fan-in.
+    pub degraded_chunks: u64,
+    /// Chunk-rounds never completed (e.g. every worker failed).
+    pub incomplete_chunks: u64,
+    pub crashes: u64,
+    pub restarts: u64,
+    /// Workers deregistered (gave up or permanently crashed).
+    pub workers_failed: u64,
+
+    /// Switch-side pool statistics.
+    pub pool: PoolStats,
+    /// Aggregated results per round; ranges belonging to chunk-rounds
+    /// that never completed stay at `0.0` (check `incomplete_chunks`).
+    pub results: Vec<Vec<f64>>,
+    /// Detail for every degraded chunk-round, in completion order.
+    pub shortfall: Vec<Shortfall>,
+}
+
+impl RunReport {
+    /// True when every chunk-round of the job completed with full fan-in.
+    pub fn clean(&self) -> bool {
+        self.incomplete_chunks == 0 && self.degraded_chunks == 0
+    }
+
+    /// The counter rows of the standard report table.
+    fn counter_rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("sim time (ns)", self.sim_ns),
+            ("events", self.events),
+            ("data sent", self.sent),
+            ("data delivered", self.delivered),
+            ("dropped", self.dropped),
+            ("duplicated", self.duplicated),
+            ("corrupted", self.corrupted),
+            ("corrupt rejected", self.corrupt_rejected),
+            ("retransmits", self.retransmits),
+            ("timeouts", self.timeouts),
+            ("acks sent", self.acks_sent),
+            ("acks delivered", self.acks_delivered),
+            ("acks ignored", self.acks_ignored),
+            ("completed rounds", self.completed_rounds),
+            ("degraded chunks", self.degraded_chunks),
+            ("incomplete chunks", self.incomplete_chunks),
+            ("crashes", self.crashes),
+            ("restarts", self.restarts),
+            ("workers failed", self.workers_failed),
+            ("pool accepted", self.pool.accepted),
+            ("pool duplicates", self.pool.duplicates),
+            ("pool stale", self.pool.stale),
+            ("pool deregistered", self.pool.deregistered),
+        ]
+    }
+}
+
+/// Render one run's counters as a two-column table.
+pub fn render_report(report: &RunReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .counter_rows()
+        .into_iter()
+        .map(|(name, v)| vec![name.to_string(), v.to_string()])
+        .collect();
+    render_columns(&["counter", "value"], &rows)
+}
+
+/// Render a fault sweep: one column per labeled run, one row per counter.
+/// Panics if `labels` and `reports` differ in length.
+pub fn render_sweep(labels: &[String], reports: &[RunReport]) -> String {
+    assert_eq!(labels.len(), reports.len(), "one label per report");
+    assert!(!reports.is_empty(), "nothing to render");
+    let mut headers: Vec<&str> = vec!["counter"];
+    headers.extend(labels.iter().map(|s| s.as_str()));
+    let names: Vec<&'static str> = reports[0]
+        .counter_rows()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut row = vec![name.to_string()];
+            row.extend(reports.iter().map(|r| r.counter_rows()[i].1.to_string()));
+            row
+        })
+        .collect();
+    render_columns(&headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_every_counter() {
+        let r = RunReport {
+            sent: 42,
+            degraded_chunks: 1,
+            ..RunReport::default()
+        };
+        let table = render_report(&r);
+        assert!(table.contains("data sent"));
+        assert!(table.contains("42"));
+        assert!(table.contains("degraded chunks"));
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn sweep_renders_one_column_per_run() {
+        let a = RunReport {
+            sent: 10,
+            ..RunReport::default()
+        };
+        let b = RunReport {
+            sent: 20,
+            ..RunReport::default()
+        };
+        let table = render_sweep(&["lossless".into(), "loss10".into()], &[a, b]);
+        assert!(table.contains("lossless"));
+        assert!(table.contains("loss10"));
+        assert!(table.contains("10"));
+        assert!(table.contains("20"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Topology and end-host cost models.
+//!
+//! The paper's §5.3 shows that once the switch aggregates at line rate,
+//! the end host becomes the bottleneck: quantizing FP32 gradients to the
+//! wire format ([`fpisa_core::FpFormat::quantize_f32`]), converting
+//! endianness, and copying bytes between buffers all cost real time per
+//! element. [`HostCostModel`] parameterizes those costs so the simulator
+//! reproduces throughput-vs-workers shapes (Figs. 7/11) without hardware;
+//! [`LinkConfig`] carries the fabric-side latencies.
+//!
+//! All arithmetic is integer (picoseconds per unit, summed and divided
+//! down to nanoseconds) so timing is bit-identical across platforms.
+
+use fpisa_core::FpFormat;
+
+/// Per-hop fabric timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// One-way propagation + serialization latency, worker <-> switch.
+    pub latency_ns: u64,
+    /// Switch processing time per frame (parse, pool update, ACK build).
+    pub switch_ns: u64,
+    /// Control-plane RPC latency (worker resync after restart, failure
+    /// report before deregistration).
+    pub control_rpc_ns: u64,
+    /// Failure-detection delay: how long after a silent crash the control
+    /// plane declares the worker dead and shrinks the contributor set.
+    pub detect_ns: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        // A small RoCE-style cluster: ~5 us worker-to-switch, sub-us
+        // switch processing, tens of us for control-plane round trips.
+        LinkConfig {
+            latency_ns: 5_000,
+            switch_ns: 300,
+            control_rpc_ns: 20_000,
+            detect_ns: 200_000,
+        }
+    }
+}
+
+/// §5.3 end-host cost knobs, in picoseconds per unit so sub-ns/byte costs
+/// stay exact in integer math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostCostModel {
+    /// Quantization cost per gradient element (FP32 -> wire format via
+    /// `FpFormat::quantize_f32`); zero when the wire format is FP32.
+    pub quantize_ps_per_elem: u64,
+    /// Host-to-network byte-order conversion per payload byte.
+    pub endian_ps_per_byte: u64,
+    /// memcpy between framework buffer and NIC staging per payload byte.
+    pub memcpy_ps_per_byte: u64,
+    /// Fixed per-packet overhead (syscall/doorbell/DMA setup).
+    pub packet_overhead_ns: u64,
+}
+
+impl Default for HostCostModel {
+    fn default() -> Self {
+        HostCostModel {
+            quantize_ps_per_elem: 6_000, // ~6 ns per f32 -> f16 convert
+            endian_ps_per_byte: 400,
+            memcpy_ps_per_byte: 250,
+            packet_overhead_ns: 500,
+        }
+    }
+}
+
+impl HostCostModel {
+    /// A zero-cost host: packets leave the instant they are handed to the
+    /// NIC. Useful for tests that only care about protocol behavior.
+    pub fn zero() -> Self {
+        HostCostModel {
+            quantize_ps_per_elem: 0,
+            endian_ps_per_byte: 0,
+            memcpy_ps_per_byte: 0,
+            packet_overhead_ns: 0,
+        }
+    }
+
+    /// Derive the quantization knob from the wire format, keeping the
+    /// other defaults: FP32 on the wire needs no conversion, narrower
+    /// formats pay the per-element `quantize_f32` cost.
+    pub fn for_format(format: FpFormat) -> Self {
+        let mut m = HostCostModel::default();
+        if format == FpFormat::FP32 || format == FpFormat::FP64 {
+            m.quantize_ps_per_elem = 0;
+        }
+        m
+    }
+
+    /// Host-side cost of preparing and handing off one frame carrying
+    /// `elems` gradient elements in `frame_bytes` total bytes.
+    pub fn packet_ns(&self, elems: usize, frame_bytes: usize) -> u64 {
+        let ps = self.quantize_ps_per_elem * elems as u64
+            + (self.endian_ps_per_byte + self.memcpy_ps_per_byte) * frame_bytes as u64;
+        self.packet_overhead_ns + ps / 1_000
+    }
+}
+
+/// The full simulated fabric: one switch, `workers` hosts, uniform links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Topology {
+    pub link: LinkConfig,
+    pub cost: HostCostModel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_cost_is_integer_and_monotone() {
+        let m = HostCostModel::default();
+        let small = m.packet_ns(32, 100);
+        let big = m.packet_ns(64, 200);
+        assert!(big > small);
+        assert_eq!(HostCostModel::zero().packet_ns(1024, 4096), 0);
+    }
+
+    #[test]
+    fn fp32_wire_skips_quantization() {
+        assert_eq!(
+            HostCostModel::for_format(FpFormat::FP32).quantize_ps_per_elem,
+            0
+        );
+        assert!(HostCostModel::for_format(FpFormat::FP16).quantize_ps_per_elem > 0);
+    }
+}

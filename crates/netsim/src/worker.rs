@@ -1,0 +1,151 @@
+//! Worker-side protocol state: the per-chunk send/await state machine,
+//! retransmission policy, and crash/restart bookkeeping.
+//!
+//! Each worker runs the real `fpisa_agg` client protocol: packetize the
+//! round's gradient, send each chunk, and wait for an [`fpisa_agg::AckPacket`].
+//! An ACK with `recorded` set only proves the switch holds this worker's
+//! contribution (first arrival and idempotently-dropped duplicate are
+//! deliberately indistinguishable); the chunk is finished only when a
+//! completion ACK (or a later `current_round`) arrives. Until then the
+//! worker keeps a timer armed and re-sends with exponential backoff — a
+//! re-send in `AwaitDone` acts as a completion probe whose duplicate-ACK
+//! answer carries the switch's current round.
+
+use crate::events::SimTime;
+
+/// Retransmission policy: exponential backoff with a cap and a budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Initial retransmission timeout.
+    pub rto_ns: u64,
+    /// Backoff cap: the RTO never exceeds this.
+    pub max_rto_ns: u64,
+    /// After this many timer firings for one chunk-round the worker
+    /// declares its link dead, stops, and reports itself to the control
+    /// plane (which deregisters it so rounds finish degraded).
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            rto_ns: 30_000,
+            max_rto_ns: 1_000_000,
+            max_retries: 12,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// RTO for the given attempt number (0-based), doubling per attempt
+    /// up to the cap.
+    pub fn rto_for(&self, attempt: u32) -> u64 {
+        let shifted = self.rto_ns.checked_shl(attempt.min(63)).unwrap_or(u64::MAX);
+        shifted.min(self.max_rto_ns).max(1)
+    }
+}
+
+/// Where one chunk of the current round stands, from this worker's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPhase {
+    /// Sent (or about to be re-sent); no `recorded` ACK seen yet.
+    Sending,
+    /// The switch has acknowledged our contribution; waiting for the
+    /// round-completion notice. Timer stays armed as a completion probe.
+    AwaitDone,
+    /// All rounds for this chunk are finished.
+    Done,
+}
+
+/// Per-chunk progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkProgress {
+    /// Round this worker is currently working on for the chunk.
+    pub round: u32,
+    pub phase: ChunkPhase,
+    /// Timer firings consumed for this chunk-round (drives backoff and
+    /// the retry budget).
+    pub attempt: u32,
+    /// Timer epoch: bumped every time a timer is armed; a firing timer
+    /// is honored only if its epoch still matches, so superseded timers
+    /// die silently.
+    pub timer_epoch: u32,
+}
+
+impl ChunkProgress {
+    fn new() -> Self {
+        ChunkProgress {
+            round: 0,
+            phase: ChunkPhase::Sending,
+            attempt: 0,
+            timer_epoch: 0,
+        }
+    }
+}
+
+/// One simulated end host.
+#[derive(Debug, Clone)]
+pub struct WorkerState {
+    pub id: u32,
+    /// Processing frames and timers right now.
+    pub alive: bool,
+    /// Permanently out of the job (gave up or crashed without restart);
+    /// set at most once, at deregistration time.
+    pub failed: bool,
+    /// Bumped on every crash; timers and in-flight state from a previous
+    /// incarnation are ignored.
+    pub incarnation: u32,
+    pub chunks: Vec<ChunkProgress>,
+    /// Host NIC serialization point: the next frame cannot start its
+    /// host-side processing before this instant.
+    pub next_tx_free_ns: SimTime,
+}
+
+impl WorkerState {
+    pub fn new(id: u32, chunks: usize) -> Self {
+        WorkerState {
+            id,
+            alive: true,
+            failed: false,
+            incarnation: 0,
+            chunks: vec![ChunkProgress::new(); chunks],
+            next_tx_free_ns: 0,
+        }
+    }
+
+    /// True when every chunk has finished all `rounds` rounds.
+    pub fn all_done(&self) -> bool {
+        self.chunks.iter().all(|c| c.phase == ChunkPhase::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rto_doubles_and_caps() {
+        let r = RetryConfig {
+            rto_ns: 100,
+            max_rto_ns: 750,
+            max_retries: 5,
+        };
+        assert_eq!(r.rto_for(0), 100);
+        assert_eq!(r.rto_for(1), 200);
+        assert_eq!(r.rto_for(2), 400);
+        assert_eq!(r.rto_for(3), 750);
+        assert_eq!(r.rto_for(40), 750);
+    }
+
+    #[test]
+    fn fresh_worker_is_sending_round_zero() {
+        let w = WorkerState::new(3, 4);
+        assert!(w.alive && !w.failed);
+        assert_eq!(w.chunks.len(), 4);
+        assert!(w
+            .chunks
+            .iter()
+            .all(|c| c.round == 0 && c.phase == ChunkPhase::Sending));
+        assert!(!w.all_done());
+    }
+}
