@@ -23,7 +23,9 @@
 //!   widths of §3.3 and the nearest-even read-out of Appendix A.1;
 //! * the batch paths that feed million-packet experiments:
 //!   `pipeline/add_batch/*`, `pipeline/read_batch/*` and the raw
-//!   `pisa/run_batch` engine loop with no pipeline wrapping;
+//!   `pisa/run_batch` engine loop with no pipeline wrapping, plus the
+//!   `pisa/run_lanes_simd` / `pisa/run_lanes_scalar` pair that isolates
+//!   the chunked SoA lane kernels from everything else;
 //! * the in-network aggregation protocol ([`run_agg`], written to
 //!   `BENCH_agg.json`): full all-reduce rounds — packetize, slot-pool
 //!   fan-in, compiled switch program, read-out, round reset — on the
@@ -284,6 +286,40 @@ pub fn run_all(scale: f64) -> Vec<BenchResult> {
         }));
     }
 
+    // The SoA lane-kernel microbench: the same pre-built ADD PHVs through
+    // `run_batch_soa` with the chunked u64×8 lane kernels on and off. The
+    // two rows isolate the vectorization win from everything else in the
+    // batch path (same program, same transpose, same Phase C).
+    for (name, simd) in [
+        ("pisa/run_lanes_simd", true),
+        ("pisa/run_lanes_scalar", false),
+    ] {
+        let batch = ops(8_192);
+        let spec = PipelineSpec::new(PipelineVariant::TofinoA).slots(64);
+        let (program, fields, _arrays) = spec.build().expect("spec must validate");
+        let mut engine = fpisa_pisa::CompiledSwitch::compile(&program).expect("program validates");
+        assert!(engine.soa_eligible(), "lane microbench needs the SoA path");
+        engine.set_simd_kernels(simd);
+        let inputs: Vec<(u64, u64)> = (0..batch)
+            .map(|i| {
+                (
+                    i % 64,
+                    u64::from(stream[i as usize % stream.len()].to_bits()),
+                )
+            })
+            .collect();
+        let mut phvs: Vec<fpisa_pisa::Phv> = (0..batch).map(|_| engine.phv()).collect();
+        results.push(bench(name, batch, 10, || {
+            for (phv, &(slot, bits)) in phvs.iter_mut().zip(&inputs) {
+                phv.clear();
+                phv.set(fields.op, OP_ADD);
+                phv.set(fields.slot, slot);
+                phv.set(fields.value, bits);
+            }
+            std::hint::black_box(engine.run_batch_soa(&mut phvs).expect("run"));
+        }));
+    }
+
     // READ path on both engines, plus the batch READ.
     for (name, engine) in [
         (
@@ -480,13 +516,21 @@ pub fn run_agg(scale: f64) -> Vec<BenchResult> {
         ..GradientWorkload::fig10(16)
     };
     let big_rounds = ((2.0 * scale) as u64).max(1);
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     for shards in [1usize, 2, 4, 8] {
         // Force the worker budget to the shard count so the curve always
         // measures the persistent-pool dispatch path it claims to —
         // without this, a host with fewer cores than shards silently runs
-        // every bucket inline and the curve measures nothing new. The
-        // `meta.host_cores` header in the recorded JSON says whether the
-        // workers actually ran in parallel.
+        // every bucket inline and the curve measures nothing new. On a
+        // 1-core host that forcing means the "parallel" workers time-slice
+        // one core, so the row measures pool dispatch overhead, not
+        // scaling: record it under a `_forcedpool` name so the artifact
+        // can't be mistaken for a real shard curve.
+        let name = if shards > 1 && host_cores == 1 {
+            format!("agg/allreduce/fpisa_fp16_shards{shards}_forcedpool")
+        } else {
+            format!("agg/allreduce/fpisa_fp16_shards{shards}")
+        };
         let spec = PipelineSpec::new(PipelineVariant::TofinoA)
             .format(FpFormat::FP16)
             .slots(big.elements)
@@ -495,7 +539,7 @@ pub fn run_agg(scale: f64) -> Vec<BenchResult> {
             .parallelism(shards);
         bench_allreduce(
             &mut results,
-            &format!("agg/allreduce/fpisa_fp16_shards{shards}"),
+            &name,
             &big,
             Box::new(
                 FpisaAggregator::from_spec(spec)
@@ -648,7 +692,7 @@ mod tests {
     #[test]
     fn run_all_covers_core_and_pipeline() {
         let results = run_all(0.01);
-        assert_eq!(results.len(), 17);
+        assert_eq!(results.len(), 19);
         assert!(results.iter().any(|r| r.name == "analysis/verify_program"));
         assert!(results.iter().any(|r| r.name.contains("core/add_f32")));
         assert!(results.iter().any(|r| r.name == "core/add_f32/traced"));
@@ -667,6 +711,10 @@ mod tests {
             .iter()
             .any(|r| r.name == "pipeline/read_batch/tofino_a"));
         assert!(results.iter().any(|r| r.name == "pisa/run_batch/tofino_a"));
+        // The lane-kernel microbench pair: SIMD vs scalar on the same
+        // SoA batch path.
+        assert!(results.iter().any(|r| r.name == "pisa/run_lanes_simd"));
+        assert!(results.iter().any(|r| r.name == "pisa/run_lanes_scalar"));
         assert!(results.iter().any(|r| r.name.contains("read_packet")));
         assert!(results.iter().any(|r| r.name.contains("fp16")));
         assert!(results.iter().any(|r| r.name.contains("bf16")));
@@ -683,12 +731,18 @@ mod tests {
         assert_eq!(results.len(), 6);
         assert!(results.iter().any(|r| r.name == "agg/allreduce/fpisa_fp16"));
         assert!(results.iter().any(|r| r.name == "agg/allreduce/switchml"));
+        // Shard rows that time-slice a single core are labeled
+        // `_forcedpool`; on a multi-core host they keep the plain name.
+        let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
         for shards in [1, 2, 4, 8] {
+            let want = if shards > 1 && host_cores == 1 {
+                format!("agg/allreduce/fpisa_fp16_shards{shards}_forcedpool")
+            } else {
+                format!("agg/allreduce/fpisa_fp16_shards{shards}")
+            };
             assert!(
-                results
-                    .iter()
-                    .any(|r| r.name == format!("agg/allreduce/fpisa_fp16_shards{shards}")),
-                "missing shards{shards} row"
+                results.iter().any(|r| r.name == want),
+                "missing shard row {want}"
             );
         }
         for r in &results {

@@ -22,7 +22,7 @@
 //! `(variant × format × rounding)` configuration.
 
 use fpisa_core::{FpClass, FpFormat, FpisaAccumulator, ReadRounding, SwitchValue};
-use fpisa_pipeline::{ExecEngine, FpisaPipeline, PipelineSpec, PipelineVariant};
+use fpisa_pipeline::{ExecEngine, FpisaPipeline, PhaseCOrder, PipelineSpec, PipelineVariant};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 const SLOTS: usize = 8;
@@ -80,10 +80,12 @@ fn run_differential(variant: PipelineVariant, seed: u64) {
         let cell = format!("{variant:?}/{format:?}/g{guard}/{rounding:?}");
         let mut refs: Vec<FpisaAccumulator> =
             (0..SLOTS).map(|_| FpisaAccumulator::new(cfg)).collect();
+        let mut stream: Vec<(usize, u64)> = Vec::with_capacity(ADDS_PER_CELL);
 
         for i in 0..ADDS_PER_CELL {
             let slot = rng.gen_range(0usize..SLOTS);
             let bits = random_bits(&mut rng, format);
+            stream.push((slot, bits));
 
             // All sides must plan the same alignment path (step-wise hook).
             if format.unpack(bits).class != FpClass::Zero {
@@ -164,6 +166,45 @@ fn run_differential(variant: PipelineVariant, seed: u64) {
             assert_eq!(interp.read_bits(slot).unwrap(), got);
             assert_eq!(comp.read_bits(slot).unwrap(), got);
             assert_eq!(sharded.read_bits(slot).unwrap(), got);
+        }
+
+        // Batch path: replay the same stream in SOA-width batches (wide
+        // enough to engage both the SIMD lane kernels and slot-sorted
+        // Phase C) on every knob combination the compiled engine exposes,
+        // and demand the same bit-for-bit agreement with the reference.
+        for (knobs, simd, order) in [
+            ("simd/auto", true, PhaseCOrder::Auto),
+            ("simd/slot-sorted", true, PhaseCOrder::SlotSorted),
+            ("scalar/packet-ordered", false, PhaseCOrder::PacketOrdered),
+            ("scalar/slot-sorted", false, PhaseCOrder::SlotSorted),
+        ] {
+            let mut pipe = FpisaPipeline::from_spec(
+                spec.engine(ExecEngine::Compiled)
+                    .simd_kernels(simd)
+                    .phase_c_order(order),
+            )
+            .expect("spec must validate");
+            for chunk in stream.chunks(96) {
+                pipe.add_batch(chunk).unwrap();
+            }
+            let batch = pipe.read_batch(&(0..SLOTS).collect::<Vec<_>>()).unwrap();
+            for (slot, reference) in refs.iter().enumerate() {
+                let want_state = if reference.is_initialized() {
+                    (reference.exponent(), reference.mantissa())
+                } else {
+                    (0, 0)
+                };
+                assert_eq!(
+                    pipe.register_state(slot),
+                    want_state,
+                    "{cell} [{knobs}] batch register state diverged in slot {slot}"
+                );
+                assert_eq!(
+                    batch[slot],
+                    reference.read_bits(),
+                    "{cell} [{knobs}] batch read of slot {slot}"
+                );
+            }
         }
     }
 }

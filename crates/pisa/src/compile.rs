@@ -77,6 +77,7 @@ use crate::register::{
 };
 use crate::switch::{ProgramError, RuntimeError, Switch, SwitchProgram};
 use crate::table::{KeyMatch, Table};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -246,12 +247,27 @@ struct CompiledTable {
     /// Split-key LUT dispatch (see [`SplitKey`]): set when some key
     /// fields are action-written but their total width is tiny.
     split: Option<SplitKey>,
+    /// Selected-constant dispatch (see [`SelectorTape`]): set when every
+    /// action of this table runs the same op skeleton, with per-action
+    /// ops/constants gathered at dispatch — the divergent-batch fast
+    /// path for shift tables.
+    selector: Option<SelectorTape>,
 }
 
-/// Widest combined varying-key width (bits) for which
-/// [`CompiledTable::lookup_lanes`] dispatches through a per-batch action
-/// LUT instead of per-packet matching.
-const SPLIT_LUT_BITS: u32 = 6;
+/// Default widest combined varying-key width (bits) for which
+/// `CompiledTable::lookup_lanes` dispatches through a per-batch action
+/// LUT instead of per-packet matching. Tunable per compile via
+/// [`CompiledSwitch::compile_tuned`] up to [`SPLIT_LUT_MAX_BITS`].
+pub const SPLIT_LUT_BITS_DEFAULT: u32 = 10;
+
+/// Hard ceiling on the split-key LUT width: 2^10 × u32 = 4 KiB per
+/// batch, still rebuilt profitably when the batch has at least as many
+/// lanes as the LUT has entries.
+pub const SPLIT_LUT_MAX_BITS: u32 = 10;
+
+/// Widest LUT kept on the stack; wider plans spill to a heap scratch
+/// buffer reused across batches (`CompiledSwitch::lutbuf`).
+const SPLIT_LUT_STACK_BITS: u32 = 6;
 
 /// Split-key dispatch plan for a table whose key tuple mixes *stable*
 /// fields (never written by any action — an opcode) with a few bits of
@@ -270,7 +286,7 @@ struct SplitKey {
     /// inside the compact LUT index.
     varying: Box<[(u16, u32, u64)]>,
     /// Total varying width; LUT has `1 << width` entries
-    /// (≤ [`SPLIT_LUT_BITS`]).
+    /// (≤ [`SPLIT_LUT_MAX_BITS`]).
     width: u32,
 }
 
@@ -396,6 +412,7 @@ impl CompiledTable {
         pass: &mut [bool],
         keybuf: &mut Vec<u64>,
         row: &mut [u64],
+        lutbuf: &mut Vec<u32>,
     ) -> Option<u32> {
         let dflt = self.default_action.unwrap_or(MISS);
         if let Matcher::Const(a) = &self.matcher {
@@ -417,10 +434,20 @@ impl CompiledTable {
                 for &f in s.stable.iter() {
                     row[f as usize] = buf[f as usize * cap];
                 }
-                let mut lut = [MISS; 1 << SPLIT_LUT_BITS];
+                // Narrow plans fill a stack LUT; wide ones (up to 2^10
+                // entries) spill to the reused heap scratch so the hot
+                // frame stays small either way.
+                let mut stack_lut = [MISS; 1 << SPLIT_LUT_STACK_BITS];
+                let lut: &mut [u32] = if m <= stack_lut.len() {
+                    &mut stack_lut[..m]
+                } else {
+                    lutbuf.clear();
+                    lutbuf.resize(m, MISS);
+                    &mut lutbuf[..]
+                };
                 let mut first_a = MISS;
                 let mut all_same = true;
-                for (combo, slot) in lut.iter_mut().enumerate().take(m) {
+                for (combo, slot) in lut.iter_mut().enumerate() {
                     for &(f, sh, fmask) in s.varying.iter() {
                         row[f as usize] = (combo as u64 >> sh) & fmask;
                     }
@@ -560,7 +587,7 @@ struct CompiledAction {
 
 /// A pre-resolved operand: the PHV value offset plus the sign-extension
 /// shift (64 − field width), so evaluation is pure slice arithmetic.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CompiledOperand {
     Field {
         idx: u32,
@@ -619,6 +646,36 @@ impl CompiledOperand {
                 ((*base.add(idx as usize * cap + lane) << sx) as i64) >> sx
             },
             CompiledOperand::Const(c) => c,
+        }
+    }
+
+    /// Fill one [`LANE_CHUNK`]-wide chunk of raw operand values starting
+    /// at lane `i0` — the load half of the SIMD lane kernels. A field
+    /// operand copies a contiguous run of its column; a constant splats.
+    ///
+    /// # Safety
+    /// As [`CompiledOperand::raw_at`], for lanes `i0..i0 + LANE_CHUNK`.
+    #[inline(always)]
+    unsafe fn load_chunk(&self, base: *const u64, cap: usize, i0: usize, out: &mut Chunk) {
+        match *self {
+            CompiledOperand::Field { idx, .. } => {
+                let p = unsafe { base.add(idx as usize * cap + i0) };
+                for (k, o) in out.iter_mut().enumerate() {
+                    *o = unsafe { *p.add(k) };
+                }
+            }
+            CompiledOperand::Const(c) => out.fill(c as u64),
+        }
+    }
+
+    /// The sign-extension shift the chunk kernels apply to this operand's
+    /// *raw* values to recover the signed view. A constant already is its
+    /// signed value bit-for-bit in 64 bits, so its shift is zero.
+    #[inline]
+    fn sx_shift(&self) -> u32 {
+        match *self {
+            CompiledOperand::Field { sx, .. } => sx,
+            CompiledOperand::Const(_) => 0,
         }
     }
 
@@ -727,9 +784,69 @@ fn apply_alu(op: AluOp, araw: u64, asig: i64, braw: u64, bsig: i64) -> u64 {
     }
 }
 
+/// Vector width of the explicit SIMD lane kernels, in lanes. Eight u64
+/// lanes are one cache line — a full AVX-512 register, two AVX2
+/// registers, four SSE2 registers — so every fixed-size loop below
+/// lowers to whole vector ops at any x86-64 feature level.
+pub const LANE_CHUNK: usize = 8;
+
+/// One fixed-width vector of lanes. Kept as a plain array: the kernels
+/// load operands into `Chunk` locals *before* storing to the destination
+/// column, which both removes the aliasing hazard (all columns share one
+/// buffer, so the compiler cannot prove a plain lane loop's loads and
+/// stores disjoint) and hands LLVM loops of a known constant trip count
+/// it will happily unroll into vector instructions.
+type Chunk = [u64; LANE_CHUNK];
+
+/// The ALU over one chunk of already-loaded *raw* operand values — the
+/// compute half of the SIMD lane kernels. `asx`/`bsx` are the operands'
+/// sign-extension shifts ([`CompiledOperand::sx_shift`]); arms that only
+/// need the raw view ignore them. Every arm is branchless per lane
+/// (shift guards become masks, compares become `as u64`), bit-for-bit
+/// matching [`eval_alu`] / [`apply_alu`].
+#[inline(always)]
+fn alu_chunk(op: AluOp, ar: &Chunk, asx: u32, br: &Chunk, bsx: u32, out: &mut Chunk) {
+    #[inline(always)]
+    fn sext(raw: u64, sx: u32) -> i64 {
+        ((raw << sx) as i64) >> sx
+    }
+    macro_rules! k {
+        (|$i:ident| $e:expr) => {
+            for $i in 0..LANE_CHUNK {
+                out[$i] = $e;
+            }
+        };
+    }
+    match op {
+        AluOp::Set => k!(|i| ar[i]),
+        AluOp::Add => k!(|i| ar[i].wrapping_add(br[i])),
+        AluOp::Sub => k!(|i| ar[i].wrapping_sub(br[i])),
+        AluOp::And => k!(|i| ar[i] & br[i]),
+        AluOp::Or => k!(|i| ar[i] | br[i]),
+        AluOp::Xor => k!(|i| ar[i] ^ br[i]),
+        // `d >= 64 → 0` without a branch: shift by `d & 63` (total on
+        // u64), then mask the lane to zero when `d` was out of range.
+        AluOp::Shl => k!(|i| {
+            let d = br[i];
+            (ar[i] << (d & 63)) & 0u64.wrapping_sub(u64::from(d < 64))
+        }),
+        AluOp::ShrLogic => k!(|i| {
+            let d = br[i];
+            (ar[i] >> (d & 63)) & 0u64.wrapping_sub(u64::from(d < 64))
+        }),
+        AluOp::ShrArith => k!(|i| (sext(ar[i], asx) >> br[i].min(63)) as u64),
+        AluOp::CmpEq => k!(|i| (ar[i] == br[i]) as u64),
+        AluOp::CmpNe => k!(|i| (ar[i] != br[i]) as u64),
+        AluOp::CmpLt => k!(|i| (sext(ar[i], asx) < sext(br[i], bsx)) as u64),
+        AluOp::CmpLe => k!(|i| (sext(ar[i], asx) <= sext(br[i], bsx)) as u64),
+        AluOp::CmpGt => k!(|i| (sext(ar[i], asx) > sext(br[i], bsx)) as u64),
+        AluOp::CmpGe => k!(|i| (sext(ar[i], asx) >= sext(br[i], bsx)) as u64),
+    }
+}
+
 /// One op-tape entry: [`Primitive`] with the destination offset/mask and
 /// both operands pre-resolved, executing on a strided value store.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CompiledPrim {
     dst: u32,
     dst_mask: u64,
@@ -849,6 +966,51 @@ impl CompiledPrim {
             }
         }
     }
+
+    /// Explicit SIMD sweep: both operands are loaded into
+    /// [`LANE_CHUNK`]-wide locals, the ALU runs branchless over the chunk
+    /// ([`alu_chunk`]), and the masked result is stored contiguously —
+    /// with a scalar tail for the last `n % LANE_CHUNK` lanes. Loading a
+    /// whole chunk *before* the store keeps a destination column that
+    /// aliases an operand column correct: primitives read and write only
+    /// their own lane, so the only hazard is within a lane, and the load
+    /// always precedes the store for every lane of the chunk.
+    ///
+    /// Unpredicated only; divergent/predicated batches go through
+    /// [`CompiledPrim::execute_lane_impl`].
+    fn execute_lane_simd(&self, buf: &mut [u64], cap: usize, n: usize) {
+        let d0 = self.dst as usize * cap;
+        debug_assert!(d0 + n <= buf.len());
+        debug_assert!(n <= cap, "lane count {n} exceeds column capacity {cap}");
+        debug_assert!(self.a.column_in_bounds(cap, n, buf.len()));
+        debug_assert!(self.b.column_in_bounds(cap, n, buf.len()));
+        let mask = self.dst_mask;
+        let (asx, bsx) = (self.a.sx_shift(), self.b.sx_shift());
+        let base = buf.as_mut_ptr();
+        let mut ar: Chunk = [0; LANE_CHUNK];
+        let mut br: Chunk = [0; LANE_CHUNK];
+        let mut ov: Chunk = [0; LANE_CHUNK];
+        let mut i0 = 0;
+        while i0 + LANE_CHUNK <= n {
+            // SAFETY: the debug-asserted column invariant above — every
+            // access lands inside `buf`'s `cap`-sized columns for lanes
+            // `i0..i0 + LANE_CHUNK ≤ n`.
+            unsafe {
+                self.a.load_chunk(base, cap, i0, &mut ar);
+                self.b.load_chunk(base, cap, i0, &mut br);
+                alu_chunk(self.op, &ar, asx, &br, bsx, &mut ov);
+                let d = base.add(d0 + i0);
+                for (k, &o) in ov.iter().enumerate() {
+                    *d.add(k) = o & mask;
+                }
+            }
+            i0 += LANE_CHUNK;
+        }
+        for i in i0..n {
+            let out = eval_alu(self.op, &self.a, &self.b, buf, cap, i);
+            buf[d0 + i] = out & mask;
+        }
+    }
 }
 
 /// A fused superinstruction: two adjacent same-destination primitives where
@@ -903,6 +1065,57 @@ impl FusedPrim {
         let d = self.dst as usize * stride + lane;
         vals[d] = if keep { out & self.dst_mask } else { vals[d] };
     }
+
+    /// Explicit SIMD sweep of the fused pair (see
+    /// [`CompiledPrim::execute_lane_simd`]): stage one runs
+    /// [`alu_chunk`] into a masked intermediate chunk, stage two feeds
+    /// that chunk through the second op against the `c` operand's chunk.
+    /// The intermediate's sign-extension shift is the destination's
+    /// (`self.sx`), exactly as the scalar [`FusedPrim::execute`] computes
+    /// `ts`.
+    fn execute_lane_simd(&self, buf: &mut [u64], cap: usize, n: usize) {
+        let d0 = self.dst as usize * cap;
+        debug_assert!(d0 + n <= buf.len());
+        debug_assert!(n <= cap, "lane count {n} exceeds column capacity {cap}");
+        debug_assert!(self.a.column_in_bounds(cap, n, buf.len()));
+        debug_assert!(self.b.column_in_bounds(cap, n, buf.len()));
+        debug_assert!(self.c.column_in_bounds(cap, n, buf.len()));
+        let mask = self.dst_mask;
+        let (asx, bsx, csx) = (self.a.sx_shift(), self.b.sx_shift(), self.c.sx_shift());
+        let base = buf.as_mut_ptr();
+        let mut ar: Chunk = [0; LANE_CHUNK];
+        let mut br: Chunk = [0; LANE_CHUNK];
+        let mut cr: Chunk = [0; LANE_CHUNK];
+        let mut tv: Chunk = [0; LANE_CHUNK];
+        let mut ov: Chunk = [0; LANE_CHUNK];
+        let mut i0 = 0;
+        while i0 + LANE_CHUNK <= n {
+            // SAFETY: as in `CompiledPrim::execute_lane_simd` — all
+            // chunk loads precede the store for every lane of the chunk.
+            unsafe {
+                self.a.load_chunk(base, cap, i0, &mut ar);
+                self.b.load_chunk(base, cap, i0, &mut br);
+                self.c.load_chunk(base, cap, i0, &mut cr);
+                alu_chunk(self.op1, &ar, asx, &br, bsx, &mut tv);
+                for t in tv.iter_mut() {
+                    *t &= mask;
+                }
+                if self.inter_left {
+                    alu_chunk(self.op2, &tv, self.sx, &cr, csx, &mut ov);
+                } else {
+                    alu_chunk(self.op2, &cr, csx, &tv, self.sx, &mut ov);
+                }
+                let d = base.add(d0 + i0);
+                for (k, &o) in ov.iter().enumerate() {
+                    *d.add(k) = o & mask;
+                }
+            }
+            i0 += LANE_CHUNK;
+        }
+        for i in i0..n {
+            self.execute(buf, cap, i);
+        }
+    }
 }
 
 /// One entry of the (fused) op tape.
@@ -921,13 +1134,27 @@ impl TapeOp {
         }
     }
 
+    /// Unpredicated instruction-major execution. `simd` selects the
+    /// explicit chunk kernels; `false` keeps the scalar per-lane sweeps
+    /// (the portable baseline, and the reference the differential suites
+    /// pin the kernels against).
     #[inline]
-    fn execute_lane(&self, buf: &mut [u64], cap: usize, n: usize) {
+    fn execute_lane(&self, buf: &mut [u64], cap: usize, n: usize, simd: bool) {
         match self {
-            TapeOp::Prim(p) => p.execute_lane(buf, cap, n),
+            TapeOp::Prim(p) => {
+                if simd {
+                    p.execute_lane_simd(buf, cap, n);
+                } else {
+                    p.execute_lane(buf, cap, n);
+                }
+            }
             TapeOp::Fused2(f) => {
-                for i in 0..n {
-                    f.execute(buf, cap, i);
+                if simd {
+                    f.execute_lane_simd(buf, cap, n);
+                } else {
+                    for i in 0..n {
+                        f.execute(buf, cap, i);
+                    }
                 }
             }
         }
@@ -948,6 +1175,437 @@ impl TapeOp {
     }
 }
 
+/// Selected-constant dispatch for a divergent table whose actions all run
+/// the *same* op skeleton. The canonical case is a shift table — dozens
+/// of actions `dst = src << k` / `dst = src >> k`, one per alignment
+/// delta — where a mixed-magnitude batch resolves to many distinct
+/// actions and the grouped predicated sweep degenerates (one full-batch
+/// sweep *per action*) or collapses to per-packet tape walks. When every
+/// non-empty action tape in a table is the same-length sequence of
+/// *unfused* primitives with matching destination and mask at each
+/// position, and each operand position is either one shared operand or a
+/// per-action `Const`, Phase B needs exactly one sweep per template
+/// position: each lane *gathers its own op and constants* from per-action
+/// tables indexed by its resolved action. Lanes that missed, or whose
+/// action has an empty tape (a nop/skip arm), keep their destination
+/// untouched — the same observable behaviour as not running the tape.
+#[derive(Debug, Clone)]
+struct SelectorTape {
+    /// First global action index of the owning table: `act_of` holds
+    /// global indices, the per-action tables below are table-relative.
+    base: u32,
+    /// Per action (table-relative): whether it runs the template tape.
+    /// Empty-tape actions are inactive and behave like misses in Phase B.
+    active: Box<[bool]>,
+    /// The template ops, instruction-major (lane-local, so running each
+    /// position across all lanes before the next preserves per-lane
+    /// program order exactly as the uniform tape sweep does).
+    ops: Box<[SelectorOp]>,
+}
+
+/// One operand position of a [`SelectorOp`]: shared by every action, or a
+/// per-action constant gathered at dispatch time.
+#[derive(Debug, Clone)]
+enum SelOperand {
+    /// One operand for all actions (a field column, or one shared const).
+    Uniform(CompiledOperand),
+    /// A `Const` per table-relative action index (raw `u64` with sign
+    /// shift 0; `Const` operands already are their signed value
+    /// bit-for-bit in 64 bits, so the `i64 → u64 → i64` roundtrip is
+    /// bit-exact). Inactive rows hold 0 and are never observable.
+    PerAction(Box<[u64]>),
+}
+
+impl SelOperand {
+    /// The sign-extension shift the kernels apply to this operand's raw
+    /// values (mirrors [`CompiledOperand::sx_shift`]; gathered constants
+    /// need none).
+    #[inline]
+    fn sx_shift(&self) -> u32 {
+        match self {
+            SelOperand::Uniform(o) => o.sx_shift(),
+            SelOperand::PerAction(_) => 0,
+        }
+    }
+
+    /// Raw and signed views for one lane (`rel` is the lane's
+    /// table-relative action; callers only use the result for live lanes,
+    /// but any in-range `rel` is safe to read).
+    #[inline(always)]
+    fn raw_sig(&self, buf: &[u64], cap: usize, lane: usize, rel: usize) -> (u64, i64) {
+        match self {
+            SelOperand::Uniform(o) => (o.raw(buf, cap, lane), o.signed(buf, cap, lane)),
+            SelOperand::PerAction(v) => {
+                let x = v[rel];
+                (x, x as i64)
+            }
+        }
+    }
+
+    /// Fill one chunk of raw operand values starting at lane `i0`: a
+    /// uniform operand loads/splats as in [`CompiledOperand::load_chunk`];
+    /// a per-action table gathers each lane's constant via `rel` (dead
+    /// lanes carry row 0 — total, and masked out at the store).
+    ///
+    /// # Safety
+    /// As [`CompiledOperand::load_chunk`]; `rel` entries must be in range
+    /// for the per-action table.
+    #[inline(always)]
+    unsafe fn load_chunk(
+        &self,
+        base: *const u64,
+        cap: usize,
+        i0: usize,
+        rel: &[usize; LANE_CHUNK],
+        out: &mut Chunk,
+    ) {
+        match self {
+            SelOperand::Uniform(o) => unsafe { o.load_chunk(base, cap, i0, out) },
+            SelOperand::PerAction(v) => {
+                for (o, &r) in out.iter_mut().zip(rel.iter()) {
+                    *o = v[r];
+                }
+            }
+        }
+    }
+
+    /// Debug-build bounds check (mirrors
+    /// [`CompiledOperand::column_in_bounds`]).
+    fn column_in_bounds(&self, cap: usize, n: usize, len: usize) -> bool {
+        match self {
+            SelOperand::Uniform(o) => o.column_in_bounds(cap, n, len),
+            SelOperand::PerAction(_) => true,
+        }
+    }
+}
+
+/// How one [`SelectorOp`] position resolves its ALU op across actions.
+#[derive(Debug, Clone)]
+enum SelDispatch {
+    /// Every active action runs the same op: one gathered
+    /// [`alu_chunk`] sweep.
+    Uniform(AluOp),
+    /// Per-action ops drawn only from `{Shl, ShrLogic, ShrArith}` — the
+    /// alignment-table case. Codes per table-relative action
+    /// (0 = `Shl`, 1 = `ShrLogic`, 2 = `ShrArith`): the chunk kernel
+    /// computes all three shifts branchlessly and selects by code.
+    ShiftMix(Box<[u8]>),
+    /// Arbitrary per-action ops: per-lane scalar ALU with gathered
+    /// operands — still one sweep per position, no tape walks.
+    Mixed(Box<[AluOp]>),
+}
+
+impl SelDispatch {
+    /// The op one lane with table-relative action `rel` executes.
+    #[inline(always)]
+    fn op_for(&self, rel: usize) -> AluOp {
+        match self {
+            SelDispatch::Uniform(op) => *op,
+            SelDispatch::ShiftMix(codes) => match codes[rel] {
+                0 => AluOp::Shl,
+                1 => AluOp::ShrLogic,
+                _ => AluOp::ShrArith,
+            },
+            SelDispatch::Mixed(ops) => ops[rel],
+        }
+    }
+}
+
+/// One position of a [`SelectorTape`]: the shared destination plus each
+/// action's op and operands.
+#[derive(Debug, Clone)]
+struct SelectorOp {
+    dst: u32,
+    dst_mask: u64,
+    dispatch: SelDispatch,
+    a: SelOperand,
+    b: SelOperand,
+}
+
+impl SelectorTape {
+    /// Phase B for a divergent batch: one gathered sweep per template op.
+    fn execute_lanes(&self, buf: &mut [u64], cap: usize, n: usize, act: &[u32], simd: bool) {
+        for op in self.ops.iter() {
+            op.execute_lanes(buf, cap, n, act, self.base, &self.active, simd);
+        }
+    }
+}
+
+impl SelectorOp {
+    /// Sweep all lanes: each live lane computes its action's op with its
+    /// action's operands; missed/inactive lanes keep their destination.
+    // Column geometry, action resolution, and the owning tape's
+    // base/active tables are genuinely independent inputs here; bundling
+    // them into a context struct would add a type for one call site.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_lanes(
+        &self,
+        buf: &mut [u64],
+        cap: usize,
+        n: usize,
+        act: &[u32],
+        base: u32,
+        active: &[bool],
+        simd: bool,
+    ) {
+        #[inline(always)]
+        fn sext(raw: u64, sx: u32) -> i64 {
+            ((raw << sx) as i64) >> sx
+        }
+        let d0 = self.dst as usize * cap;
+        debug_assert!(d0 + n <= buf.len());
+        debug_assert!(n <= cap, "lane count {n} exceeds column capacity {cap}");
+        debug_assert!(act.len() >= n);
+        debug_assert!(self.a.column_in_bounds(cap, n, buf.len()));
+        debug_assert!(self.b.column_in_bounds(cap, n, buf.len()));
+        let mask = self.dst_mask;
+        let asx = self.a.sx_shift();
+        let bsx = self.b.sx_shift();
+        let base_ptr = buf.as_mut_ptr();
+        let mut i0 = 0;
+        if simd {
+            let mut ar: Chunk = [0; LANE_CHUNK];
+            let mut br: Chunk = [0; LANE_CHUNK];
+            let mut ov: Chunk = [0; LANE_CHUNK];
+            let mut keep = [false; LANE_CHUNK];
+            let mut rel = [0usize; LANE_CHUNK];
+            while i0 + LANE_CHUNK <= n {
+                for (k, (r, on)) in rel.iter_mut().zip(keep.iter_mut()).enumerate() {
+                    let aid = act[i0 + k];
+                    let ri = aid.wrapping_sub(base) as usize;
+                    *on = aid != MISS && active[ri];
+                    // Dead lanes carry action row 0 (always in range, the
+                    // table has ≥ 2 actions) so every gather is total; the
+                    // computed garbage is masked out at the store.
+                    *r = if *on { ri } else { 0 };
+                }
+                // SAFETY: the function-level bounds preconditions above;
+                // the chunk [i0, i0 + LANE_CHUNK) is within `n` lanes and
+                // every `rel` row is in range.
+                unsafe {
+                    self.a.load_chunk(base_ptr, cap, i0, &rel, &mut ar);
+                    self.b.load_chunk(base_ptr, cap, i0, &rel, &mut br);
+                }
+                match &self.dispatch {
+                    SelDispatch::Uniform(op) => alu_chunk(*op, &ar, asx, &br, bsx, &mut ov),
+                    SelDispatch::ShiftMix(codes) => {
+                        for k in 0..LANE_CHUNK {
+                            let a = ar[k];
+                            let d = br[k];
+                            let live = 0u64.wrapping_sub(u64::from(d < 64));
+                            let shl = (a << (d & 63)) & live;
+                            let shr = (a >> (d & 63)) & live;
+                            let sar = (sext(a, asx) >> d.min(63)) as u64;
+                            // Mask-merge the three shifts by code — no
+                            // data-dependent branch and no stack-array
+                            // round-trip per lane.
+                            let c = codes[rel[k]];
+                            let m0 = 0u64.wrapping_sub(u64::from(c == 0));
+                            let m1 = 0u64.wrapping_sub(u64::from(c == 1));
+                            ov[k] = (shl & m0) | (shr & m1) | (sar & !(m0 | m1));
+                        }
+                    }
+                    SelDispatch::Mixed(ops) => {
+                        for k in 0..LANE_CHUNK {
+                            ov[k] = apply_alu(
+                                ops[rel[k]],
+                                ar[k],
+                                sext(ar[k], asx),
+                                br[k],
+                                sext(br[k], bsx),
+                            );
+                        }
+                    }
+                }
+                for (k, (&o, &on)) in ov.iter().zip(keep.iter()).enumerate() {
+                    // SAFETY: dst column bounds checked above.
+                    unsafe {
+                        let d = base_ptr.add(d0 + i0 + k);
+                        *d = if on { o & mask } else { *d };
+                    }
+                }
+                i0 += LANE_CHUNK;
+            }
+        }
+        for i in i0..n {
+            let aid = act[i];
+            if aid == MISS {
+                continue;
+            }
+            let rel = aid.wrapping_sub(base) as usize;
+            if !active[rel] {
+                continue;
+            }
+            let (araw, asig) = self.a.raw_sig(buf, cap, i, rel);
+            let (braw, bsig) = self.b.raw_sig(buf, cap, i, rel);
+            let out = apply_alu(self.dispatch.op_for(rel), araw, asig, braw, bsig);
+            buf[d0 + i] = out & mask;
+        }
+    }
+}
+
+/// One operand position across a table's actions, being unified by
+/// [`build_selector`]: either every active action so far agrees on one
+/// operand, or every one is a `Const` (values may differ per action).
+struct SelOperandAcc {
+    /// The first active action's operand, while still a candidate for
+    /// [`SelOperand::Uniform`].
+    first: CompiledOperand,
+    /// Whether every operand seen equals `first`.
+    all_same: bool,
+    /// Per-action raw constants; meaningless once a `Field` is seen
+    /// (`all_const` false).
+    consts: Vec<u64>,
+    all_const: bool,
+}
+
+impl SelOperandAcc {
+    fn new(n: usize, ai: usize, o: CompiledOperand) -> Self {
+        let mut acc = SelOperandAcc {
+            first: o,
+            all_same: true,
+            consts: vec![0u64; n],
+            all_const: true,
+        };
+        acc.note(ai, o);
+        acc.all_same = true;
+        acc
+    }
+
+    fn note(&mut self, ai: usize, o: CompiledOperand) {
+        self.all_same &= o == self.first;
+        match o {
+            CompiledOperand::Const(c) => self.consts[ai] = c as u64,
+            CompiledOperand::Field { .. } => self.all_const = false,
+        }
+    }
+
+    fn finish(self) -> Option<SelOperand> {
+        if self.all_same {
+            Some(SelOperand::Uniform(self.first))
+        } else if self.all_const {
+            Some(SelOperand::PerAction(self.consts.into_boxed_slice()))
+        } else {
+            // Different field operands (or a field/const mix) per action:
+            // no gatherable representation.
+            None
+        }
+    }
+}
+
+/// Detect the selected-constant shape over one table's actions (see
+/// [`SelectorTape`]): every non-empty action tape must be the same-length
+/// sequence of *unfused* primitives with matching destination and mask at
+/// each position; each position's op may vary per action, and each
+/// operand must be one shared operand or a per-action `Const`. Requires
+/// at least two actions running the template (a lone shape is the uniform
+/// path's job, not dispatch).
+fn build_selector(
+    base: u32,
+    table_actions: &[CompiledAction],
+    prims: &[TapeOp],
+) -> Option<SelectorTape> {
+    let n = table_actions.len();
+    if n < 2 {
+        return None;
+    }
+    let mut active = vec![false; n];
+    // Per template position, accumulated across actions.
+    let mut dsts: Vec<(u32, u64)> = Vec::new();
+    let mut ops: Vec<Vec<AluOp>> = Vec::new(); // [position][action]
+    let mut accs_a: Vec<SelOperandAcc> = Vec::new();
+    let mut accs_b: Vec<SelOperandAcc> = Vec::new();
+    let mut first = true;
+    for (ai, a) in table_actions.iter().enumerate() {
+        let tape = &prims[a.prims.0 as usize..a.prims.1 as usize];
+        if tape.is_empty() {
+            continue;
+        }
+        let mut aps: Vec<CompiledPrim> = Vec::with_capacity(tape.len());
+        for op in tape {
+            match op {
+                TapeOp::Prim(p) => aps.push(*p),
+                // Fused shapes never arise from the single-op tables this
+                // targets; matching them would complicate for no gain.
+                TapeOp::Fused2(_) => return None,
+            }
+        }
+        if first {
+            first = false;
+            for p in &aps {
+                dsts.push((p.dst, p.dst_mask));
+                let mut v = vec![AluOp::Set; n];
+                v[ai] = p.op;
+                ops.push(v);
+                accs_a.push(SelOperandAcc::new(n, ai, p.a));
+                accs_b.push(SelOperandAcc::new(n, ai, p.b));
+            }
+        } else {
+            if aps.len() != dsts.len() {
+                return None;
+            }
+            for (j, p) in aps.iter().enumerate() {
+                if (p.dst, p.dst_mask) != dsts[j] {
+                    return None;
+                }
+                ops[j][ai] = p.op;
+                accs_a[j].note(ai, p.a);
+                accs_b[j].note(ai, p.b);
+            }
+        }
+        active[ai] = true;
+    }
+    if first || active.iter().filter(|&&x| x).count() < 2 {
+        return None;
+    }
+    let mut out: Vec<SelectorOp> = Vec::with_capacity(dsts.len());
+    for (((dst, dst_mask), op_by_action), (acc_a, acc_b)) in dsts
+        .into_iter()
+        .zip(ops)
+        .zip(accs_a.into_iter().zip(accs_b))
+    {
+        let live: Vec<AluOp> = active
+            .iter()
+            .zip(&op_by_action)
+            .filter_map(|(&on, &op)| on.then_some(op))
+            .collect();
+        let dispatch = if live.iter().all(|&op| op == live[0]) {
+            SelDispatch::Uniform(live[0])
+        } else if live
+            .iter()
+            .all(|op| matches!(op, AluOp::Shl | AluOp::ShrLogic | AluOp::ShrArith))
+        {
+            // Inactive rows get an arbitrary code (their match arm maps
+            // `Set` to 2); dead-lane gathers read row 0, compute garbage,
+            // and mask it out at the store, so the value never matters.
+            SelDispatch::ShiftMix(
+                op_by_action
+                    .iter()
+                    .map(|op| match op {
+                        AluOp::Shl => 0u8,
+                        AluOp::ShrLogic => 1,
+                        _ => 2,
+                    })
+                    .collect(),
+            )
+        } else {
+            SelDispatch::Mixed(op_by_action.into_boxed_slice())
+        };
+        out.push(SelectorOp {
+            dst,
+            dst_mask,
+            dispatch,
+            a: acc_a.finish()?,
+            b: acc_b.finish()?,
+        });
+    }
+    Some(SelectorTape {
+        base,
+        active: active.into_boxed_slice(),
+        ops: out.into_boxed_slice(),
+    })
+}
+
 /// Compile-time fusion statistics, reported by
 /// [`CompiledSwitch::fusion_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -960,6 +1618,11 @@ pub struct FusionStats {
     pub fused_pairs: usize,
     /// Stores dropped because the next op overwrote them unread.
     pub dead_stores: usize,
+    /// Tables compiled to selected-constant dispatch (same op shape
+    /// across all actions, per-action right-hand constant): divergent
+    /// batches run one gathered sweep per template op instead of one
+    /// predicated sweep per action or per-packet tape walks.
+    pub selector_tables: usize,
 }
 
 impl FusionStats {
@@ -1173,6 +1836,35 @@ struct CompiledStateful {
     output: Option<(u32, u64, SaluOutput)>,
 }
 
+/// How the SoA engine orders Phase C (stateful register updates) within
+/// a batch.
+///
+/// Packet order is the semantic contract; slot-sorted execution groups
+/// updates by register index first — same-slot updates still apply in
+/// original packet order (the grouping pass is stable), so the register
+/// file, every SALU output and every fault are bit-for-bit identical
+/// (pinned by `phase_c_order` property tests and the differential
+/// suites). The payoff is locality: each register slot is loaded and
+/// stored once per group instead of ping-ponging across the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PhaseCOrder {
+    /// Let the engine pick per batch (currently: sort when the batch is
+    /// at least [`SLOT_SORT_MIN`] lanes and the array has multiple
+    /// entries).
+    #[default]
+    Auto,
+    /// Always apply in original packet order.
+    PacketOrdered,
+    /// Always group by register slot (stable), whenever a batch has
+    /// more than one live lane.
+    SlotSorted,
+}
+
+/// Smallest uniform batch the [`PhaseCOrder::Auto`] policy slot-sorts:
+/// below this the `O(n log n)` grouping pass costs more than the
+/// locality it buys.
+pub const SLOT_SORT_MIN: usize = 64;
+
 /// A running compiled switch: the lowered program plus register state.
 ///
 /// Compiled from a validated [`SwitchProgram`] by
@@ -1214,11 +1906,39 @@ pub struct CompiledSwitch {
     act_of: Vec<u32>,
     gate_pass: Vec<bool>,
     rowbuf: Vec<u64>,
+    /// Split-key LUT scratch for plans wider than the stack threshold.
+    lutbuf: Vec<u32>,
+    /// Phase C scratch: per-lane register indices (computed once by the
+    /// bounds pre-scan) and the packed `(slot << 32) | lane` sort keys.
+    idxbuf: Vec<u64>,
+    sortbuf: Vec<u64>,
+    /// Whether unpredicated lane sweeps use the explicit SIMD chunk
+    /// kernels (default) or the scalar per-lane loops.
+    simd: bool,
+    /// Phase C ordering policy (see [`PhaseCOrder`]).
+    phase_c: PhaseCOrder,
 }
 
 impl CompiledSwitch {
-    /// Validate a program and lower it, with zeroed registers.
+    /// Validate a program and lower it, with zeroed registers, at the
+    /// default tuning ([`SPLIT_LUT_BITS_DEFAULT`]).
     pub fn compile(program: &SwitchProgram) -> Result<Self, ProgramError> {
+        Self::compile_inner(program, SPLIT_LUT_BITS_DEFAULT)
+    }
+
+    /// [`CompiledSwitch::compile`] with an explicit split-key LUT width
+    /// cap (bits, clamped to [`SPLIT_LUT_MAX_BITS`]): tables whose
+    /// varying key bits fit under the cap dispatch through a per-batch
+    /// action LUT instead of per-lane matching. `0` disables split-key
+    /// dispatch entirely. Semantics are identical at every width.
+    pub fn compile_tuned(
+        program: &SwitchProgram,
+        split_lut_bits: u32,
+    ) -> Result<Self, ProgramError> {
+        Self::compile_inner(program, split_lut_bits.min(SPLIT_LUT_MAX_BITS))
+    }
+
+    fn compile_inner(program: &SwitchProgram, split_lut_bits: u32) -> Result<Self, ProgramError> {
         program.validate()?;
         let mut tables = Vec::new();
         let mut actions = Vec::new();
@@ -1279,7 +1999,12 @@ impl CompiledSwitch {
                         stateful: (s0, stateful.len() as u32),
                     });
                 }
-                tables.push(compile_table(table, base, &program.layout));
+                let mut ct = compile_table(table, base, &program.layout);
+                ct.selector = build_selector(base, &actions[base as usize..], &prims);
+                if ct.selector.is_some() {
+                    fusion.selector_tables += 1;
+                }
+                tables.push(ct);
             }
         }
         fusion.tape_ops = prims.len();
@@ -1317,7 +2042,7 @@ impl CompiledSwitch {
                 packed.push((f, width, PhvLayout::mask(bits)));
                 width += bits;
             }
-            if width <= SPLIT_LUT_BITS {
+            if width <= split_lut_bits {
                 t.split = Some(SplitKey {
                     stable: stable.into_boxed_slice(),
                     varying: packed.into_boxed_slice(),
@@ -1344,6 +2069,11 @@ impl CompiledSwitch {
             act_of: Vec::new(),
             gate_pass: Vec::new(),
             rowbuf: Vec::new(),
+            lutbuf: Vec::new(),
+            idxbuf: Vec::new(),
+            sortbuf: Vec::new(),
+            simd: true,
+            phase_c: PhaseCOrder::Auto,
         })
     }
 
@@ -1372,6 +2102,30 @@ impl CompiledSwitch {
     /// Compile-time fusion statistics for the lowered op tape.
     pub fn fusion_stats(&self) -> FusionStats {
         self.fusion
+    }
+
+    /// Toggle the explicit SIMD chunk kernels for unpredicated lane
+    /// sweeps (default on). Off, the sweeps use the scalar per-lane
+    /// loops; results are bit-for-bit identical either way — this knob
+    /// exists for differential testing and microbenching, not tuning.
+    pub fn set_simd_kernels(&mut self, on: bool) {
+        self.simd = on;
+    }
+
+    /// Whether the SIMD chunk kernels are enabled.
+    pub fn simd_kernels(&self) -> bool {
+        self.simd
+    }
+
+    /// Set the Phase C (stateful update) ordering policy. Results are
+    /// bit-for-bit identical under every policy; see [`PhaseCOrder`].
+    pub fn set_phase_c_order(&mut self, order: PhaseCOrder) {
+        self.phase_c = order;
+    }
+
+    /// The current Phase C ordering policy.
+    pub fn phase_c_order(&self) -> PhaseCOrder {
+        self.phase_c
     }
 
     /// Whether this program qualifies for table-major SoA batch execution:
@@ -1641,8 +2395,14 @@ impl CompiledSwitch {
             act_of,
             gate_pass,
             rowbuf,
+            lutbuf,
+            idxbuf,
+            sortbuf,
+            simd,
+            phase_c,
             ..
         } = self;
+        let (simd, phase_c) = (*simd, *phase_c);
         let (array_meta, regs) = state.parts_mut();
         let (buf, cap, n) = lanes.raw_parts_mut();
         act_of.clear();
@@ -1660,7 +2420,7 @@ impl CompiledSwitch {
             // `Some(a)` means the table already proved the whole batch
             // resolved to action `a` (uniform keys / constant / gated
             // out) and the act_of scan can be skipped.
-            let hint = t.lookup_lanes(buf, cap, limit, act_of, gate_pass, keybuf, rowbuf);
+            let hint = t.lookup_lanes(buf, cap, limit, act_of, gate_pass, keybuf, rowbuf, lutbuf);
             let first = hint.unwrap_or(act_of[0]);
             let uniform = hint.is_some() || act_of[..limit].iter().all(|&a| a == first);
             if uniform && first == MISS {
@@ -1670,19 +2430,23 @@ impl CompiledSwitch {
                 // Phase B: instruction-major — each op sweeps the batch.
                 let action = actions[first as usize];
                 for op in &prims[action.prims.0 as usize..action.prims.1 as usize] {
-                    op.execute_lane(buf, cap, limit);
+                    op.execute_lane(buf, cap, limit, simd);
                 }
-                // Phase C: stateful, always in packet order. One action
-                // for the whole batch lets the call/array resolution be
-                // hoisted out of both packet loops; the bounds pre-scan
-                // still runs first so the first out-of-range packet
-                // faults and narrows `limit` before anything is applied
-                // for it.
+                // Phase C: stateful updates. One action for the whole
+                // batch lets the call/array resolution be hoisted out of
+                // both packet loops. The bounds pre-scan always runs
+                // first, in packet order, so the first out-of-range
+                // packet faults and narrows `limit` before anything is
+                // applied for it — the apply *order* below can then vary
+                // freely without touching fault semantics.
                 if action.stateful.0 == action.stateful.1 {
                     continue;
                 }
                 let cs = &stateful[action.stateful.0 as usize];
                 let meta = &array_meta[cs.array as usize];
+                // The pre-scan also caches every live lane's register
+                // index so neither apply order re-evaluates the operand.
+                idxbuf.clear();
                 for i in 0..limit {
                     let idx = cs.index.raw(buf, cap, i) as usize;
                     if idx >= meta.entries {
@@ -1690,22 +2454,36 @@ impl CompiledSwitch {
                         limit = i;
                         break;
                     }
+                    idxbuf.push(idx as u64);
                 }
-                for i in 0..limit {
-                    let idx = cs.index.raw(buf, cap, i) as usize;
-                    let slot = meta.offset + idx;
-                    let old = regs[slot];
-                    let taken = cs.cond.eval(old, buf, cap, i);
-                    let update = if taken { &cs.on_true } else { &cs.on_false };
-                    let new = update.apply(old, meta, buf, cap, i);
-                    regs[slot] = new;
-                    if let Some((dst, mask, out)) = cs.output {
-                        let v = match out {
-                            SaluOutput::Old => old as u64,
-                            SaluOutput::New => new as u64,
-                            SaluOutput::Predicate => u64::from(taken),
-                        };
-                        buf[dst as usize * cap + i] = v & mask;
+                let sorted = match phase_c {
+                    PhaseCOrder::PacketOrdered => false,
+                    PhaseCOrder::SlotSorted => limit > 1,
+                    PhaseCOrder::Auto => limit >= SLOT_SORT_MIN && meta.entries > 1,
+                };
+                if sorted {
+                    // Stable grouping by register slot: the packed key
+                    // orders by slot first and original lane second, so
+                    // an unstable sort *is* stable within a slot group —
+                    // duplicate-slot updates still apply in packet
+                    // order, distinct slots run back to back with their
+                    // register value held hot.
+                    debug_assert!(limit <= u32::MAX as usize && meta.entries <= u32::MAX as usize);
+                    sortbuf.clear();
+                    sortbuf.extend(
+                        idxbuf[..limit]
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &idx)| (idx << 32) | i as u64),
+                    );
+                    sortbuf.sort_unstable();
+                    for &packed in sortbuf.iter() {
+                        let (i, idx) = ((packed & 0xFFFF_FFFF) as usize, (packed >> 32) as usize);
+                        apply_stateful_lane(cs, meta, regs, buf, cap, i, idx);
+                    }
+                } else {
+                    for (i, &idx) in idxbuf[..limit].iter().enumerate() {
+                        apply_stateful_lane(cs, meta, regs, buf, cap, i, idx as usize);
                     }
                 }
                 continue;
@@ -1715,9 +2493,13 @@ impl CompiledSwitch {
             // action's tape instruction-major with predicated stores —
             // every op still sweeps all lanes, but non-member lanes keep
             // their value, so the result is bit-for-bit the per-packet
-            // walk (primitives read and write only their own lane).
-            // Batches touching many actions fall back to per-packet tape
-            // walks, where predication would multiply the work.
+            // walk (primitives read and write only their own lane). A
+            // batch touching many actions would multiply that predicated
+            // work; for a selector-shaped table (same op skeleton across
+            // all actions — the FPISA shift tables, where a
+            // mixed-magnitude batch hits dozens of alignment actions) it
+            // instead collapses to one gathered sweep per template op.
+            // Only when neither applies walk the tapes per packet.
             const MAX_GROUPED: usize = 4;
             let mut distinct = [MISS; MAX_GROUPED];
             let mut nd = 0usize;
@@ -1739,6 +2521,8 @@ impl CompiledSwitch {
                         op.execute_lane_pred(buf, cap, limit, act_of, a);
                     }
                 }
+            } else if let Some(sel) = &t.selector {
+                sel.execute_lanes(buf, cap, limit, act_of, simd);
             } else {
                 for (i, &a) in act_of.iter().enumerate().take(limit) {
                     if a == MISS {
@@ -1780,8 +2564,7 @@ impl CompiledSwitch {
                     break;
                 }
             }
-            for i in 0..limit {
-                let a = act_of[i];
+            for (i, &a) in act_of.iter().enumerate().take(limit) {
                 if a == MISS {
                     continue;
                 }
@@ -1792,20 +2575,7 @@ impl CompiledSwitch {
                 let cs = &stateful[action.stateful.0 as usize];
                 let meta = &array_meta[cs.array as usize];
                 let idx = cs.index.raw(buf, cap, i) as usize;
-                let slot = meta.offset + idx;
-                let old = regs[slot];
-                let taken = cs.cond.eval(old, buf, cap, i);
-                let update = if taken { &cs.on_true } else { &cs.on_false };
-                let new = update.apply(old, meta, buf, cap, i);
-                regs[slot] = new;
-                if let Some((dst, mask, out)) = cs.output {
-                    let v = match out {
-                        SaluOutput::Old => old as u64,
-                        SaluOutput::New => new as u64,
-                        SaluOutput::Predicate => u64::from(taken),
-                    };
-                    buf[dst as usize * cap + i] = v & mask;
-                }
+                apply_stateful_lane(cs, meta, regs, buf, cap, i, idx);
             }
         }
         match fault {
@@ -1820,6 +2590,37 @@ impl CompiledSwitch {
 /// [`CompiledSwitch::run_batch`]: below this, transpose overhead beats the
 /// dispatch savings.
 pub const SOA_MIN: usize = 16;
+
+/// The Phase C body for one lane: evaluate the condition against the
+/// stored value, apply the taken update, and write the optional SALU
+/// output into the lane's own column. Every input except `regs[slot]` is
+/// lane-local, which is exactly why the apply order across *distinct*
+/// slots is free (see [`PhaseCOrder`]).
+#[inline(always)]
+fn apply_stateful_lane(
+    cs: &CompiledStateful,
+    meta: &ArrayMeta,
+    regs: &mut [i64],
+    buf: &mut [u64],
+    cap: usize,
+    i: usize,
+    idx: usize,
+) {
+    let slot = meta.offset + idx;
+    let old = regs[slot];
+    let taken = cs.cond.eval(old, buf, cap, i);
+    let update = if taken { &cs.on_true } else { &cs.on_false };
+    let new = update.apply(old, meta, buf, cap, i);
+    regs[slot] = new;
+    if let Some((dst, mask, out)) = cs.output {
+        let v = match out {
+            SaluOutput::Old => old as u64,
+            SaluOutput::New => new as u64,
+            SaluOutput::Predicate => u64::from(taken),
+        };
+        buf[dst as usize * cap + i] = v & mask;
+    }
+}
 
 fn oor_error(idx: usize, meta: &ArrayMeta) -> RuntimeError {
     RuntimeError::IndexOutOfRange {
@@ -2058,10 +2859,11 @@ fn compile_table(table: &Table, action_base: u32, layout: &PhvLayout) -> Compile
         gate,
         matcher,
         default_action,
-        // Both patched by `CompiledSwitch::compile` once every action in
+        // All patched by `CompiledSwitch::compile` once every action in
         // the program has been seen.
         scan_uniform: false,
         split: None,
+        selector: None,
     }
 }
 

@@ -197,16 +197,32 @@ impl Phv {
 /// `buf[f * cap + i]`. A batch is either filled directly (`begin` + `set`,
 /// the zero-copy path `fpisa-pipeline` uses) or transposed from existing
 /// [`Phv`]s at the batch boundary (`load` / `store`).
+///
+/// The backing store is allocated in 64-byte cache-line units and `cap`
+/// is always a multiple of 8 lanes, so **every column starts on a
+/// 64-byte boundary**: the compiled engine's chunked SIMD kernels sweep
+/// whole aligned lines and a vector load never straddles two.
 #[derive(Debug, Clone, Default)]
 pub struct BatchLanes {
-    buf: Vec<u64>,
+    /// The column buffer, in 64-byte-aligned cache-line cells; viewed as
+    /// a flat `[u64]` through [`BatchLanes::buf`] / [`BatchLanes::buf_mut`].
+    cells: Vec<CacheLine>,
     /// Per-field container mask, in layout order.
     masks: Vec<u64>,
-    /// Lane stride: the allocated packet capacity.
+    /// Lane stride: the allocated packet capacity (multiple of
+    /// [`LANES_PER_LINE`]).
     cap: usize,
     /// Live packet count (`<= cap`).
     len: usize,
 }
+
+/// One 64-byte-aligned allocation unit of a [`BatchLanes`] buffer.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct CacheLine([u64; LANES_PER_LINE]);
+
+/// `u64` lanes per 64-byte cache line.
+const LANES_PER_LINE: usize = 8;
 
 impl BatchLanes {
     /// A lanes buffer for `layout` with room for `cap` packets. The buffer
@@ -219,23 +235,61 @@ impl BatchLanes {
             .collect();
         let cap = Self::pad_cap(cap.max(1));
         BatchLanes {
-            buf: vec![0; masks.len() * cap],
+            cells: Self::alloc(masks.len(), cap),
             masks,
             cap,
             len: 0,
         }
     }
 
-    /// Keep the column stride off large powers of two: at 4096 packets a
-    /// column is exactly 32 KiB, so *every* column of a packet maps to
-    /// the same L1 set and the per-packet walks (transpose, divergent
-    /// tape fallback) thrash an 8-way set with ~50 lines. One extra cache
-    /// line of padding staggers consecutive columns across sets.
+    /// Round the column stride up to whole cache lines, and keep large
+    /// strides off powers of two: at 4096 packets a column is exactly
+    /// 32 KiB, so *every* column of a packet maps to the same L1 set and
+    /// the per-packet walks (transpose, divergent tape fallback) thrash
+    /// an 8-way set with ~50 lines. One extra cache line of padding
+    /// staggers consecutive columns across sets — and, being exactly
+    /// [`LANES_PER_LINE`] lanes, keeps the stride a multiple of 8 so
+    /// every column stays 64-byte aligned.
     fn pad_cap(cap: usize) -> usize {
+        let cap = cap.div_ceil(LANES_PER_LINE) * LANES_PER_LINE;
         if cap >= 512 {
-            cap + 8
+            cap + LANES_PER_LINE
         } else {
             cap
+        }
+    }
+
+    /// A zeroed cache-line-aligned buffer of `fields` columns of `cap`
+    /// lanes. `cap` is a multiple of [`LANES_PER_LINE`] (the `pad_cap`
+    /// invariant), so the columns tile the cells exactly.
+    fn alloc(fields: usize, cap: usize) -> Vec<CacheLine> {
+        debug_assert_eq!(cap % LANES_PER_LINE, 0);
+        vec![CacheLine([0; LANES_PER_LINE]); fields * cap / LANES_PER_LINE]
+    }
+
+    /// The flat column view: field `f`, lane `i` at `f * cap + i`.
+    #[inline]
+    fn buf(&self) -> &[u64] {
+        // SAFETY: `CacheLine` is `repr(C)` over `[u64; LANES_PER_LINE]`,
+        // so `cells` is exactly `cells.len() * LANES_PER_LINE` contiguous
+        // initialized `u64`s (alignment 64 ≥ 8).
+        unsafe {
+            std::slice::from_raw_parts(
+                self.cells.as_ptr().cast::<u64>(),
+                self.cells.len() * LANES_PER_LINE,
+            )
+        }
+    }
+
+    /// Mutable [`BatchLanes::buf`].
+    #[inline]
+    fn buf_mut(&mut self) -> &mut [u64] {
+        // SAFETY: as in `buf`.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.cells.as_mut_ptr().cast::<u64>(),
+                self.cells.len() * LANES_PER_LINE,
+            )
         }
     }
 
@@ -244,7 +298,7 @@ impl BatchLanes {
             // Discard and reallocate: callers overwrite (load) or zero
             // (begin) the active region anyway.
             self.cap = Self::pad_cap(len.next_power_of_two());
-            self.buf = vec![0; self.masks.len() * self.cap];
+            self.cells = Self::alloc(self.masks.len(), self.cap);
         }
     }
 
@@ -253,9 +307,11 @@ impl BatchLanes {
     pub fn begin(&mut self, len: usize) {
         self.ensure_cap(len);
         self.len = len;
-        for f in 0..self.masks.len() {
-            let base = f * self.cap;
-            self.buf[base..base + len].fill(0);
+        let (fields, cap) = (self.masks.len(), self.cap);
+        let buf = self.buf_mut();
+        for f in 0..fields {
+            let base = f * cap;
+            buf[base..base + len].fill(0);
         }
     }
 
@@ -270,7 +326,7 @@ impl BatchLanes {
         self.ensure_cap(phvs.len());
         self.len = phvs.len();
         let cap = self.cap;
-        let base = self.buf.as_mut_ptr();
+        let base = self.cells.as_mut_ptr().cast::<u64>();
         for (i, p) in phvs.iter().enumerate() {
             debug_assert_eq!(p.values.len(), self.masks.len(), "PHV layout mismatch");
             let n = self.masks.len().min(p.values.len());
@@ -285,7 +341,7 @@ impl BatchLanes {
     /// Transpose the first `upto` packets back out into PHVs.
     pub fn store(&self, phvs: &mut [Phv], upto: usize) {
         let cap = self.cap;
-        let base = self.buf.as_ptr();
+        let base = self.cells.as_ptr().cast::<u64>();
         for (i, p) in phvs[..upto].iter_mut().enumerate() {
             debug_assert_eq!(p.values.len(), self.masks.len(), "PHV layout mismatch");
             let n = self.masks.len().min(p.values.len());
@@ -319,7 +375,7 @@ impl BatchLanes {
     #[inline]
     pub fn get(&self, id: FieldId, i: usize) -> u64 {
         debug_assert!(i < self.len);
-        self.buf[id.0 as usize * self.cap + i]
+        self.buf()[id.0 as usize * self.cap + i]
     }
 
     /// Write a field for packet `i`, truncating to its declared width.
@@ -327,22 +383,27 @@ impl BatchLanes {
     pub fn set(&mut self, id: FieldId, i: usize, value: u64) {
         debug_assert!(i < self.len);
         let f = id.0 as usize;
-        self.buf[f * self.cap + i] = value & self.masks[f];
+        let off = f * self.cap + i;
+        let v = value & self.masks[f];
+        self.buf_mut()[off] = v;
     }
 
     /// Copy packet `i` into a flat value row (compiled-engine fallback).
     #[inline]
     pub(crate) fn read_row(&self, i: usize, row: &mut [u64]) {
+        let (cap, buf) = (self.cap, self.buf());
         for (f, v) in row.iter_mut().enumerate() {
-            *v = self.buf[f * self.cap + i];
+            *v = buf[f * cap + i];
         }
     }
 
     /// Copy a flat value row back into packet `i`.
     #[inline]
     pub(crate) fn write_row(&mut self, i: usize, row: &[u64]) {
+        let cap = self.cap;
+        let buf = self.buf_mut();
         for (f, &v) in row.iter().enumerate() {
-            self.buf[f * self.cap + i] = v;
+            buf[f * cap + i] = v;
         }
     }
 
@@ -350,7 +411,8 @@ impl BatchLanes {
     /// batch execution (which pre-resolves every field offset and mask).
     #[inline]
     pub(crate) fn raw_parts_mut(&mut self) -> (&mut [u64], usize, usize) {
-        (&mut self.buf, self.cap, self.len)
+        let (cap, len) = (self.cap, self.len);
+        (self.buf_mut(), cap, len)
     }
 }
 
@@ -499,6 +561,63 @@ mod tests {
         for i in 0..6 {
             assert_eq!(lanes.get(a, i), 0);
             assert_eq!(lanes.get(b, i), 0);
+        }
+    }
+
+    #[test]
+    fn batch_lanes_columns_are_cache_line_aligned() {
+        let mut l = PhvLayout::new();
+        let fields: Vec<FieldId> = (0..5).map(|i| l.field(format!("f{i}"), 32)).collect();
+        // Batch sizes deliberately off every power-of-two and
+        // multiple-of-8 boundary, including the ≥512 stagger region.
+        for n in [1usize, 3, 7, 13, 100, 250, 511, 517, 1000, 4096] {
+            let mut lanes = BatchLanes::new(&l, n);
+            lanes.begin(n);
+            let cap = lanes.capacity();
+            assert_eq!(cap % LANES_PER_LINE, 0, "stride {cap} not whole lines");
+            assert!(cap >= n, "capacity {cap} below batch size {n}");
+            let base = lanes.cells.as_ptr() as usize;
+            assert_eq!(base % 64, 0, "buffer base not 64-byte aligned");
+            for f in &fields {
+                // Column start address = base + field * cap * 8 bytes.
+                assert_eq!(
+                    (base + f.0 as usize * cap * 8) % 64,
+                    0,
+                    "column {f:?} misaligned at batch size {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lanes_stride_rounding_keeps_indexing_correct() {
+        // `cap` rounds up to whole cache lines: `vals[field * cap + lane]`
+        // must keep addressing distinct cells for every (field, lane)
+        // pair at non-multiple-of-8 batch sizes.
+        let mut l = PhvLayout::new();
+        let a = l.field("a", 64);
+        let b = l.field("b", 64);
+        let c = l.field("c", 16);
+        for n in [5usize, 13, 100, 517] {
+            let mut lanes = BatchLanes::new(&l, 1); // must grow + re-pad
+            lanes.begin(n);
+            for i in 0..n {
+                lanes.set(a, i, 0xA000 + i as u64);
+                lanes.set(b, i, 0xB000 + i as u64);
+                lanes.set(c, i, i as u64);
+            }
+            for i in 0..n {
+                assert_eq!(lanes.get(a, i), 0xA000 + i as u64, "n={n} lane {i}");
+                assert_eq!(lanes.get(b, i), 0xB000 + i as u64, "n={n} lane {i}");
+                assert_eq!(lanes.get(c, i), i as u64 & 0xFFFF, "n={n} lane {i}");
+            }
+            // The same invariant through the raw strided view the
+            // compiled engine uses.
+            let (buf, cap, len) = lanes.raw_parts_mut();
+            assert_eq!(len, n);
+            for i in 0..n {
+                assert_eq!(buf[cap + i], 0xB000 + i as u64);
+            }
         }
     }
 }

@@ -6,9 +6,9 @@
 //! faults (RAW violations, out-of-range indices, recirculation limits).
 
 use fpisa_pisa::{
-    Action, AluOp, CmpOp, CompiledSwitch, FieldId, KeyMatch, MatchKind, Operand, Phv, PhvLayout,
-    RegArrayId, RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, Stage, StatefulCall, Switch,
-    SwitchCaps, SwitchProgram, Table,
+    Action, AluOp, CmpOp, CompiledSwitch, FieldId, KeyMatch, MatchKind, Operand, PhaseCOrder, Phv,
+    PhvLayout, RegArrayId, RegisterArraySpec, SaluCond, SaluOutput, SaluUpdate, Stage,
+    StatefulCall, Switch, SwitchCaps, SwitchProgram, Table,
 };
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
@@ -325,9 +325,11 @@ fn compiled_engine_matches_interpreter_on_random_programs() {
 /// execution → transpose back, with per-packet fallback for ineligible
 /// programs) must leave PHVs and registers exactly as the interpreter's
 /// packet-at-a-time loop does — including the uniform-key, split-key-LUT
-/// and predicated-group fast paths random programs fall into.
-#[test]
-fn soa_batches_match_interpreter_streams() {
+/// and predicated-group fast paths random programs fall into. Runs once
+/// per (SIMD × Phase C order) knob setting so the chunked lane kernels
+/// and the slot-sorted stateful pass face the same random-program gauntlet
+/// as the scalar packet-ordered baseline.
+fn soa_batches_match_interpreter(knobs: &str, simd: bool, order: PhaseCOrder) {
     let mut soa_runs = 0usize;
     for seed in 0..32u64 {
         let (program, mut rng) = random_program(0x50A0_0000 + seed);
@@ -336,6 +338,8 @@ fn soa_batches_match_interpreter_streams() {
         }
         let mut sw = Switch::new(program.clone()).unwrap();
         let mut cs = CompiledSwitch::compile(&program).unwrap();
+        cs.set_simd_kernels(simd);
+        cs.set_phase_c_order(order);
         if cs.soa_eligible() {
             soa_runs += 1;
         }
@@ -370,19 +374,21 @@ fn soa_batches_match_interpreter_streams() {
         }
         match (batch_result, interp_err) {
             (Ok(total), None) => {
-                assert_eq!(total, interp_total, "seed {seed}");
-                assert_eq!(phvs, interp_phvs, "seed {seed}: PHVs diverged");
+                assert_eq!(total, interp_total, "seed {seed} [{knobs}]");
+                assert_eq!(phvs, interp_phvs, "seed {seed} [{knobs}]: PHVs diverged");
             }
             (Err(ce), Some(ie)) => {
-                assert_eq!(ce, ie, "seed {seed}");
+                assert_eq!(ce, ie, "seed {seed} [{knobs}]");
                 // Packets before the fault must be fully applied.
                 assert_eq!(
                     phvs[..fault_at],
                     interp_phvs[..fault_at],
-                    "seed {seed}: pre-fault PHVs diverged"
+                    "seed {seed} [{knobs}]: pre-fault PHVs diverged"
                 );
             }
-            (got, want) => panic!("seed {seed}: SoA batch {got:?} vs interpreter {want:?}"),
+            (got, want) => {
+                panic!("seed {seed} [{knobs}]: SoA batch {got:?} vs interpreter {want:?}")
+            }
         }
         for (ai, spec) in program.arrays.iter().enumerate() {
             let id = RegArrayId(ai as u16);
@@ -390,13 +396,210 @@ fn soa_batches_match_interpreter_streams() {
                 assert_eq!(
                     sw.register(id, idx),
                     cs.register(id, idx),
-                    "seed {seed}: register {}[{idx}] diverged",
+                    "seed {seed} [{knobs}]: register {}[{idx}] diverged",
                     spec.name
                 );
             }
         }
     }
     assert!(soa_runs > 0, "no SoA-eligible program generated");
+}
+
+#[test]
+fn soa_batches_match_interpreter_streams() {
+    soa_batches_match_interpreter("simd/auto", true, PhaseCOrder::Auto);
+}
+
+#[test]
+fn soa_batches_scalar_path_matches_interpreter_streams() {
+    soa_batches_match_interpreter("scalar/packet-ordered", false, PhaseCOrder::PacketOrdered);
+}
+
+#[test]
+fn soa_batches_slot_sorted_matches_interpreter_streams() {
+    soa_batches_match_interpreter("simd/slot-sorted", true, PhaseCOrder::SlotSorted);
+}
+
+#[test]
+fn soa_batches_scalar_slot_sorted_matches_interpreter_streams() {
+    soa_batches_match_interpreter("scalar/slot-sorted", false, PhaseCOrder::SlotSorted);
+}
+
+/// Order-sensitive accumulator for the adversarial duplicate-slot tests:
+/// `r[idx] < val ? r[idx] := val : r[idx] += 1`, exporting the OLD
+/// register value into `out`. Any reorder of two same-slot packets
+/// changes either the final register or some packet's exported output,
+/// so bit-for-bit agreement here proves the slot-sorted Phase C pass
+/// preserves packet order within each slot group.
+fn order_sensitive_program(entries: usize) -> (SwitchProgram, FieldId, FieldId, FieldId) {
+    let mut layout = PhvLayout::new();
+    let idx = layout.field("idx", 16);
+    let val = layout.field("val", 16);
+    let out = layout.field("out", 32);
+    let action = Action::nop("bump").call(StatefulCall {
+        array: RegArrayId(0),
+        index: Operand::Field(idx),
+        cond: SaluCond::RegCmp {
+            cmp: CmpOp::Lt,
+            rhs: Operand::Field(val),
+        },
+        on_true: SaluUpdate::Write(Operand::Field(val)),
+        on_false: SaluUpdate::AddWrap(Operand::Const(1)),
+        output: Some((out, SaluOutput::Old)),
+    });
+    let program = SwitchProgram {
+        caps: SwitchCaps::fpisa_extended(),
+        layout,
+        stages: vec![Stage::new().table(Table::always("t", action))],
+        arrays: vec![RegisterArraySpec {
+            name: "r".into(),
+            width_bits: 32,
+            entries,
+            stage: 0,
+        }],
+        recirc_field: None,
+    };
+    program.validate().expect("directed program must validate");
+    (program, idx, val, out)
+}
+
+/// Run one adversarial batch through the interpreter and through every
+/// (SIMD × Phase C order) knob setting of the SoA engine, demanding
+/// bit-for-bit identical PHVs, registers, and fault behaviour. Returns
+/// the interpreter's error, if any, so callers can assert fault shape.
+fn check_adversarial_batch(
+    pat: &str,
+    program: &SwitchProgram,
+    idx: FieldId,
+    val: FieldId,
+    idxs: &[u64],
+    vals: &[u64],
+) {
+    let mut sw = Switch::new(program.clone()).unwrap();
+    let build = |sw: &Switch| -> Vec<Phv> {
+        idxs.iter()
+            .zip(vals)
+            .map(|(&i, &v)| {
+                let mut p = sw.phv();
+                p.set(idx, i);
+                p.set(val, v);
+                p
+            })
+            .collect()
+    };
+    let mut interp_phvs = build(&sw);
+    let mut interp_err = None;
+    let mut fault_at = interp_phvs.len();
+    for (i, p) in interp_phvs.iter_mut().enumerate() {
+        if let Err(e) = sw.run(p) {
+            interp_err = Some(e);
+            fault_at = i;
+            break;
+        }
+    }
+    for (knobs, simd, order) in [
+        ("simd/slot-sorted", true, PhaseCOrder::SlotSorted),
+        ("scalar/slot-sorted", false, PhaseCOrder::SlotSorted),
+        ("simd/packet-ordered", true, PhaseCOrder::PacketOrdered),
+        ("simd/auto", true, PhaseCOrder::Auto),
+    ] {
+        let mut cs = CompiledSwitch::compile(program).unwrap();
+        assert!(cs.soa_eligible(), "directed program must take the SoA path");
+        cs.set_simd_kernels(simd);
+        cs.set_phase_c_order(order);
+        let mut phvs = build(&sw);
+        let got = cs.run_batch_soa(&mut phvs);
+        match (&got, &interp_err) {
+            (Ok(_), None) => {
+                assert_eq!(phvs, interp_phvs, "{pat} [{knobs}]: PHVs diverged");
+            }
+            (Err(ce), Some(ie)) => {
+                // The earliest faulting packet must win on every path,
+                // and every packet before it must be fully applied.
+                assert_eq!(ce, ie, "{pat} [{knobs}]: fault diverged");
+                assert_eq!(
+                    phvs[..fault_at],
+                    interp_phvs[..fault_at],
+                    "{pat} [{knobs}]: pre-fault PHVs diverged"
+                );
+            }
+            (got, want) => panic!("{pat} [{knobs}]: batch {got:?} vs interpreter {want:?}"),
+        }
+        for slot in 0..program.arrays[0].entries {
+            assert_eq!(
+                sw.register(RegArrayId(0), slot),
+                cs.register(RegArrayId(0), slot),
+                "{pat} [{knobs}]: register r[{slot}] diverged"
+            );
+        }
+    }
+}
+
+/// Adversarial duplicate-slot batches for the slot-sorted Phase C pass:
+/// all packets hitting one slot, two slots alternating, and random
+/// indices with heavy collisions — each wide enough (256 packets) that
+/// the `Auto` heuristic sorts too, and each checked bit-for-bit against
+/// the packet-ordered path and the interpreter.
+#[test]
+fn slot_sorted_phase_c_survives_adversarial_duplicate_slots() {
+    let entries = 5usize;
+    let (program, idx, val, _out) = order_sensitive_program(entries);
+    let mut rng = SmallRng::seed_from_u64(0x51D5_0001);
+    let n = 256usize;
+    let patterns: Vec<(&str, Vec<u64>)> = vec![
+        ("all-same-slot", vec![3; n]),
+        ("alternating", (0..n).map(|i| (i % 2) as u64).collect()),
+        (
+            "random-collisions",
+            (0..n).map(|_| rng.gen_range(0..entries as u64)).collect(),
+        ),
+    ];
+    for (pat, idxs) in &patterns {
+        // Duplicate values too: ties are where unstable ordering leaks.
+        let vals: Vec<u64> = idxs.iter().map(|_| rng.gen_range(0..8u64)).collect();
+        check_adversarial_batch(pat, &program, idx, val, idxs, &vals);
+    }
+}
+
+/// Fault semantics under slot sorting: an out-of-range index mid-batch
+/// must fault exactly as the packet-ordered path does — the earliest
+/// faulting packet's error wins even when a later lane also faults, and
+/// all packets before it land in full.
+#[test]
+fn slot_sorted_phase_c_keeps_earliest_fault_semantics() {
+    let entries = 5usize;
+    let (program, idx, val, _out) = order_sensitive_program(entries);
+    let mut rng = SmallRng::seed_from_u64(0x51D5_0002);
+    let n = 256usize;
+    let base: Vec<u64> = (0..n).map(|_| rng.gen_range(0..entries as u64)).collect();
+    let oor = entries as u64 + 2;
+    let cases: Vec<(&str, Vec<u64>)> = vec![
+        ("fault-first-lane", {
+            let mut v = base.clone();
+            v[0] = oor;
+            v
+        }),
+        ("fault-mid-batch", {
+            let mut v = base.clone();
+            v[113] = oor;
+            v
+        }),
+        ("two-faults-earliest-wins", {
+            let mut v = base.clone();
+            v[40] = oor;
+            v[200] = oor + 1;
+            v
+        }),
+        ("fault-last-lane", {
+            let mut v = base.clone();
+            v[n - 1] = oor;
+            v
+        }),
+    ];
+    for (pat, idxs) in &cases {
+        let vals: Vec<u64> = idxs.iter().map(|_| rng.gen_range(0..8u64)).collect();
+        check_adversarial_batch(pat, &program, idx, val, idxs, &vals);
+    }
 }
 
 /// The same equivalence through the batch API: running a whole buffer
